@@ -1,0 +1,562 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Table 2, Table 3, Figure 8) on the superblue-mini
+   workloads, plus the ablations called out in DESIGN.md.
+
+   Usage:  dune exec bench/main.exe [-- <target> ...]
+   Targets: table1 table2 table3 figure8 kernels ablation-gamma
+            ablation-reuse gradcheck all (default: all)
+   Options: --scale <f>  benchmark scale factor (default 0.01) *)
+
+let scale = ref 0.01
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let lib = Liberty.Synthetic.default ()
+
+let build_bench spec =
+  let design, cons = Workload.generate lib spec in
+  let graph = Sta.Graph.build design lib cons in
+  (design, graph)
+
+(* ---- a placement run of one mode, scored after legalisation ---- *)
+
+type outcome = {
+  o_wns : float;
+  o_tns : float;
+  o_hpwl : float;
+  o_runtime : float;
+  o_iterations : int;
+  o_trace : Core.trace_point list;
+}
+
+let run_mode ?(config = Core.default_config) mode spec =
+  let design, graph = build_bench spec in
+  let cfg = { config with Core.mode } in
+  let result = Core.run cfg graph in
+  ignore (Legalize.legalize design);
+  let report, hpwl = Core.score graph in
+  { o_wns = report.Sta.Timer.setup_wns;
+    o_tns = report.Sta.Timer.setup_tns;
+    o_hpwl = hpwl;
+    o_runtime = result.Core.res_runtime;
+    o_iterations = result.Core.res_iterations;
+    o_trace = result.Core.res_trace }
+
+let modes =
+  [ ("DREAMPlace[16]", Core.Wirelength_only);
+    ("NetWeight[24]", Core.Net_weighting Netweight.default_config);
+    ("Ours", Core.Differentiable_timing Core.default_timing) ]
+
+(* ---- Table 1: the ML/placement analogy (expository) ---- *)
+
+let table1 () =
+  section "Table 1: the analogy between ML training and placement [16]";
+  let t = Report.Table.create [ "Machine Learning"; "Placement" ] in
+  Report.Table.add_row t [ "Train a neural network"; "Solve global placement" ];
+  Report.Table.add_row t [ "Dataset"; "Net instances" ];
+  Report.Table.add_row t [ "Loss function"; "Wirelength objective" ];
+  Report.Table.add_row t [ "Regularization"; "Density constraint" ];
+  print_string (Report.Table.render t)
+
+(* ---- Table 2: benchmark statistics ---- *)
+
+let table2 () =
+  section
+    (Printf.sprintf
+       "Table 2: benchmark statistics (superblue-mini at scale %g; paper \
+        values in parentheses)" !scale);
+  let t =
+    Report.Table.create
+      [ "Benchmark"; "#Cells"; "#Nets"; "#Pins"; "MaxFanout"; "Levels";
+        "(paper #Cells)"; "(paper #Nets)"; "(paper #Pins)" ]
+  in
+  List.iter2
+    (fun spec (p : Report.Paper.table2_row) ->
+      let design, cons = Workload.generate lib spec in
+      let s = Netlist.Stats.compute design in
+      let graph = Sta.Graph.build design lib cons in
+      Report.Table.add_row t
+        [ spec.Workload.sp_name;
+          string_of_int s.Netlist.Stats.cells;
+          string_of_int s.Netlist.Stats.nets;
+          string_of_int s.Netlist.Stats.pins;
+          string_of_int s.Netlist.Stats.max_fanout;
+          string_of_int (Sta.Graph.max_level graph + 1);
+          string_of_int p.Report.Paper.t2_cells;
+          string_of_int p.Report.Paper.t2_nets;
+          string_of_int p.Report.Paper.t2_pins ])
+    (Workload.superblue_mini ~scale:!scale ())
+    Report.Paper.table2;
+  print_string (Report.Table.render t)
+
+(* ---- Table 3: the headline comparison ---- *)
+
+let neg v = Float.min 0.0 v
+
+let table3 () =
+  section
+    (Printf.sprintf
+       "Table 3: WNS / TNS / HPWL / runtime, three placers at scale %g"
+       !scale);
+  Printf.printf
+    "(identical density-overflow stop criterion for all placers; scoring by \
+     exact STA after legalisation)\n\n";
+  let specs = Workload.superblue_mini ~scale:!scale () in
+  let t =
+    Report.Table.create
+      [ "Benchmark"; "Placer"; "WNS(ps)"; "TNS(ps)"; "HPWL(um)"; "Time(s)" ]
+  in
+  (* outcome lists per mode, in spec order *)
+  let all =
+    List.map
+      (fun spec ->
+        let rows =
+          List.map
+            (fun (name, mode) ->
+              let o = run_mode mode spec in
+              Report.Table.add_row t
+                [ spec.Workload.sp_name; name;
+                  Printf.sprintf "%.1f" o.o_wns;
+                  Printf.sprintf "%.1f" o.o_tns;
+                  Printf.sprintf "%.3e" o.o_hpwl;
+                  Printf.sprintf "%.2f" o.o_runtime ];
+              (name, o))
+            modes
+        in
+        Printf.printf "  [done] %s\n%!" spec.Workload.sp_name;
+        rows)
+      specs
+  in
+  print_newline ();
+  print_string (Report.Table.render t);
+  (* average ratios vs ours, as in the paper's last row *)
+  let ratio pick_a pick_b safe =
+    List.filter_map
+      (fun rows ->
+        let find n = List.assoc n rows in
+        let a = pick_a (find "Ours") and b = pick_b rows in
+        if Float.abs a > safe && Float.abs b > safe then Some (b /. a) else None)
+      all
+  in
+  let summary =
+    Report.Table.create
+      [ "Avg ratio vs Ours"; "WNS"; "TNS"; "Runtime"; "(paper WNS)";
+        "(paper TNS)"; "(paper runtime)" ]
+  in
+  let add_summary label key paper_key =
+    let wns_r =
+      ratio (fun o -> neg o.o_wns) (fun rows -> neg (List.assoc key rows).o_wns) 1.0
+    in
+    let tns_r =
+      ratio (fun o -> neg o.o_tns) (fun rows -> neg (List.assoc key rows).o_tns) 1.0
+    in
+    let rt_r =
+      ratio (fun o -> o.o_runtime) (fun rows -> (List.assoc key rows).o_runtime) 1e-6
+    in
+    Report.Table.add_row summary
+      [ label;
+        Report.ratio_string (Report.geometric_mean wns_r);
+        Report.ratio_string (Report.geometric_mean tns_r);
+        Report.ratio_string (Report.geometric_mean rt_r);
+        Report.ratio_string (Report.Paper.avg_ratio_wns paper_key);
+        Report.ratio_string (Report.Paper.avg_ratio_tns paper_key);
+        Report.ratio_string (Report.Paper.avg_ratio_runtime paper_key) ]
+  in
+  add_summary "DREAMPlace[16]" "DREAMPlace[16]" `Dreamplace;
+  add_summary "NetWeight[24]" "NetWeight[24]" `Net_weighting;
+  print_newline ();
+  print_string (Report.Table.render summary);
+  (* who-wins checks, the shape the paper claims *)
+  let wins metric =
+    List.for_all
+      (fun rows ->
+        metric (List.assoc "Ours" rows) <= metric (List.assoc "NetWeight[24]" rows)
+        +. 1e-9)
+      all
+  in
+  Printf.printf
+    "\nShape checks: ours >= net weighting on WNS in %d/%d designs; on TNS in \
+     %d/%d designs\n"
+    (List.length (List.filter (fun r -> (List.assoc "Ours" r).o_wns
+                                        >= (List.assoc "NetWeight[24]" r).o_wns) all))
+    (List.length all)
+    (List.length (List.filter (fun r -> (List.assoc "Ours" r).o_tns
+                                        >= (List.assoc "NetWeight[24]" r).o_tns) all))
+    (List.length all);
+  ignore (wins (fun o -> o.o_runtime))
+
+(* ---- Figure 8: optimisation trajectories on superblue4 ---- *)
+
+let figure8 () =
+  section "Figure 8: optimisation iterations for benchmark superblue4-mini";
+  Printf.printf
+    "(columns: baseline DREAMPlace vs ours; WNS/TNS sampled every 10 \
+     iterations; '-' = not evaluated)\n\n";
+  let spec =
+    match Workload.find_spec "superblue4-mini" with
+    | Some s -> { s with Workload.sp_cells =
+                    max 200 (int_of_float (795645.0 *. !scale)) }
+    | None -> failwith "missing superblue4-mini spec"
+  in
+  let base_cfg = { Core.default_config with Core.trace_timing_period = 10 } in
+  let dp = run_mode ~config:base_cfg Core.Wirelength_only spec in
+  let ours =
+    run_mode ~config:base_cfg
+      (Core.Differentiable_timing Core.default_timing) spec
+  in
+  let t =
+    Report.Table.create
+      [ "iter"; "HPWL[16]"; "ovf[16]"; "WNS[16]"; "TNS[16]";
+        "HPWL[ours]"; "ovf[ours]"; "WNS[ours]"; "TNS[ours]" ]
+  in
+  let cell v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v in
+  let rec zip a b =
+    match a, b with
+    | [], [] -> ()
+    | pa :: ra, pb :: rb ->
+      let (p : Core.trace_point) = pa in
+      if p.Core.tp_iteration mod 10 = 0 then
+        Report.Table.add_row t
+          [ string_of_int p.Core.tp_iteration;
+            Printf.sprintf "%.3e" p.Core.tp_hpwl;
+            Printf.sprintf "%.3f" p.Core.tp_overflow;
+            cell p.Core.tp_wns;
+            cell p.Core.tp_tns;
+            Printf.sprintf "%.3e" pb.Core.tp_hpwl;
+            Printf.sprintf "%.3f" pb.Core.tp_overflow;
+            cell pb.Core.tp_wns;
+            cell pb.Core.tp_tns ];
+      zip ra rb
+    | pa :: ra, [] ->
+      if pa.Core.tp_iteration mod 10 = 0 then
+        Report.Table.add_row t
+          [ string_of_int pa.Core.tp_iteration;
+            Printf.sprintf "%.3e" pa.Core.tp_hpwl;
+            Printf.sprintf "%.3f" pa.Core.tp_overflow;
+            cell pa.Core.tp_wns; cell pa.Core.tp_tns; "-"; "-"; "-"; "-" ];
+      zip ra []
+    | [], pb :: rb ->
+      if pb.Core.tp_iteration mod 10 = 0 then
+        Report.Table.add_row t
+          [ string_of_int pb.Core.tp_iteration; "-"; "-"; "-"; "-";
+            Printf.sprintf "%.3e" pb.Core.tp_hpwl;
+            Printf.sprintf "%.3f" pb.Core.tp_overflow;
+            cell pb.Core.tp_wns; cell pb.Core.tp_tns ];
+      zip [] rb
+  in
+  zip dp.o_trace ours.o_trace;
+  print_string (Report.Table.render t);
+  Printf.printf
+    "\nFinal (post-legalisation): baseline WNS %.1f TNS %.1f HPWL %.3e | ours \
+     WNS %.1f TNS %.1f HPWL %.3e\n"
+    dp.o_wns dp.o_tns dp.o_hpwl ours.o_wns ours.o_tns ours.o_hpwl
+
+(* ---- kernel micro-benchmarks (Bechamel) ---- *)
+
+let kernels () =
+  section "Kernel micro-benchmarks (Bechamel; superblue4-mini)";
+  let spec =
+    match Workload.find_spec "superblue4-mini" with
+    | Some s -> { s with Workload.sp_cells =
+                    max 200 (int_of_float (795645.0 *. !scale)) }
+    | None -> failwith "missing superblue4-mini spec"
+  in
+  let design, graph = build_bench spec in
+  let dt = Difftimer.create ~gamma:20.0 graph in
+  let nets = Difftimer.nets dt in
+  Sta.Nets.rebuild nets;
+  ignore (Difftimer.forward dt);
+  let timer = Sta.Timer.create graph in
+  let wl = Wirelength.create design in
+  let dens = Density.create design in
+  let ncells = Netlist.num_cells design in
+  let gx = Array.make ncells 0.0 and gy = Array.make ncells 0.0 in
+  let open Bechamel in
+  let tests =
+    [ Test.make ~name:"steiner_rebuild(all nets)"
+        (Staged.stage (fun () -> Sta.Nets.rebuild nets));
+      Test.make ~name:"nets_refresh(provenance+rc)"
+        (Staged.stage (fun () -> Sta.Nets.refresh nets));
+      Test.make ~name:"diff_forward(smoothed STA)"
+        (Staged.stage (fun () -> ignore (Difftimer.forward dt)));
+      Test.make ~name:"diff_backward(full gradient)"
+        (Staged.stage (fun () ->
+          Array.fill gx 0 ncells 0.0;
+          Array.fill gy 0 ncells 0.0;
+          Difftimer.backward dt ~w_tns:1.0 ~w_wns:1.0 ~grad_x:gx ~grad_y:gy));
+      Test.make ~name:"exact_sta(report, reuse trees)"
+        (Staged.stage (fun () -> ignore (Sta.Timer.run ~rebuild_trees:false timer)));
+      (let inc = Sta.Incremental.create graph in
+       let movable = Array.of_list (Netlist.movable_cells design) in
+       let rng = Workload.Rng.create 7 in
+       Test.make ~name:"incremental_sta(1 cell moved)"
+         (Staged.stage (fun () ->
+           let c = design.Netlist.cells.(movable.(Workload.Rng.int rng
+                                                   (Array.length movable))) in
+           Sta.Incremental.move_cell inc c.Netlist.cell_id
+             ~x:(c.Netlist.x +. 1.0) ~y:c.Netlist.y;
+           ignore (Sta.Incremental.update inc))));
+      Test.make ~name:"wirelength_grad(WA)"
+        (Staged.stage (fun () ->
+          Array.fill gx 0 ncells 0.0;
+          Array.fill gy 0 ncells 0.0;
+          ignore (Wirelength.evaluate wl ~grad_x:gx ~grad_y:gy ())));
+      Test.make ~name:"density_update(FFT Poisson)"
+        (Staged.stage (fun () -> Density.update dens)) ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:30 ~quota:(Time.second 1.0) () in
+    let results =
+      Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"k" [ test ])
+    in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false
+           ~predictors:[| Measure.run |])
+        instance results
+    in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] ->
+          Printf.printf "  %-32s %12.3f us/call\n" name (est /. 1000.0)
+        | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
+      ols
+  in
+  List.iter benchmark tests;
+  (* level-parallel forward scaling over worker domains (the "GPU
+     kernel" substitution: same level-synchronous structure, CPU lanes) *)
+  let cores = Domain.recommended_domain_count () in
+  if cores <= 1 then
+    Printf.printf
+      "\n  diff_forward domain scaling skipped: this machine exposes %d \
+       core(s).\n  (Correctness of the parallel kernels is covered by the \
+       test suite.)\n"
+      cores
+  else begin
+    Printf.printf "\n  diff_forward scaling over domains (%d cores):\n" cores;
+    let time_forward pool =
+      let iters = 20 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        ignore (Difftimer.forward ?pool dt)
+      done;
+      (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e6
+    in
+    let sequential_us = time_forward None in
+    Printf.printf "  %-32s %12.3f us/call\n" "domains=1" sequential_us;
+    List.iter
+      (fun domains ->
+        let pool = Parallel.create ~domains () in
+        let us =
+          Fun.protect
+            ~finally:(fun () -> Parallel.shutdown pool)
+            (fun () -> time_forward (Some pool))
+        in
+        Printf.printf "  %-32s %12.3f us/call (%.2fx)\n"
+          (Printf.sprintf "domains=%d" domains)
+          us (sequential_us /. us))
+      [ 2; min 4 (cores - 1) ]
+  end
+
+(* ---- ablations ---- *)
+
+let ablation_gamma () =
+  section "Ablation A: LSE smoothing width gamma (superblue4-mini)";
+  Printf.printf
+    "(larger gamma smooths more at the cost of accuracy, paper SS3.2)\n\n";
+  let spec =
+    match Workload.find_spec "superblue4-mini" with
+    | Some s -> { s with Workload.sp_cells =
+                    max 200 (int_of_float (795645.0 *. !scale)) }
+    | None -> failwith "missing superblue4-mini spec"
+  in
+  let t = Report.Table.create [ "gamma(ps)"; "WNS(ps)"; "TNS(ps)"; "HPWL(um)" ] in
+  List.iter
+    (fun gamma ->
+      let o =
+        run_mode
+          (Core.Differentiable_timing { Core.default_timing with Core.gamma })
+          spec
+      in
+      Report.Table.add_row t
+        [ Printf.sprintf "%.0f" gamma;
+          Printf.sprintf "%.1f" o.o_wns;
+          Printf.sprintf "%.1f" o.o_tns;
+          Printf.sprintf "%.3e" o.o_hpwl ])
+    [ 5.0; 20.0; 80.0; 320.0 ];
+  print_string (Report.Table.render t)
+
+let ablation_reuse () =
+  section "Ablation B: Steiner tree reuse period (superblue4-mini)";
+  Printf.printf
+    "(the paper rebuilds trees every 10 iterations and reuses provenance \
+     updates in between, SS3.6)\n\n";
+  let spec =
+    match Workload.find_spec "superblue4-mini" with
+    | Some s -> { s with Workload.sp_cells =
+                    max 200 (int_of_float (795645.0 *. !scale)) }
+    | None -> failwith "missing superblue4-mini spec"
+  in
+  let t =
+    Report.Table.create
+      [ "period"; "WNS(ps)"; "TNS(ps)"; "HPWL(um)"; "Time(s)" ]
+  in
+  List.iter
+    (fun period ->
+      let o =
+        run_mode
+          (Core.Differentiable_timing
+             { Core.default_timing with Core.steiner_period = period })
+          spec
+      in
+      Report.Table.add_row t
+        [ string_of_int period;
+          Printf.sprintf "%.1f" o.o_wns;
+          Printf.sprintf "%.1f" o.o_tns;
+          Printf.sprintf "%.3e" o.o_hpwl;
+          Printf.sprintf "%.2f" o.o_runtime ])
+    [ 1; 5; 10; 20 ];
+  print_string (Report.Table.render t)
+
+let ablation_extensions () =
+  section
+    "Ablation D: future-work extensions (gradient preconditioning, dynamic \
+     weights)";
+  Printf.printf
+    "(the paper's conclusion lists dynamic timing-weight updating and \
+     gradient preconditioning as future work; both are implemented as \
+     options)\n\n";
+  let spec =
+    match Workload.find_spec "superblue4-mini" with
+    | Some s -> { s with Workload.sp_cells =
+                    max 200 (int_of_float (795645.0 *. !scale)) }
+    | None -> failwith "missing superblue4-mini spec"
+  in
+  let t =
+    Report.Table.create
+      [ "variant"; "WNS(ps)"; "TNS(ps)"; "HPWL(um)"; "Time(s)" ]
+  in
+  let run label tc =
+    let o = run_mode (Core.Differentiable_timing tc) spec in
+    Report.Table.add_row t
+      [ label;
+        Printf.sprintf "%.1f" o.o_wns;
+        Printf.sprintf "%.1f" o.o_tns;
+        Printf.sprintf "%.3e" o.o_hpwl;
+        Printf.sprintf "%.2f" o.o_runtime ]
+  in
+  run "paper schedule (fixed, no clip)" Core.default_timing;
+  run "clip 5x mean" { Core.default_timing with Core.grad_clip = Some 5.0 };
+  run "clip 2x mean" { Core.default_timing with Core.grad_clip = Some 2.0 };
+  run "adaptive weight growth"
+    { Core.default_timing with Core.growth_policy = `Adaptive };
+  run "adaptive + clip 5x"
+    { Core.default_timing with
+      Core.growth_policy = `Adaptive; grad_clip = Some 5.0 };
+  print_string (Report.Table.render t)
+
+(* ---- gradient checks ---- *)
+
+let gradcheck () =
+  section "Ablation C: analytic gradients vs central finite differences";
+  let rng = Workload.Rng.create 2024 in
+  (* (a) LUT interpolation *)
+  let inv =
+    match Liberty.find_cell lib "INV_X1" with
+    | Some c -> c
+    | None -> failwith "INV_X1 missing"
+  in
+  let arc = inv.Liberty.lc_arcs.(0) in
+  let lut = arc.Liberty.cell_rise in
+  let worst = ref 0.0 in
+  for _ = 1 to 200 do
+    let x = Workload.Rng.float rng 180.0 and y = Workload.Rng.float rng 36.0 in
+    let _, dx, dy = Liberty.Lut.lookup_with_gradient lut x y in
+    let h = 1e-5 in
+    let fdx =
+      (Liberty.Lut.lookup lut (x +. h) y -. Liberty.Lut.lookup lut (x -. h) y)
+      /. (2.0 *. h)
+    and fdy =
+      (Liberty.Lut.lookup lut x (y +. h) -. Liberty.Lut.lookup lut x (y -. h))
+      /. (2.0 *. h)
+    in
+    worst := Float.max !worst (Float.abs (dx -. fdx));
+    worst := Float.max !worst (Float.abs (dy -. fdy))
+  done;
+  Printf.printf "  LUT query gradient:        max |analytic - FD| = %.3e\n" !worst;
+  (* (b) full differentiable-timer pipeline *)
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = 150; sp_inputs = 8; sp_outputs = 8; sp_depth = 6;
+      sp_clock_period = 520.0 }
+  in
+  let design, graph = build_bench spec in
+  let dt = Difftimer.create ~gamma:25.0 graph in
+  let nets = Difftimer.nets dt in
+  let objective () =
+    Sta.Nets.refresh nets;
+    let m = Difftimer.forward dt in
+    (0.7 *. -.m.Difftimer.tns_smooth) +. (0.4 *. -.m.Difftimer.wns_smooth)
+  in
+  ignore (objective ());
+  let ncells = Netlist.num_cells design in
+  let gx = Array.make ncells 0.0 and gy = Array.make ncells 0.0 in
+  Difftimer.backward dt ~w_tns:0.7 ~w_wns:0.4 ~grad_x:gx ~grad_y:gy;
+  let worst = ref 0.0 and h = 1e-4 in
+  for _ = 1 to 30 do
+    let c = design.Netlist.cells.(Workload.Rng.int rng ncells) in
+    if not c.Netlist.fixed then begin
+      let x0 = c.Netlist.x in
+      c.Netlist.x <- x0 +. h;
+      let fp = objective () in
+      c.Netlist.x <- x0 -. h;
+      let fm = objective () in
+      c.Netlist.x <- x0;
+      let fd = (fp -. fm) /. (2.0 *. h) in
+      if Float.abs fd > 1e-6 then
+        worst :=
+          Float.max !worst
+            (Float.abs (fd -. gx.(c.Netlist.cell_id)) /. Float.abs fd)
+    end
+  done;
+  Printf.printf
+    "  end-to-end TNS/WNS gradient: max relative error vs FD = %.3e\n" !worst;
+  Printf.printf "  (see test/ for the per-pass Elmore and Steiner checks)\n"
+
+(* ---- driver ---- *)
+
+let all_targets =
+  [ ("table1", table1); ("table2", table2); ("table3", table3);
+    ("figure8", figure8); ("kernels", kernels);
+    ("ablation-gamma", ablation_gamma); ("ablation-reuse", ablation_reuse);
+    ("ablation-extensions", ablation_extensions); ("gradcheck", gradcheck) ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse acc rest
+    | x :: rest -> parse (x :: acc) rest
+  in
+  let targets = parse [] args in
+  let targets = if targets = [] || targets = [ "all" ] then
+      List.map fst all_targets
+    else targets
+  in
+  Printf.printf
+    "Differentiable-timing-driven global placement: benchmark harness\n";
+  Printf.printf "(scale %g; see DESIGN.md for the experiment index)\n" !scale;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_targets with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown target %S; known: %s all\n" name
+          (String.concat " " (List.map fst all_targets));
+        exit 1)
+    targets

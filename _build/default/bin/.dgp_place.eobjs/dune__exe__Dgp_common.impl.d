@@ -1,0 +1,1 @@
+bin/dgp_common.ml: Arg Bookshelf Cmdliner Filename Liberty List Printf Sta String Verilog Workload

@@ -1,0 +1,1 @@
+bin/dgp_gen.ml: Arg Bookshelf Cmd Cmdliner Dgp_common Filename Liberty List Netlist Printf Sys Term Workload

@@ -1,0 +1,1 @@
+bin/dgp_place.ml: Arg Bookshelf Cmd Cmdliner Core Dgp_common Format Legalize List Netlist Netweight Out_channel Parallel Printf Report Sta Term Viz

@@ -1,0 +1,1 @@
+bin/dgp_sta.ml: Arg Array Cmd Cmdliner Dgp_common Format List Netlist Printf Report Sta Term

@@ -1,0 +1,1 @@
+bin/dgp_sta.mli:

@@ -1,0 +1,61 @@
+(* Shared plumbing for the dgp_* command-line tools. *)
+
+let load_library = function
+  | Some path -> Liberty.Io.load path
+  | None -> Liberty.Synthetic.default ()
+
+(* A design comes from a bookshelf-lite file, a structural Verilog file
+   (by extension; constraints fall back to defaults with the requested
+   clock), or the named / sized synthetic generator. *)
+let load_design lib ~design_file ~bench ~cells ~seed ~clock_period =
+  match design_file, bench with
+  | Some path, _ when Filename.check_suffix path ".v" ->
+    let design = Verilog.load lib path in
+    (design,
+     { Sta.Constraints.default with
+       Sta.Constraints.clock_period })
+  | Some path, _ -> Bookshelf.load lib path
+  | None, Some name ->
+    (match Workload.find_spec name with
+     | Some spec -> Workload.generate lib spec
+     | None ->
+       Printf.eprintf "unknown benchmark %S; known: %s\n" name
+         (String.concat ", "
+            (List.map
+               (fun s -> s.Workload.sp_name)
+               (Workload.superblue_mini ())));
+       exit 1)
+  | None, None ->
+    let spec =
+      { Workload.default_spec with
+        Workload.sp_cells = cells;
+        sp_seed = seed;
+        sp_clock_period = clock_period }
+    in
+    Workload.generate lib spec
+
+open Cmdliner
+
+let lib_file =
+  let doc = "Liberty-lite cell library file (default: built-in synth45)." in
+  Arg.(value & opt (some string) None & info [ "lib" ] ~docv:"FILE" ~doc)
+
+let design_file =
+  let doc = "Load the design from a bookshelf-lite $(docv)." in
+  Arg.(value & opt (some string) None & info [ "design" ] ~docv:"FILE" ~doc)
+
+let bench_name =
+  let doc = "Use a named superblue-mini benchmark (e.g. superblue4-mini)." in
+  Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"NAME" ~doc)
+
+let cells =
+  let doc = "Synthetic design size when generating ad hoc." in
+  Arg.(value & opt int 2000 & info [ "cells" ] ~docv:"N" ~doc)
+
+let seed =
+  let doc = "Generator seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let clock_period =
+  let doc = "Clock period in ps for ad hoc designs." in
+  Arg.(value & opt float 900.0 & info [ "clock" ] ~docv:"PS" ~doc)

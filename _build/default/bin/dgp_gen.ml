@@ -1,0 +1,66 @@
+(* dgp_gen: generate synthetic benchmarks and write them (plus the cell
+   library) to disk in the repo's text formats. *)
+
+open Cmdliner
+
+let out_dir =
+  let doc = "Directory to write files into." in
+  Arg.(value & opt string "." & info [ "out"; "o" ] ~docv:"DIR" ~doc)
+
+let all_minis =
+  let doc = "Generate the full superblue-mini suite instead of one design." in
+  Arg.(value & flag & info [ "suite" ] ~doc)
+
+let scale =
+  let doc = "Scale factor for the superblue-mini suite." in
+  Arg.(value & opt float 0.01 & info [ "scale" ] ~docv:"F" ~doc)
+
+let write_design dir lib spec =
+  let design, constraints = Workload.generate lib spec in
+  let path = Filename.concat dir (spec.Workload.sp_name ^ ".design") in
+  Bookshelf.save path design constraints;
+  let stats = Netlist.Stats.compute design in
+  Printf.printf "%s: %d cells, %d nets, %d pins -> %s\n"
+    spec.Workload.sp_name stats.Netlist.Stats.cells stats.Netlist.Stats.nets
+    stats.Netlist.Stats.pins path
+
+let rec ensure_directory dir =
+  if not (Sys.file_exists dir) then begin
+    ensure_directory (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+let run lib_file bench cells seed clock out_dir suite scale =
+  let lib = Dgp_common.load_library lib_file in
+  ensure_directory out_dir;
+  let lib_path = Filename.concat out_dir "synth45.lib" in
+  Liberty.Io.save lib_path lib;
+  Printf.printf "library -> %s\n" lib_path;
+  if suite then
+    List.iter (write_design out_dir lib) (Workload.superblue_mini ~scale ())
+  else begin
+    let spec =
+      match bench with
+      | Some name ->
+        (match Workload.find_spec name with
+         | Some s -> s
+         | None ->
+           Printf.eprintf "unknown benchmark %S\n" name;
+           exit 1)
+      | None ->
+        { Workload.default_spec with
+          Workload.sp_cells = cells; sp_seed = seed; sp_clock_period = clock }
+    in
+    write_design out_dir lib spec
+  end
+
+let cmd =
+  let doc = "generate synthetic placement/timing benchmarks" in
+  Cmd.v
+    (Cmd.info "dgp_gen" ~doc)
+    Term.(
+      const run $ Dgp_common.lib_file $ Dgp_common.bench_name
+      $ Dgp_common.cells $ Dgp_common.seed $ Dgp_common.clock_period
+      $ out_dir $ all_minis $ scale)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,152 @@
+(* dgp_place: run global placement (wirelength / net-weighting /
+   differentiable-timing) on a design, optionally legalise, score with
+   exact STA and save the result. *)
+
+open Cmdliner
+
+let mode_conv =
+  let parse = function
+    | "wl" | "wirelength" -> Ok Core.Wirelength_only
+    | "netweight" | "nw" -> Ok (Core.Net_weighting Netweight.default_config)
+    | "timing" | "ours" ->
+      Ok (Core.Differentiable_timing Core.default_timing)
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S (wl|netweight|timing)" s))
+  in
+  let print ppf = function
+    | Core.Wirelength_only -> Format.pp_print_string ppf "wl"
+    | Core.Net_weighting _ -> Format.pp_print_string ppf "netweight"
+    | Core.Differentiable_timing _ -> Format.pp_print_string ppf "timing"
+  in
+  Arg.conv (parse, print)
+
+let mode =
+  let doc = "Placement mode: wl (DREAMPlace baseline), netweight \
+             (net-weighting baseline [24]) or timing (this paper)." in
+  Arg.(value & opt mode_conv (Core.Differentiable_timing Core.default_timing)
+       & info [ "mode"; "m" ] ~docv:"MODE" ~doc)
+
+let iterations =
+  let doc = "Maximum placement iterations." in
+  Arg.(value & opt int 600 & info [ "iterations"; "i" ] ~docv:"N" ~doc)
+
+let t1 =
+  let doc = "TNS objective weight (timing mode)." in
+  Arg.(value & opt float Core.default_timing.Core.t1 & info [ "t1" ] ~doc)
+
+let t2 =
+  let doc = "WNS objective weight (timing mode)." in
+  Arg.(value & opt float Core.default_timing.Core.t2 & info [ "t2" ] ~doc)
+
+let gamma =
+  let doc = "LSE smoothing width in ps (timing mode)." in
+  Arg.(value & opt float Core.default_timing.Core.gamma & info [ "gamma" ] ~doc)
+
+let no_legalize =
+  let doc = "Skip the Tetris legalisation step." in
+  Arg.(value & flag & info [ "no-legalize" ] ~doc)
+
+let out_file =
+  let doc = "Save the placed design to $(docv) (bookshelf-lite)." in
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+
+let svg_file =
+  let doc = "Render the final placement to $(docv) (SVG), with the
+             critical path overlaid." in
+  Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
+
+let trace_file =
+  let doc = "Write the per-iteration trace to $(docv) as CSV." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let verbose =
+  let doc = "Print progress every 50 iterations." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let domains =
+  let doc = "Worker domains for the level-parallel timing kernels (1 = \
+             sequential)." in
+  Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
+
+let run lib_file design_file bench cells seed clock mode iterations t1 t2
+    gamma no_legalize out_file svg_file trace_file verbose domains =
+  let lib = Dgp_common.load_library lib_file in
+  let design, constraints =
+    Dgp_common.load_design lib ~design_file ~bench ~cells ~seed
+      ~clock_period:clock
+  in
+  let stats = Netlist.Stats.compute design in
+  Format.printf "design %s:@.%a@.@." design.Netlist.design_name
+    Netlist.Stats.pp stats;
+  let graph = Sta.Graph.build design lib constraints in
+  let mode =
+    match mode with
+    | Core.Differentiable_timing tc ->
+      Core.Differentiable_timing { tc with Core.t1; t2; gamma }
+    | (Core.Wirelength_only | Core.Net_weighting _) as m -> m
+  in
+  let config =
+    { Core.default_config with
+      Core.mode; max_iterations = iterations; verbose }
+  in
+  let pool =
+    if domains > 1 then Some (Parallel.create ~domains ()) else None
+  in
+  let result = Core.run ?pool config graph in
+  (match pool with Some p -> Parallel.shutdown p | None -> ());
+  Printf.printf "placement: %d iterations in %.2f s (overflow %.3f)\n"
+    result.Core.res_iterations result.Core.res_runtime result.Core.res_overflow;
+  if not no_legalize then begin
+    let lg = Legalize.legalize design in
+    Format.printf "legalisation:@.%a@." Legalize.pp_stats lg
+  end;
+  let report, hpwl = Core.score graph in
+  Format.printf "@.final timing (exact STA):@.%a@.HPWL: %.4e um@."
+    Sta.Timer.pp_report report hpwl;
+  (match svg_file with
+   | Some path ->
+     let timer = Sta.Timer.create graph in
+     let _ = Sta.Timer.run timer in
+     let options =
+       { Viz.Svg.default_options with
+         Viz.Svg.highlight_path = Sta.Timer.critical_path timer }
+     in
+     Viz.Svg.save ~options path design;
+     Printf.printf "placement plot written to %s\n" path
+   | None -> ());
+  (match trace_file with
+   | Some path ->
+     let t =
+       Report.Table.create
+         [ "iteration"; "hpwl"; "overflow"; "wns"; "tns"; "lambda" ]
+     in
+     List.iter
+       (fun (p : Core.trace_point) ->
+         Report.Table.add_row t
+           [ string_of_int p.Core.tp_iteration;
+             Printf.sprintf "%.6e" p.Core.tp_hpwl;
+             Printf.sprintf "%.6f" p.Core.tp_overflow;
+             Printf.sprintf "%.3f" p.Core.tp_wns;
+             Printf.sprintf "%.3f" p.Core.tp_tns;
+             Printf.sprintf "%.6e" p.Core.tp_lambda ])
+       result.Core.res_trace;
+     Out_channel.with_open_text path (fun oc ->
+       Out_channel.output_string oc (Report.Table.render_csv t));
+     Printf.printf "trace written to %s\n" path
+   | None -> ());
+  match out_file with
+  | Some path ->
+    Bookshelf.save path design constraints;
+    Printf.printf "placed design written to %s\n" path
+  | None -> ()
+
+let cmd =
+  let doc = "timing-driven global placement (DAC'22 reproduction)" in
+  Cmd.v
+    (Cmd.info "dgp_place" ~doc)
+    Term.(
+      const run $ Dgp_common.lib_file $ Dgp_common.design_file
+      $ Dgp_common.bench_name $ Dgp_common.cells $ Dgp_common.seed
+      $ Dgp_common.clock_period $ mode $ iterations $ t1 $ t2 $ gamma
+      $ no_legalize $ out_file $ svg_file $ trace_file $ verbose $ domains)
+
+let () = exit (Cmd.eval cmd)

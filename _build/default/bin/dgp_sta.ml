@@ -1,0 +1,47 @@
+(* dgp_sta: exact static timing analysis of a design; prints the WNS/TNS
+   summary and the most critical endpoints. *)
+
+open Cmdliner
+
+let top =
+  let doc = "Number of critical endpoints to list." in
+  Arg.(value & opt int 10 & info [ "top"; "n" ] ~docv:"N" ~doc)
+
+let run lib_file design_file bench cells seed clock top =
+  let lib = Dgp_common.load_library lib_file in
+  let design, constraints =
+    Dgp_common.load_design lib ~design_file ~bench ~cells ~seed
+      ~clock_period:clock
+  in
+  let graph = Sta.Graph.build design lib constraints in
+  let timer = Sta.Timer.create graph in
+  let report = Sta.Timer.run timer in
+  Format.printf "%a@.@." Sta.Timer.pp_report report;
+  Printf.printf "%d most critical endpoints (setup):\n" top;
+  let table =
+    Report.Table.create [ "endpoint"; "setup slack"; "hold slack"; "AT(rise)"; "AT(fall)" ]
+  in
+  List.iteri
+    (fun i (ep : Sta.Timer.endpoint_slack) ->
+      if i < top then
+        Report.Table.add_row table
+          [ design.Netlist.pins.(ep.Sta.Timer.ep_pin).Netlist.pin_name;
+            Printf.sprintf "%.1f" ep.Sta.Timer.ep_setup_slack;
+            Printf.sprintf "%.1f" ep.Sta.Timer.ep_hold_slack;
+            Printf.sprintf "%.1f" (Sta.Timer.at_late timer ep.Sta.Timer.ep_pin Sta.Rise);
+            Printf.sprintf "%.1f" (Sta.Timer.at_late timer ep.Sta.Timer.ep_pin Sta.Fall) ])
+    report.Sta.Timer.endpoint_slacks;
+  print_string (Report.Table.render table);
+  Printf.printf "\nworst path:\n";
+  Format.printf "%a@." (Sta.Timer.pp_path graph) (Sta.Timer.critical_path timer)
+
+let cmd =
+  let doc = "exact static timing analysis" in
+  Cmd.v
+    (Cmd.info "dgp_sta" ~doc)
+    Term.(
+      const run $ Dgp_common.lib_file $ Dgp_common.design_file
+      $ Dgp_common.bench_name $ Dgp_common.cells $ Dgp_common.seed
+      $ Dgp_common.clock_period $ top)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/compare_placers.ml: Core Float Legalize Liberty Netweight Printf Report Sta Workload

@@ -1,0 +1,1 @@
+examples/gradient_check.ml: Array Difftimer Float Liberty Netlist Printf Rc Sta Steiner Workload

@@ -1,0 +1,1 @@
+examples/incremental_timing.ml: Array Core Geometry Legalize Liberty List Netlist Printf Sta Workload

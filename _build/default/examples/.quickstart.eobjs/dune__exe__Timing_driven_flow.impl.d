@@ -1,0 +1,1 @@
+examples/timing_driven_flow.ml: Array Bookshelf Core Detailed Filename Float Format Legalize Liberty List Netlist Printf Sta Sys Workload

@@ -1,0 +1,51 @@
+(* Run the three placers of the paper's Table 3 on one design and print a
+   side-by-side comparison.
+
+     dune exec examples/compare_placers.exe *)
+
+let () =
+  let lib = Liberty.Synthetic.default () in
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = 2000; sp_clock_period = 950.0 }
+  in
+  let table =
+    Report.Table.create
+      [ "Placer"; "WNS (ps)"; "TNS (ps)"; "HPWL (um)"; "Runtime (s)" ]
+  in
+  let evaluate name mode =
+    (* fresh design per run: each placer starts from the same netlist *)
+    let design, constraints = Workload.generate lib spec in
+    let graph = Sta.Graph.build design lib constraints in
+    let config = { Core.default_config with Core.mode } in
+    let result = Core.run config graph in
+    ignore (Legalize.legalize design);
+    let report, hpwl = Core.score graph in
+    Report.Table.add_row table
+      [ name;
+        Printf.sprintf "%.1f" report.Sta.Timer.setup_wns;
+        Printf.sprintf "%.1f" report.Sta.Timer.setup_tns;
+        Printf.sprintf "%.3e" hpwl;
+        Printf.sprintf "%.2f" result.Core.res_runtime ];
+    (report.Sta.Timer.setup_wns, report.Sta.Timer.setup_tns)
+  in
+  Printf.printf "placing %d cells three ways...\n%!" spec.Workload.sp_cells;
+  let dp = evaluate "DREAMPlace [16]" Core.Wirelength_only in
+  let nw =
+    evaluate "Net weighting [24]"
+      (Core.Net_weighting Netweight.default_config)
+  in
+  let ours =
+    evaluate "Ours (differentiable)"
+      (Core.Differentiable_timing Core.default_timing)
+  in
+  print_newline ();
+  print_string (Report.Table.render table);
+  let improvement (w_ref, t_ref) (w, t) =
+    (100.0 *. (w -. w_ref) /. Float.abs w_ref,
+     100.0 *. (t -. t_ref) /. Float.abs t_ref)
+  in
+  let wi, ti = improvement dp ours in
+  Printf.printf "\nours vs wirelength-only: WNS %+.1f%%, TNS %+.1f%%\n" wi ti;
+  let wi, ti = improvement nw ours in
+  Printf.printf "ours vs net weighting:   WNS %+.1f%%, TNS %+.1f%%\n" wi ti

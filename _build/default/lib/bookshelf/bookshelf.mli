@@ -1,0 +1,18 @@
+(** Bookshelf-lite: a self-contained text format for designs.
+
+    The ICCAD 2015 contest distributes designs as Bookshelf file bundles
+    (.nodes/.nets/.pl) plus Liberty and SDC; this single-file equivalent
+    carries the same information — cells with library bindings and
+    placement, pins with offsets, nets, the placement region and the
+    timing constraints — so benchmarks can be saved to disk, exchanged
+    and reloaded.  Library cells are referenced by name and resolved
+    against a [Liberty.t] at load time. *)
+
+val to_string : Netlist.t -> Sta.Constraints.t -> string
+
+val of_string : Liberty.t -> string -> Netlist.t * Sta.Constraints.t
+(** @raise Failure with a positioned message on parse errors or when a
+    referenced library cell does not exist. *)
+
+val save : string -> Netlist.t -> Sta.Constraints.t -> unit
+val load : Liberty.t -> string -> Netlist.t * Sta.Constraints.t

@@ -1,0 +1,324 @@
+type growth_policy = [ `Fixed | `Adaptive ]
+
+type timing_config = {
+  t1 : float;
+  t2 : float;
+  growth : float;
+  growth_policy : growth_policy;
+  gamma : float;
+  activation_overflow : float;
+  steiner_period : int;
+  grad_clip : float option;
+}
+
+(* The paper sets t1 ~ 1e-2, t2 ~ 1e-4 and gamma ~ 100 ps for ~10 ns-scale
+   industrial designs.  Our synthetic designs run at ~1 ns clocks with a
+   smaller wirelength term, so the equivalents rescale: gamma is ~2% of
+   the clock period and t1/t2 are calibrated so the timing gradient is a
+   comparable fraction of the wirelength gradient (see EXPERIMENTS.md). *)
+let default_timing =
+  { t1 = 0.10; t2 = 0.10; growth = 1.01; growth_policy = `Fixed;
+    gamma = 20.0; activation_overflow = 0.45; steiner_period = 10;
+    grad_clip = None }
+
+type mode =
+  | Wirelength_only
+  | Net_weighting of Netweight.config
+  | Differentiable_timing of timing_config
+
+type config = {
+  mode : mode;
+  max_iterations : int;
+  min_iterations : int;
+  stop_overflow : float;
+  learning_rate : float option;
+  lr_decay : float;
+  optimizer : Optim.algorithm;
+  wirelength_gamma : float option;
+  density_bins : int option;
+  target_density : float;
+  lambda_relative : float;
+  lambda_growth : float;
+  init : [ `Center | `Keep ];
+  trace_timing_period : int;
+  verbose : bool;
+}
+
+let default_config =
+  { mode = Wirelength_only;
+    max_iterations = 600;
+    min_iterations = 80;
+    stop_overflow = 0.08;
+    learning_rate = None;
+    lr_decay = 0.999;
+    optimizer = Optim.adam;
+    wirelength_gamma = None;
+    density_bins = None;
+    target_density = 1.0;
+    lambda_relative = 0.05;
+    lambda_growth = 1.035;
+    init = `Center;
+    trace_timing_period = 0;
+    verbose = false }
+
+type trace_point = {
+  tp_iteration : int;
+  tp_hpwl : float;
+  tp_overflow : float;
+  tp_wns : float;
+  tp_tns : float;
+  tp_lambda : float;
+}
+
+type result = {
+  res_hpwl : float;
+  res_overflow : float;
+  res_iterations : int;
+  res_runtime : float;
+  res_timing_active_at : int option;
+  res_trace : trace_point list;
+}
+
+let l1_norm mask g =
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> if mask.(i) then acc := !acc +. Float.abs v) g;
+  !acc
+
+(* Timing-gradient preconditioning: cap each cell's gradient vector at
+   [k] times the mean nonzero magnitude. *)
+let clip_gradients mask gx gy k =
+  let n = Array.length gx in
+  let total = ref 0.0 and count = ref 0 in
+  for i = 0 to n - 1 do
+    if mask.(i) then begin
+      let m = Float.hypot gx.(i) gy.(i) in
+      if m > 0.0 then begin
+        total := !total +. m;
+        incr count
+      end
+    end
+  done;
+  if !count > 0 then begin
+    let cap = k *. !total /. float_of_int !count in
+    for i = 0 to n - 1 do
+      if mask.(i) then begin
+        let m = Float.hypot gx.(i) gy.(i) in
+        if m > cap then begin
+          let s = cap /. m in
+          gx.(i) <- gx.(i) *. s;
+          gy.(i) <- gy.(i) *. s
+        end
+      end
+    done
+  end
+
+(* A deterministic tiny jitter so coincident cells separate. *)
+let hash_float i salt =
+  let h = ref (i * 2654435761 + salt) in
+  h := !h lxor (!h lsr 13);
+  h := !h * 1274126177;
+  h := !h lxor (!h lsr 16);
+  float_of_int (!h land 0xFFFF) /. 65536.0
+
+let init_positions design =
+  let region = design.Netlist.region in
+  let c = Geometry.Rect.center region in
+  let w = Geometry.Rect.width region and h = Geometry.Rect.height region in
+  Array.iter
+    (fun (cell : Netlist.cell) ->
+      if not cell.Netlist.fixed then begin
+        cell.Netlist.x <-
+          c.Geometry.Point.x
+          +. (0.12 *. w *. (hash_float cell.Netlist.cell_id 17 -. 0.5));
+        cell.Netlist.y <-
+          c.Geometry.Point.y
+          +. (0.12 *. h *. (hash_float cell.Netlist.cell_id 43 -. 0.5))
+      end)
+    design.Netlist.cells
+
+let score graph =
+  let timer = Sta.Timer.create graph in
+  let report = Sta.Timer.run timer in
+  (report, Netlist.total_hpwl graph.Sta.Graph.design)
+
+let run ?pool config graph =
+  let design = graph.Sta.Graph.design in
+  let region = design.Netlist.region in
+  let side = Float.max (Geometry.Rect.width region) (Geometry.Rect.height region) in
+  let start_time = Unix.gettimeofday () in
+  (match config.init with
+   | `Center -> init_positions design
+   | `Keep -> ());
+  Netlist.reset_weights design;
+  let ncells = Netlist.num_cells design in
+  let mask =
+    Array.map (fun (c : Netlist.cell) -> not c.Netlist.fixed) design.Netlist.cells
+  in
+  let wl_gamma =
+    match config.wirelength_gamma with Some g -> g | None -> 0.01 *. side
+  in
+  let wl = Wirelength.create ~gamma:wl_gamma design in
+  let dens =
+    Density.create ?bins:config.density_bins
+      ~target_density:config.target_density design
+  in
+  let opt_x = Optim.create config.optimizer ~n:ncells in
+  let opt_y = Optim.create config.optimizer ~n:ncells in
+  let xs = Array.map (fun (c : Netlist.cell) -> c.Netlist.x) design.Netlist.cells in
+  let ys = Array.map (fun (c : Netlist.cell) -> c.Netlist.y) design.Netlist.cells in
+  let gx = Array.make ncells 0.0 and gy = Array.make ncells 0.0 in
+  let dgx = Array.make ncells 0.0 and dgy = Array.make ncells 0.0 in
+  let sync_to_design () =
+    Array.iteri
+      (fun i (c : Netlist.cell) ->
+        if mask.(i) then begin
+          let hw = c.Netlist.width /. 2.0 and hh = c.Netlist.height /. 2.0 in
+          xs.(i) <-
+            Geometry.clamp ~lo:(region.Geometry.Rect.lx +. hw)
+              ~hi:(region.Geometry.Rect.hx -. hw) xs.(i);
+          ys.(i) <-
+            Geometry.clamp ~lo:(region.Geometry.Rect.ly +. hh)
+              ~hi:(region.Geometry.Rect.hy -. hh) ys.(i);
+          c.Netlist.x <- xs.(i);
+          c.Netlist.y <- ys.(i)
+        end)
+      design.Netlist.cells
+  in
+  sync_to_design ();
+  (* mode-specific engines, created lazily so unused modes cost nothing *)
+  let netweight =
+    match config.mode with
+    | Net_weighting cfg -> Some (Netweight.create ~config:cfg graph)
+    | Wirelength_only | Differentiable_timing _ -> None
+  in
+  let difftimer, timing_cfg =
+    match config.mode with
+    | Differentiable_timing cfg ->
+      (Some (Difftimer.create ~gamma:cfg.gamma graph), cfg)
+    | Wirelength_only | Net_weighting _ -> (None, default_timing)
+  in
+  let trace_timer =
+    if config.trace_timing_period > 0
+       && (match config.mode with
+           | Differentiable_timing _ -> false
+           | Wirelength_only | Net_weighting _ -> netweight = None)
+    then Some (Sta.Timer.create graph)
+    else None
+  in
+  let lambda = ref 0.0 in
+  let lr0 = match config.learning_rate with Some l -> l | None -> side /. 350.0 in
+  let lr = ref lr0 in
+  let timing_active_at = ref None in
+  let w_tns = ref timing_cfg.t1 and w_wns = ref timing_cfg.t2 in
+  let prev_tns_smooth = ref neg_infinity in
+  let tgx = Array.make ncells 0.0 and tgy = Array.make ncells 0.0 in
+  let trace = ref [] in
+  let final_iter = ref 0 in
+  let stop = ref false in
+  let iter = ref 0 in
+  while (not !stop) && !iter < config.max_iterations do
+    let i = !iter in
+    Array.fill gx 0 ncells 0.0;
+    Array.fill gy 0 ncells 0.0;
+    (* wirelength term (weighted when net weighting is active) *)
+    ignore (Wirelength.evaluate wl ~weighted:true ~grad_x:gx ~grad_y:gy ());
+    (* density term: compute separately to calibrate lambda *)
+    Density.update dens;
+    let overflow = Density.overflow dens in
+    Array.fill dgx 0 ncells 0.0;
+    Array.fill dgy 0 ncells 0.0;
+    Density.gradient dens ~scale:1.0 ~grad_x:dgx ~grad_y:dgy;
+    if i = 0 then begin
+      let wl_norm = l1_norm mask gx +. l1_norm mask gy in
+      let d_norm = Float.max 1e-12 (l1_norm mask dgx +. l1_norm mask dgy) in
+      lambda := config.lambda_relative *. wl_norm /. d_norm
+    end;
+    for k = 0 to ncells - 1 do
+      gx.(k) <- gx.(k) +. (!lambda *. dgx.(k));
+      gy.(k) <- gy.(k) +. (!lambda *. dgy.(k))
+    done;
+    (* timing terms *)
+    let wns = ref Float.nan and tns = ref Float.nan in
+    (match netweight with
+     | Some nw ->
+       if Netweight.should_update nw i then begin
+         let report = Netweight.update nw in
+         wns := report.Sta.Timer.setup_wns;
+         tns := report.Sta.Timer.setup_tns
+       end
+     | None -> ());
+    (match difftimer with
+     | Some dt ->
+       if !timing_active_at = None && overflow < timing_cfg.activation_overflow
+       then begin
+         timing_active_at := Some i;
+         if config.verbose then
+           Format.eprintf "[core] timing objective active at iteration %d@." i
+       end;
+       (match !timing_active_at with
+        | Some t0 ->
+          let nets = Difftimer.nets dt in
+          if (i - t0) mod max 1 timing_cfg.steiner_period = 0 then
+            Sta.Nets.rebuild nets
+          else Sta.Nets.refresh nets;
+          let m = Difftimer.forward ?pool dt in
+          Array.fill tgx 0 ncells 0.0;
+          Array.fill tgy 0 ncells 0.0;
+          Difftimer.backward dt ~w_tns:!w_tns ~w_wns:!w_wns ~grad_x:tgx
+            ~grad_y:tgy;
+          (match timing_cfg.grad_clip with
+           | Some k -> clip_gradients mask tgx tgy k
+           | None -> ());
+          for c = 0 to ncells - 1 do
+            gx.(c) <- gx.(c) +. tgx.(c);
+            gy.(c) <- gy.(c) +. tgy.(c)
+          done;
+          let grow =
+            match timing_cfg.growth_policy with
+            | `Fixed -> true
+            | `Adaptive ->
+              (* add pressure only while timing is not improving *)
+              m.Difftimer.tns_smooth <= !prev_tns_smooth
+          in
+          if grow then begin
+            w_tns := !w_tns *. timing_cfg.growth;
+            w_wns := !w_wns *. timing_cfg.growth
+          end;
+          prev_tns_smooth := m.Difftimer.tns_smooth;
+          wns := m.Difftimer.wns;
+          tns := m.Difftimer.tns
+        | None -> ())
+     | None -> ());
+    (match trace_timer with
+     | Some timer when config.trace_timing_period > 0
+                       && i mod config.trace_timing_period = 0 ->
+       let report = Sta.Timer.run timer in
+       wns := report.Sta.Timer.setup_wns;
+       tns := report.Sta.Timer.setup_tns
+     | Some _ | None -> ());
+    (* update *)
+    Optim.step opt_x ~lr:!lr ~params:xs ~grads:gx ~mask ();
+    Optim.step opt_y ~lr:!lr ~params:ys ~grads:gy ~mask ();
+    sync_to_design ();
+    lambda := !lambda *. config.lambda_growth;
+    lr := !lr *. config.lr_decay;
+    let hpwl = Netlist.total_hpwl design in
+    trace :=
+      { tp_iteration = i; tp_hpwl = hpwl; tp_overflow = overflow;
+        tp_wns = !wns; tp_tns = !tns; tp_lambda = !lambda }
+      :: !trace;
+    if config.verbose && i mod 50 = 0 then
+      Format.eprintf "[core] it %4d  hpwl %.3e  ovf %.3f  wns %.1f  tns %.1f@."
+        i hpwl overflow !wns !tns;
+    final_iter := i + 1;
+    if overflow <= config.stop_overflow && i >= config.min_iterations then
+      stop := true;
+    incr iter
+  done;
+  Density.update dens;
+  { res_hpwl = Netlist.total_hpwl design;
+    res_overflow = Density.overflow dens;
+    res_iterations = !final_iter;
+    res_runtime = Unix.gettimeofday () -. start_time;
+    res_timing_active_at = !timing_active_at;
+    res_trace = List.rev !trace }

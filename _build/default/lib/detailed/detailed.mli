@@ -1,0 +1,32 @@
+(** Detailed placement: legality-preserving local refinement.
+
+    The paper's pipeline is GP -> LG -> DP (§1); its contribution is in
+    GP, but a complete flow needs the refinement step, so this module
+    implements the two classic wirelength-driven local moves on a
+    legalised placement:
+
+    - {b window reordering}: permute up to [window] consecutive cells of
+      a row inside their combined span (widths are preserved, so any
+      permutation re-packs without overlap), keeping the best HPWL;
+    - {b global swap}: exchange two equal-width cells from different
+      locations when that shortens the nets incident to either.
+
+    Both moves are greedy and deterministic; passes repeat until no move
+    improves or [passes] is exhausted.  Legality (no overlaps, cells on
+    rows) is preserved exactly. *)
+
+type stats = {
+  passes_run : int;
+  reorder_moves : int;
+  swap_moves : int;
+  hpwl_before : float;
+  hpwl_after : float;
+}
+
+val refine : ?passes:int -> ?window:int -> Netlist.t -> stats
+(** [refine design] improves a {e legalised} placement in place.
+    [passes] defaults to 3, [window] to 3 (window sizes above 4 get
+    expensive: all permutations are tried).
+    @raise Invalid_argument if [window < 2]. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,487 @@
+type metrics = {
+  wns : float;
+  tns : float;
+  wns_smooth : float;
+  tns_smooth : float;
+  endpoint_count : int;
+}
+
+type t = {
+  graph : Sta.Graph.t;
+  nets : Sta.Nets.t;
+  mutable gamma_ : float;
+  at_ : float array;   (* 2 * pin + transition, late/setup *)
+  slew_ : float array;
+  g_at : float array;
+  g_slew : float array;
+  ep_slack_tr : float array;  (* per transition endpoint slack *)
+  ep_dsetup : float array;    (* d setup / d data slew at endpoints *)
+  ep_slack : float array;     (* per pin smoothed endpoint slack *)
+  g_net_delay : float array;  (* per sink pin *)
+  g_i2 : float array;
+  g_root_load : float array;  (* per net *)
+  mutable wns_smooth_ : float;
+  (* per-net scratch, grown on demand (rebuilt trees may gain nodes) *)
+  mutable node_gd : float array;
+  mutable node_gi2 : float array;
+  mutable node_gx : float array;
+  mutable node_gy : float array;
+  mutable pin_gx : float array;
+  mutable pin_gy : float array;
+}
+
+let ensure_scratch t nnodes npins_net =
+  if Array.length t.node_gd < nnodes then begin
+    let n = max nnodes (2 * Array.length t.node_gd) in
+    t.node_gd <- Array.make n 0.0;
+    t.node_gi2 <- Array.make n 0.0;
+    t.node_gx <- Array.make n 0.0;
+    t.node_gy <- Array.make n 0.0
+  end;
+  if Array.length t.pin_gx < npins_net then begin
+    let n = max npins_net (2 * Array.length t.pin_gx) in
+    t.pin_gx <- Array.make n 0.0;
+    t.pin_gy <- Array.make n 0.0
+  end
+
+let lse ~gamma xs =
+  let m = Array.fold_left Float.max neg_infinity xs in
+  if m = neg_infinity then neg_infinity
+  else begin
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. exp ((x -. m) /. gamma)) xs;
+    m +. (gamma *. log !acc)
+  end
+
+let softmin0 ~gamma s =
+  let r = -.s /. gamma in
+  if r > 40.0 then s
+  else if r < -40.0 then -.gamma *. exp r
+  else -.gamma *. Float.log1p (exp r)
+
+(* d softmin0 / d s = sigmoid (-s / gamma) *)
+let softmin0_grad ~gamma s =
+  let r = s /. gamma in
+  if r > 40.0 then 0.0
+  else if r < -40.0 then 1.0
+  else 1.0 /. (1.0 +. exp r)
+
+let create ?(gamma = 100.0) graph =
+  let design = graph.Sta.Graph.design in
+  let npins = Netlist.num_pins design in
+  let nnets = Netlist.num_nets design in
+  let nets = Sta.Nets.create graph in
+  let max_nodes = ref 1 and max_pins = ref 1 in
+  Array.iter
+    (fun entry ->
+      match entry with
+      | None -> ()
+      | Some (tree, _) ->
+        max_nodes := max !max_nodes (Steiner.node_count tree);
+        max_pins := max !max_pins tree.Steiner.pin_count)
+    nets.Sta.Nets.trees;
+  { graph; nets; gamma_ = gamma;
+    at_ = Array.make (2 * npins) neg_infinity;
+    slew_ = Array.make (2 * npins) 0.0;
+    g_at = Array.make (2 * npins) 0.0;
+    g_slew = Array.make (2 * npins) 0.0;
+    ep_slack_tr = Array.make (2 * npins) infinity;
+    ep_dsetup = Array.make (2 * npins) 0.0;
+    ep_slack = Array.make npins infinity;
+    g_net_delay = Array.make npins 0.0;
+    g_i2 = Array.make npins 0.0;
+    g_root_load = Array.make nnets 0.0;
+    wns_smooth_ = 0.0;
+    node_gd = Array.make !max_nodes 0.0;
+    node_gi2 = Array.make !max_nodes 0.0;
+    node_gx = Array.make !max_nodes 0.0;
+    node_gy = Array.make !max_nodes 0.0;
+    pin_gx = Array.make !max_pins 0.0;
+    pin_gy = Array.make !max_pins 0.0 }
+
+let nets t = t.nets
+let gamma t = t.gamma_
+let set_gamma t g = t.gamma_ <- g
+
+let idx p tr = (2 * p) + Sta.transition_index tr
+let at t p tr = t.at_.(idx p tr)
+let slew t p tr = t.slew_.(idx p tr)
+let endpoint_slack t p = t.ep_slack.(p)
+
+let both = [ Sta.Rise; Sta.Fall ]
+
+let delay_lut (arc : Liberty.timing_arc) = function
+  | Sta.Rise -> arc.Liberty.cell_rise
+  | Sta.Fall -> arc.Liberty.cell_fall
+
+let slew_lut (arc : Liberty.timing_arc) = function
+  | Sta.Rise -> arc.Liberty.rise_transition
+  | Sta.Fall -> arc.Liberty.fall_transition
+
+let compatible sense tr_out =
+  match sense with
+  | Liberty.Positive_unate -> [ tr_out ]
+  | Liberty.Negative_unate ->
+    [ (match tr_out with Sta.Rise -> Sta.Fall | Sta.Fall -> Sta.Rise) ]
+  | Liberty.Non_unate -> both
+
+let tree_of t pin =
+  let net = t.graph.Sta.Graph.design.Netlist.pins.(pin).Netlist.net in
+  if net < 0 then None else t.nets.Sta.Nets.trees.(net)
+
+let root_load_of t pin =
+  match tree_of t pin with None -> 0.0 | Some (_, rc) -> Rc.root_load rc
+
+(* forward kernel for one pin: reads strictly lower levels only. *)
+let forward_pin t v =
+  let design = t.graph.Sta.Graph.design in
+  let gamma = t.gamma_ in
+  let pin = design.Netlist.pins.(v) in
+  (* net arc: at most one fan-in, no smoothing needed (Eq. 9) *)
+  (if pin.Netlist.direction = Netlist.Input && pin.Netlist.net >= 0 then
+     match
+       (t.nets.Sta.Nets.trees.(pin.Netlist.net),
+        Netlist.net_driver design pin.Netlist.net)
+     with
+     | Some (_, rc), Some u when u <> v ->
+       let node = t.nets.Sta.Nets.tree_index.(v) in
+       let d = Rc.sink_delay rc node in
+       let i2 = Rc.sink_impulse2 rc node in
+       List.iter
+         (fun tr ->
+           let iu = idx u tr and iv = idx v tr in
+           if t.at_.(iu) > neg_infinity then begin
+             t.at_.(iv) <- t.at_.(iu) +. d;
+             t.slew_.(iv) <- sqrt ((t.slew_.(iu) *. t.slew_.(iu)) +. i2)
+           end)
+         both
+     | (None | Some _), (None | Some _) -> ());
+  (* cell arcs: LSE aggregation over fan-in contributions (Eq. 11) *)
+  let fanin = t.graph.Sta.Graph.fanin_arcs.(v) in
+  if fanin <> [] then begin
+    let load = root_load_of t v in
+    List.iter
+      (fun tr_out ->
+        let iv = idx v tr_out in
+        (* pass 1: maxima for the shifted LSE *)
+        let max_a = ref neg_infinity and max_s = ref neg_infinity in
+        List.iter
+          (fun (ca : Sta.Graph.cell_arc) ->
+            List.iter
+              (fun tr_in ->
+                let iu = idx ca.Sta.Graph.ca_from tr_in in
+                if t.at_.(iu) > neg_infinity then begin
+                  let d =
+                    Liberty.Lut.lookup
+                      (delay_lut ca.Sta.Graph.ca_arc tr_out)
+                      t.slew_.(iu) load
+                  in
+                  let s =
+                    Liberty.Lut.lookup
+                      (slew_lut ca.Sta.Graph.ca_arc tr_out)
+                      t.slew_.(iu) load
+                  in
+                  if t.at_.(iu) +. d > !max_a then max_a := t.at_.(iu) +. d;
+                  if s > !max_s then max_s := s
+                end)
+              (compatible ca.Sta.Graph.ca_arc.Liberty.sense tr_out))
+          fanin;
+        if !max_a > neg_infinity then begin
+          let sum_a = ref 0.0 and sum_s = ref 0.0 in
+          List.iter
+            (fun (ca : Sta.Graph.cell_arc) ->
+              List.iter
+                (fun tr_in ->
+                  let iu = idx ca.Sta.Graph.ca_from tr_in in
+                  if t.at_.(iu) > neg_infinity then begin
+                    let d =
+                      Liberty.Lut.lookup
+                        (delay_lut ca.Sta.Graph.ca_arc tr_out)
+                        t.slew_.(iu) load
+                    in
+                    let s =
+                      Liberty.Lut.lookup
+                        (slew_lut ca.Sta.Graph.ca_arc tr_out)
+                        t.slew_.(iu) load
+                    in
+                    sum_a := !sum_a +. exp ((t.at_.(iu) +. d -. !max_a) /. gamma);
+                    sum_s := !sum_s +. exp ((s -. !max_s) /. gamma)
+                  end)
+                (compatible ca.Sta.Graph.ca_arc.Liberty.sense tr_out))
+            fanin;
+          t.at_.(iv) <- !max_a +. (gamma *. log !sum_a);
+          t.slew_.(iv) <- !max_s +. (gamma *. log !sum_s)
+        end)
+      both
+  end
+
+let check_setup_lut (ck : Liberty.check_arc) = function
+  | Sta.Rise -> ck.Liberty.setup_rise
+  | Sta.Fall -> ck.Liberty.setup_fall
+
+let forward ?pool t =
+  let g = t.graph in
+  let design = g.Sta.Graph.design in
+  let cs = g.Sta.Graph.constraints in
+  let gamma = t.gamma_ in
+  let npins = Netlist.num_pins design in
+  Array.fill t.at_ 0 (2 * npins) neg_infinity;
+  Array.fill t.slew_ 0 (2 * npins) 0.0;
+  List.iter
+    (fun p ->
+      List.iter
+        (fun tr ->
+          let i = idx p tr in
+          t.at_.(i) <- cs.Sta.Constraints.input_delay;
+          t.slew_.(i) <- cs.Sta.Constraints.input_slew)
+        both)
+    g.Sta.Graph.primary_inputs;
+  Array.iteri
+    (fun p clock ->
+      if clock then
+        List.iter
+          (fun tr ->
+            let i = idx p tr in
+            t.at_.(i) <- 0.0;
+            t.slew_.(i) <- cs.Sta.Constraints.clock_slew)
+          both)
+    g.Sta.Graph.is_clock_pin;
+  Array.iter
+    (fun level_pins ->
+      let n = Array.length level_pins in
+      match pool with
+      | Some pool ->
+        Parallel.parallel_for pool ~grain:256 n (fun k ->
+          forward_pin t level_pins.(k))
+      | None ->
+        for k = 0 to n - 1 do
+          forward_pin t level_pins.(k)
+        done)
+    g.Sta.Graph.levels;
+  (* endpoint slacks (setup/late), smoothed across transitions *)
+  let period = cs.Sta.Constraints.clock_period in
+  let hard_wns = ref infinity and hard_tns = ref 0.0 in
+  let smooth_tns = ref 0.0 in
+  let neg_slacks = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (fun p ->
+      let sum_exp = ref 0.0 and max_neg = ref neg_infinity in
+      let hard = ref infinity in
+      List.iter
+        (fun tr ->
+          let i = idx p tr in
+          t.ep_slack_tr.(i) <- infinity;
+          t.ep_dsetup.(i) <- 0.0;
+          if t.at_.(i) > neg_infinity then begin
+            let slack =
+              match g.Sta.Graph.check_of_pin.(p) with
+              | Some ck ->
+                let setup, dsu, _ =
+                  Liberty.Lut.lookup_with_gradient
+                    (check_setup_lut ck.Sta.Graph.ck_arc tr)
+                    t.slew_.(i) cs.Sta.Constraints.clock_slew
+                in
+                t.ep_dsetup.(i) <- dsu;
+                period -. setup -. t.at_.(i)
+              | None -> period -. cs.Sta.Constraints.output_delay -. t.at_.(i)
+            in
+            t.ep_slack_tr.(i) <- slack;
+            if slack < !hard then hard := slack;
+            if -.slack > !max_neg then max_neg := -.slack
+          end)
+        both;
+      if !hard < infinity then begin
+        (* smoothed min over transitions: -LSE(-slacks) *)
+        List.iter
+          (fun tr ->
+            let i = idx p tr in
+            if t.ep_slack_tr.(i) < infinity then
+              sum_exp := !sum_exp
+                         +. exp ((-.t.ep_slack_tr.(i) -. !max_neg) /. gamma))
+          both;
+        let s = -.(!max_neg +. (gamma *. log !sum_exp)) in
+        t.ep_slack.(p) <- s;
+        incr count;
+        smooth_tns := !smooth_tns +. softmin0 ~gamma s;
+        neg_slacks := -.s :: !neg_slacks;
+        if !hard < !hard_wns then hard_wns := !hard;
+        if !hard < 0.0 then hard_tns := !hard_tns +. !hard
+      end
+      else t.ep_slack.(p) <- infinity)
+    g.Sta.Graph.endpoints;
+  let wns_smooth =
+    if !count = 0 then 0.0
+    else -.lse ~gamma (Array.of_list !neg_slacks)
+  in
+  t.wns_smooth_ <- wns_smooth;
+  { wns = (if !count = 0 then 0.0 else !hard_wns);
+    tns = !hard_tns;
+    wns_smooth;
+    tns_smooth = !smooth_tns;
+    endpoint_count = !count }
+
+(* backward kernel for one pin: scatters into fan-in state. *)
+let backward_pin t v =
+  let design = t.graph.Sta.Graph.design in
+  let gamma = t.gamma_ in
+  let pin = design.Netlist.pins.(v) in
+  (* cell arcs *)
+  let fanin = t.graph.Sta.Graph.fanin_arcs.(v) in
+  (if fanin <> [] then begin
+     let net = pin.Netlist.net in
+     let load = root_load_of t v in
+     List.iter
+       (fun tr_out ->
+         let iv = idx v tr_out in
+         if t.at_.(iv) > neg_infinity
+            && (t.g_at.(iv) <> 0.0 || t.g_slew.(iv) <> 0.0)
+         then begin
+           let at_v = t.at_.(iv) and slew_v = t.slew_.(iv) in
+           List.iter
+             (fun (ca : Sta.Graph.cell_arc) ->
+               List.iter
+                 (fun tr_in ->
+                   let iu = idx ca.Sta.Graph.ca_from tr_in in
+                   if t.at_.(iu) > neg_infinity then begin
+                     let d, dd_dslew, dd_dload =
+                       Liberty.Lut.lookup_with_gradient
+                         (delay_lut ca.Sta.Graph.ca_arc tr_out)
+                         t.slew_.(iu) load
+                     in
+                     let s, ds_dslew, ds_dload =
+                       Liberty.Lut.lookup_with_gradient
+                         (slew_lut ca.Sta.Graph.ca_arc tr_out)
+                         t.slew_.(iu) load
+                     in
+                     let wa = exp ((t.at_.(iu) +. d -. at_v) /. gamma) in
+                     let ws = exp ((s -. slew_v) /. gamma) in
+                     let g_contrib_at = wa *. t.g_at.(iv) in
+                     let g_contrib_slew = ws *. t.g_slew.(iv) in
+                     t.g_at.(iu) <- t.g_at.(iu) +. g_contrib_at;
+                     t.g_slew.(iu) <-
+                       t.g_slew.(iu)
+                       +. (dd_dslew *. g_contrib_at)
+                       +. (ds_dslew *. g_contrib_slew);
+                     if net >= 0 then
+                       t.g_root_load.(net) <-
+                         t.g_root_load.(net)
+                         +. (dd_dload *. g_contrib_at)
+                         +. (ds_dload *. g_contrib_slew)
+                   end)
+                 (compatible ca.Sta.Graph.ca_arc.Liberty.sense tr_out))
+             fanin
+         end)
+       both
+   end);
+  (* net arc *)
+  if pin.Netlist.direction = Netlist.Input && pin.Netlist.net >= 0 then
+    match
+      (t.nets.Sta.Nets.trees.(pin.Netlist.net),
+       Netlist.net_driver design pin.Netlist.net)
+    with
+    | Some _, Some u when u <> v ->
+      List.iter
+        (fun tr ->
+          let iv = idx v tr and iu = idx u tr in
+          if t.at_.(iv) > neg_infinity then begin
+            t.g_at.(iu) <- t.g_at.(iu) +. t.g_at.(iv);
+            t.g_net_delay.(v) <- t.g_net_delay.(v) +. t.g_at.(iv);
+            let slew_v = Float.max 1e-9 t.slew_.(iv) in
+            t.g_slew.(iu) <-
+              t.g_slew.(iu) +. (t.slew_.(iu) /. slew_v *. t.g_slew.(iv));
+            t.g_i2.(v) <- t.g_i2.(v) +. (t.g_slew.(iv) /. (2.0 *. slew_v))
+          end)
+        both
+    | (None | Some _), (None | Some _) -> ()
+
+let backward t ~w_tns ~w_wns ~grad_x ~grad_y =
+  let g = t.graph in
+  let design = g.Sta.Graph.design in
+  let gamma = t.gamma_ in
+  let npins = Netlist.num_pins design in
+  let nnets = Netlist.num_nets design in
+  let ncells = Netlist.num_cells design in
+  if Array.length grad_x <> ncells || Array.length grad_y <> ncells then
+    invalid_arg "Difftimer.backward: gradient size mismatch";
+  Array.fill t.g_at 0 (2 * npins) 0.0;
+  Array.fill t.g_slew 0 (2 * npins) 0.0;
+  Array.fill t.g_net_delay 0 npins 0.0;
+  Array.fill t.g_i2 0 npins 0.0;
+  Array.fill t.g_root_load 0 nnets 0.0;
+  (* seeds: d(objective)/d(endpoint slack), then through the
+     per-transition smoothed min *)
+  Array.iter
+    (fun p ->
+      let s = t.ep_slack.(p) in
+      if s < infinity then begin
+        let g_s =
+          (w_tns *. -.softmin0_grad ~gamma s)
+          +. (w_wns *. -.exp ((t.wns_smooth_ -. s) /. gamma))
+        in
+        List.iter
+          (fun tr ->
+            let i = idx p tr in
+            if t.ep_slack_tr.(i) < infinity then begin
+              let w_tr = exp ((s -. t.ep_slack_tr.(i)) /. gamma) in
+              let g_tr = w_tr *. g_s in
+              (* slack = period - setup(slew) - at *)
+              t.g_at.(i) <- t.g_at.(i) -. g_tr;
+              t.g_slew.(i) <- t.g_slew.(i) -. (t.ep_dsetup.(i) *. g_tr)
+            end)
+          both
+      end)
+    g.Sta.Graph.endpoints;
+  (* reverse level sweep *)
+  let levels = g.Sta.Graph.levels in
+  for l = Array.length levels - 1 downto 0 do
+    Array.iter (fun v -> backward_pin t v) levels.(l)
+  done;
+  (* per-net: Elmore adjoint, Steiner provenance, cell gradients *)
+  Array.iteri
+    (fun net entry ->
+      match entry with
+      | None -> ()
+      | Some (tree, rc) ->
+        let pins = design.Netlist.nets.(net).Netlist.net_pins in
+        let nnodes = Steiner.node_count tree in
+        let npins_net = tree.Steiner.pin_count in
+        ensure_scratch t nnodes npins_net;
+        let any = ref (t.g_root_load.(net) <> 0.0) in
+        for k = 0 to nnodes - 1 do
+          t.node_gd.(k) <- 0.0;
+          t.node_gi2.(k) <- 0.0;
+          t.node_gx.(k) <- 0.0;
+          t.node_gy.(k) <- 0.0
+        done;
+        Array.iter
+          (fun p ->
+            let node = t.nets.Sta.Nets.tree_index.(p) in
+            if t.g_net_delay.(p) <> 0.0 || t.g_i2.(p) <> 0.0 then begin
+              t.node_gd.(node) <- t.g_net_delay.(p);
+              t.node_gi2.(node) <- t.g_i2.(p);
+              any := true
+            end)
+          pins;
+        if !any then begin
+          let sub n = Array.sub n 0 nnodes in
+          let node_gd = sub t.node_gd and node_gi2 = sub t.node_gi2 in
+          let node_gx = sub t.node_gx and node_gy = sub t.node_gy in
+          Rc.backward rc ~g_delay:node_gd ~g_impulse2:node_gi2
+            ~g_root_load:t.g_root_load.(net) ~node_gx ~node_gy;
+          for k = 0 to npins_net - 1 do
+            t.pin_gx.(k) <- 0.0;
+            t.pin_gy.(k) <- 0.0
+          done;
+          let pin_gx = Array.sub t.pin_gx 0 npins_net in
+          let pin_gy = Array.sub t.pin_gy 0 npins_net in
+          Steiner.accumulate_pin_gradient tree ~node_gx ~node_gy ~pin_gx
+            ~pin_gy;
+          Array.iteri
+            (fun k p ->
+              let cell = design.Netlist.pins.(p).Netlist.cell in
+              grad_x.(cell) <- grad_x.(cell) +. pin_gx.(k);
+              grad_y.(cell) <- grad_y.(cell) +. pin_gy.(k))
+            pins
+        end)
+    t.nets.Sta.Nets.trees

@@ -1,0 +1,74 @@
+(** The differentiable STA engine (paper §3).
+
+    Forward: arrival times and slews propagate level by level exactly as
+    in exact STA, except that every [max]/[min] aggregation is replaced
+    by Log-Sum-Exp smoothing with width [gamma] (Eq. 5, 11), making
+    [TNS_gamma(x, y)] and [WNS_gamma(x, y)] differentiable in every cell
+    coordinate.
+
+    Backward: gradients of [w_tns * (-TNS_gamma) + w_wns * (-WNS_gamma)]
+    flow in reverse level order (the blue edges of Fig. 3): through the
+    endpoint slack smoothing, the LSE aggregations (whose weights
+    [exp ((x_i - LSE) / gamma)] sum to 1), the NLDM look-up-table queries
+    (Fig. 6), the net slew/arrival recurrences (Eq. 10), the Elmore
+    passes (Eq. 8) and finally the Steiner-point provenance (Fig. 4),
+    producing d/d(cell center) for every movable cell.
+
+    Level kernels in the forward pass only read strictly lower levels, so
+    they are dispatched data-parallel over the pins of a level (the CPU
+    stand-in for the paper's CUDA kernels); the backward pass scatters
+    into fan-in state and runs sequentially. *)
+
+type metrics = {
+  wns : float;         (** hard min endpoint slack (may be positive). *)
+  tns : float;         (** hard [sum (min 0 slack)]. *)
+  wns_smooth : float;  (** the LSE-smoothed objective values. *)
+  tns_smooth : float;
+  endpoint_count : int;
+}
+
+type t
+
+val create : ?gamma:float -> Sta.Graph.t -> t
+(** [gamma] defaults to 100.0 ps (the paper's setting). *)
+
+val nets : t -> Sta.Nets.t
+(** The shared Steiner/RC state.  The caller controls the FLUTE cadence:
+    call [Sta.Nets.rebuild] every k-th iteration and [Sta.Nets.refresh]
+    otherwise, before {!forward}. *)
+
+val gamma : t -> float
+val set_gamma : t -> float -> unit
+
+val forward : ?pool:Parallel.pool -> t -> metrics
+(** Propagate on the current RC state (callers must have refreshed
+    {!nets} after moving cells). *)
+
+val backward :
+  t ->
+  w_tns:float ->
+  w_wns:float ->
+  grad_x:float array ->
+  grad_y:float array ->
+  unit
+(** Accumulate d[w_tns * (-TNS_g) + w_wns * (-WNS_g)]/d(cell center) into
+    [grad_x]/[grad_y] (length [num_cells]).  Must follow a {!forward} on
+    the same placement.  Gradients also accrue on fixed cells; callers
+    mask them. *)
+
+val at : t -> int -> Sta.transition -> float
+(** Smoothed late arrival time after {!forward} ([neg_infinity] if
+    unreachable). *)
+
+val slew : t -> int -> Sta.transition -> float
+
+val endpoint_slack : t -> int -> float
+(** Smoothed slack of an endpoint pin after {!forward}; [infinity] for
+    non-endpoints or unreachable endpoints. *)
+
+val lse : gamma:float -> float array -> float
+(** Exposed for tests: max-shifted [gamma * log (sum exp (x_i / gamma))]. *)
+
+val softmin0 : gamma:float -> float -> float
+(** Exposed for tests: smoothed [min 0 s] (equals [-gamma * log (1 +
+    exp (-s / gamma))]). *)

@@ -1,0 +1,72 @@
+(** Planar geometry primitives shared by every placement subsystem.
+
+    Distances are in microns; the origin is the lower-left corner of the
+    placement region.  All types are immutable. *)
+
+(** A point in the plane. *)
+module Point : sig
+  type t = { x : float; y : float }
+
+  val make : float -> float -> t
+  val zero : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val scale : float -> t -> t
+  val midpoint : t -> t -> t
+
+  val manhattan : t -> t -> float
+  (** [manhattan a b] is the rectilinear (L1) distance between [a] and [b]. *)
+
+  val euclidean : t -> t -> float
+  val equal : ?eps:float -> t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** An axis-aligned rectangle given by its lower-left and upper-right
+    corners.  Degenerate (zero-area) rectangles are allowed. *)
+module Rect : sig
+  type t = { lx : float; ly : float; hx : float; hy : float }
+
+  val make : lx:float -> ly:float -> hx:float -> hy:float -> t
+  (** @raise Invalid_argument if [hx < lx] or [hy < ly]. *)
+
+  val of_center : Point.t -> width:float -> height:float -> t
+  val width : t -> float
+  val height : t -> float
+  val area : t -> float
+  val center : t -> Point.t
+  val contains : t -> Point.t -> bool
+  val intersect : t -> t -> t option
+  val overlap_area : t -> t -> float
+  val union : t -> t -> t
+  val translate : t -> dx:float -> dy:float -> t
+  val clamp_point : t -> Point.t -> Point.t
+  (** [clamp_point r p] is the point of [r] closest to [p]. *)
+
+  val half_perimeter : t -> float
+  val equal : ?eps:float -> t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Bounding box accumulation over point streams. *)
+module Bbox : sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val add : t -> Point.t -> t
+  val add_xy : t -> float -> float -> t
+  val of_points : Point.t list -> t
+  val to_rect : t -> Rect.t option
+  val half_perimeter : t -> float
+  (** Half-perimeter of the box; 0 when fewer than one point was added. *)
+end
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi v] limits [v] to the interval [[lo, hi]]. *)
+
+val lerp : float -> float -> float -> float
+(** [lerp a b t] is [a +. t *. (b -. a)]. *)
+
+val close : ?eps:float -> float -> float -> bool
+(** Absolute/relative tolerance comparison (default [eps] 1e-9). *)

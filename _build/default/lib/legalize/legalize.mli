@@ -1,0 +1,28 @@
+(** Row-based Tetris legalisation.
+
+    Global placement leaves small overlaps; before final timing scoring
+    the cells are snapped into non-overlapping row sites.  The classic
+    Tetris sweep processes cells left to right and greedily packs each
+    one into the row that minimises its displacement.  This is the "LG"
+    step of the GP -> LG -> DP pipeline described in the paper's
+    introduction (the paper's contribution itself is in GP; legalisation
+    is shared by all compared placers). *)
+
+type stats = {
+  moved_cells : int;
+  total_displacement : float;  (** sum of rectilinear moves, um. *)
+  max_displacement : float;
+  average_displacement : float;
+}
+
+val legalize : Netlist.t -> stats
+(** Snap every movable cell into rows of height [row_height] within the
+    region, removing overlaps.  Cell positions are updated in place.
+    Fixed cells are treated as blockages.
+    @raise Failure if the cells cannot fit (utilisation too high). *)
+
+val overlap_area : Netlist.t -> float
+(** Total pairwise overlap area among movable cells (validation metric;
+    0 after successful legalisation). *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,279 @@
+type direction = Input | Output
+
+let pp_direction ppf = function
+  | Input -> Format.pp_print_string ppf "input"
+  | Output -> Format.pp_print_string ppf "output"
+
+type pin = {
+  pin_id : int;
+  pin_name : string;
+  cell : int;
+  offset_x : float;
+  offset_y : float;
+  direction : direction;
+  mutable net : int;
+  lib_pin : int;
+}
+
+type cell = {
+  cell_id : int;
+  cell_name : string;
+  lib_cell : int;
+  width : float;
+  height : float;
+  mutable x : float;
+  mutable y : float;
+  fixed : bool;
+  mutable cell_pins : int array;
+}
+
+type net = {
+  net_id : int;
+  net_name : string;
+  mutable net_pins : int array;
+  mutable weight : float;
+}
+
+type t = {
+  design_name : string;
+  region : Geometry.Rect.t;
+  row_height : float;
+  cells : cell array;
+  pins : pin array;
+  nets : net array;
+}
+
+let num_cells d = Array.length d.cells
+let num_pins d = Array.length d.pins
+let num_nets d = Array.length d.nets
+
+let pin_x d p =
+  let pin = d.pins.(p) in
+  d.cells.(pin.cell).x +. pin.offset_x
+
+let pin_y d p =
+  let pin = d.pins.(p) in
+  d.cells.(pin.cell).y +. pin.offset_y
+
+let net_driver d n =
+  let pins = d.nets.(n).net_pins in
+  let rec find i =
+    if i >= Array.length pins then None
+    else if d.pins.(pins.(i)).direction = Output then Some pins.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let net_sinks d n =
+  Array.to_list d.nets.(n).net_pins
+  |> List.filter (fun p -> d.pins.(p).direction = Input)
+
+let net_hpwl d n =
+  let pins = d.nets.(n).net_pins in
+  if Array.length pins < 2 then 0.0
+  else begin
+    let bbox = ref Geometry.Bbox.empty in
+    Array.iter (fun p -> bbox := Geometry.Bbox.add_xy !bbox (pin_x d p) (pin_y d p)) pins;
+    Geometry.Bbox.half_perimeter !bbox
+  end
+
+let total_hpwl ?(weighted = false) d =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun net ->
+      let w = if weighted then net.weight else 1.0 in
+      acc := !acc +. (w *. net_hpwl d net.net_id))
+    d.nets;
+  !acc
+
+let movable_cells d =
+  Array.to_list d.cells
+  |> List.filter_map (fun c -> if c.fixed then None else Some c.cell_id)
+
+let fixed_cells d =
+  Array.to_list d.cells
+  |> List.filter_map (fun c -> if c.fixed then Some c.cell_id else None)
+
+let find_by_name arr name_of name =
+  let n = Array.length arr in
+  let rec loop i =
+    if i >= n then None
+    else if String.equal (name_of arr.(i)) name then Some arr.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let cell_by_name d name = find_by_name d.cells (fun c -> c.cell_name) name
+let net_by_name d name = find_by_name d.nets (fun n -> n.net_name) name
+let pin_by_name d name = find_by_name d.pins (fun p -> p.pin_name) name
+
+let reset_weights d = Array.iter (fun net -> net.weight <- 1.0) d.nets
+
+let copy_positions d =
+  (Array.map (fun c -> c.x) d.cells, Array.map (fun c -> c.y) d.cells)
+
+let restore_positions d (xs, ys) =
+  if Array.length xs <> num_cells d || Array.length ys <> num_cells d then
+    invalid_arg "Netlist.restore_positions: size mismatch";
+  Array.iteri
+    (fun i c ->
+      c.x <- xs.(i);
+      c.y <- ys.(i))
+    d.cells
+
+module Builder = struct
+  type builder = {
+    name : string;
+    region : Geometry.Rect.t;
+    row_height : float;
+    mutable bcells : cell list;  (* reverse order *)
+    mutable bpins : pin list;
+    mutable bnets : (string * int list) list;
+    mutable ncells : int;
+    mutable npins : int;
+    mutable nnets : int;
+    cell_names : (string, unit) Hashtbl.t;
+    pin_names : (string, unit) Hashtbl.t;
+    net_names : (string, unit) Hashtbl.t;
+  }
+
+  let create ?region ?(row_height = 1.0) name =
+    let region =
+      match region with
+      | Some r -> r
+      | None -> Geometry.Rect.make ~lx:0.0 ~ly:0.0 ~hx:100.0 ~hy:100.0
+    in
+    { name; region; row_height;
+      bcells = []; bpins = []; bnets = [];
+      ncells = 0; npins = 0; nnets = 0;
+      cell_names = Hashtbl.create 64;
+      pin_names = Hashtbl.create 256;
+      net_names = Hashtbl.create 64 }
+
+  let check_fresh table kind name =
+    if Hashtbl.mem table name then
+      invalid_arg (Printf.sprintf "Netlist.Builder: duplicate %s name %S" kind name);
+    Hashtbl.add table name ()
+
+  let add_cell b ~name ~lib_cell ~width ~height ?(x = 0.0) ?(y = 0.0)
+      ?(fixed = false) () =
+    check_fresh b.cell_names "cell" name;
+    let id = b.ncells in
+    b.ncells <- id + 1;
+    b.bcells <-
+      { cell_id = id; cell_name = name; lib_cell; width; height; x; y;
+        fixed; cell_pins = [||] }
+      :: b.bcells;
+    id
+
+  let add_pin b ~cell ~name ~direction ?(offset_x = 0.0) ?(offset_y = 0.0)
+      ?(lib_pin = -1) () =
+    if cell < 0 || cell >= b.ncells then
+      invalid_arg (Printf.sprintf "Netlist.Builder: pin %S on unknown cell %d" name cell);
+    check_fresh b.pin_names "pin" name;
+    let id = b.npins in
+    b.npins <- id + 1;
+    b.bpins <-
+      { pin_id = id; pin_name = name; cell; offset_x; offset_y; direction;
+        net = -1; lib_pin }
+      :: b.bpins;
+    id
+
+  let add_net b ~name ~pins =
+    check_fresh b.net_names "net" name;
+    List.iter
+      (fun p ->
+        if p < 0 || p >= b.npins then
+          invalid_arg (Printf.sprintf "Netlist.Builder: net %S uses unknown pin %d" name p))
+      pins;
+    let id = b.nnets in
+    b.nnets <- id + 1;
+    b.bnets <- (name, pins) :: b.bnets;
+    id
+
+  let freeze b =
+    let cells = Array.of_list (List.rev b.bcells) in
+    let pins = Array.of_list (List.rev b.bpins) in
+    let net_specs = Array.of_list (List.rev b.bnets) in
+    let nets =
+      Array.mapi
+        (fun id (name, pin_list) ->
+          if pin_list = [] then
+            invalid_arg (Printf.sprintf "Netlist.Builder: net %S has no pins" name);
+          let drivers, sinks =
+            List.partition (fun p -> pins.(p).direction = Output) pin_list
+          in
+          (match drivers with
+           | [] | [ _ ] -> ()
+           | _ ->
+             invalid_arg
+               (Printf.sprintf "Netlist.Builder: net %S has multiple drivers" name));
+          let ordered = Array.of_list (drivers @ sinks) in
+          Array.iter
+            (fun p ->
+              if pins.(p).net <> -1 then
+                invalid_arg
+                  (Printf.sprintf "Netlist.Builder: pin %S on two nets"
+                     pins.(p).pin_name);
+              pins.(p).net <- id)
+            ordered;
+          { net_id = id; net_name = name; net_pins = ordered; weight = 1.0 })
+        net_specs
+    in
+    (* Attach pins to their owning cells in pin-id order. *)
+    let per_cell = Array.make (Array.length cells) [] in
+    for p = Array.length pins - 1 downto 0 do
+      per_cell.(pins.(p).cell) <- p :: per_cell.(pins.(p).cell)
+    done;
+    Array.iteri (fun i c -> c.cell_pins <- Array.of_list per_cell.(i)) cells;
+    { design_name = b.name;
+      region = b.region;
+      row_height = b.row_height;
+      cells; pins; nets }
+end
+
+module Stats = struct
+  type stats = {
+    cells : int;
+    movable : int;
+    nets : int;
+    pins : int;
+    average_fanout : float;
+    max_fanout : int;
+    total_cell_area : float;
+    region_area : float;
+    utilization : float;
+  }
+
+  let compute d =
+    let movable = List.length (movable_cells d) in
+    let fanouts =
+      Array.map (fun net -> max 0 (Array.length net.net_pins - 1)) d.nets
+    in
+    let total_fanout = Array.fold_left ( + ) 0 fanouts in
+    let max_fanout = Array.fold_left max 0 fanouts in
+    let cell_area =
+      Array.fold_left
+        (fun acc c -> if c.fixed then acc else acc +. (c.width *. c.height))
+        0.0 d.cells
+    in
+    let region_area = Geometry.Rect.area d.region in
+    { cells = num_cells d;
+      movable;
+      nets = num_nets d;
+      pins = num_pins d;
+      average_fanout =
+        (if num_nets d = 0 then 0.0
+         else float_of_int total_fanout /. float_of_int (num_nets d));
+      max_fanout;
+      total_cell_area = cell_area;
+      region_area;
+      utilization = (if region_area > 0.0 then cell_area /. region_area else 0.0) }
+
+  let pp ppf s =
+    Format.fprintf ppf
+      "@[<v>cells: %d (movable %d)@,nets: %d@,pins: %d@,avg fanout: %.2f@,\
+       max fanout: %d@,utilization: %.1f%%@]"
+      s.cells s.movable s.nets s.pins s.average_fanout s.max_fanout
+      (100.0 *. s.utilization)
+end

@@ -1,0 +1,40 @@
+(** Momentum-based net weighting: the state-of-the-art baseline [24]
+    (DREAMPlace 4.0, DATE 2022) that the paper compares against (§2.3).
+
+    Every [period] placement iterations the exact STA engine runs on the
+    current placement; each net's worst slack is turned into a
+    criticality in [0, 1], smoothed with momentum across calls, and
+    folded multiplicatively into the net's wirelength weight (Eq. 4).
+    Weights only ever grow (up to [max_weight]), mirroring the
+    cumulative weighting of the original. *)
+
+type config = {
+  alpha : float;      (** multiplicative strength per update (default 0.12). *)
+  beta : float;       (** momentum on criticality (default 0.5). *)
+  max_weight : float; (** weight cap (default 16.0). *)
+  period : int;       (** placement iterations between STA calls (default 3). *)
+  rebuild_trees : bool;
+      (** reconstruct Steiner trees at every STA call, as the baseline
+          does (this is what makes it slower than the differentiable
+          engine, §4). *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Sta.Graph.t -> t
+val config : t -> config
+val timer : t -> Sta.Timer.t
+
+val update : t -> Sta.Timer.report
+(** Run exact STA on the current placement and bump the weights of
+    critical nets in the underlying design.  Returns the timing report
+    so callers can trace WNS/TNS. *)
+
+val should_update : t -> int -> bool
+(** [should_update t iter] is true when [iter] is a scheduled STA
+    iteration. *)
+
+val reset : t -> unit
+(** Restore every net weight to 1 and clear momentum. *)

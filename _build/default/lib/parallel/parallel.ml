@@ -1,0 +1,124 @@
+(* A small work-queue pool over OCaml 5 domains.  Each [parallel_for]
+   enqueues closed-over chunk thunks; the caller also drains the queue so
+   no domain sits idle, then blocks until its own chunks are all done. *)
+
+type pool = {
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let worker pool =
+  let rec loop () =
+    (* opportunistic spin: level-synchronous kernels enqueue work in
+       rapid bursts, and parking between levels costs more than the
+       kernels themselves.  The unsynchronised emptiness peek is a
+       heuristic only; the queue is re-checked under the mutex. *)
+    let rec spin k =
+      if k > 0 && Queue.is_empty pool.queue && not pool.stopping then begin
+        Domain.cpu_relax ();
+        spin (k - 1)
+      end
+    in
+    spin 2_000;
+    Mutex.lock pool.mutex;
+    let rec wait () =
+      if Queue.is_empty pool.queue && not pool.stopping then begin
+        Condition.wait pool.work_available pool.mutex;
+        wait ()
+      end
+    in
+    wait ();
+    if Queue.is_empty pool.queue && pool.stopping then
+      Mutex.unlock pool.mutex
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?domains () =
+  let default = max 1 (Domain.recommended_domain_count () - 1) in
+  let requested = match domains with None -> default | Some d -> max 1 d in
+  let workers = requested - 1 in
+  let pool =
+    { queue = Queue.create ();
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      stopping = false;
+      domains = [||] }
+  in
+  pool.domains <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let sequential_pool =
+  { queue = Queue.create ();
+    mutex = Mutex.create ();
+    work_available = Condition.create ();
+    stopping = false;
+    domains = [||] }
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopping <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.domains;
+  pool.domains <- [||]
+
+let domain_count pool = Array.length pool.domains + 1
+
+let run_range f start stop =
+  for i = start to stop - 1 do
+    f i
+  done
+
+(* Completion of one parallel_for is tracked by a per-call counter guarded
+   by the pool mutex; the caller helps drain the queue while waiting. *)
+let parallel_for pool ?(grain = 1024) n f =
+  if n <= 0 then ()
+  else if Array.length pool.domains = 0 || n <= grain then run_range f 0 n
+  else begin
+    let grain = max 1 grain in
+    let chunks = (n + grain - 1) / grain in
+    let completed = ref 0 in
+    let job_done = Condition.create () in
+    let make_chunk c () =
+      let start = c * grain in
+      let stop = min n (start + grain) in
+      run_range f start stop;
+      Mutex.lock pool.mutex;
+      incr completed;
+      if !completed = chunks then Condition.signal job_done;
+      Mutex.unlock pool.mutex
+    in
+    Mutex.lock pool.mutex;
+    for c = 0 to chunks - 1 do
+      Queue.push (make_chunk c) pool.queue
+    done;
+    Condition.broadcast pool.work_available;
+    (* Help out: run queued tasks (possibly from other concurrent calls)
+       until our chunks are all accounted for. *)
+    let rec drain () =
+      if !completed < chunks then begin
+        match Queue.take_opt pool.queue with
+        | Some task ->
+          Mutex.unlock pool.mutex;
+          task ();
+          Mutex.lock pool.mutex;
+          drain ()
+        | None ->
+          if !completed < chunks then begin
+            Condition.wait job_done pool.mutex;
+            drain ()
+          end
+      end
+    in
+    drain ();
+    Mutex.unlock pool.mutex
+  end

@@ -1,0 +1,29 @@
+(** Data-parallel kernels over index ranges.
+
+    This module is the CPU stand-in for the paper's CUDA kernels: the
+    differentiable timer processes every pin of a logic level with the same
+    arithmetic, so each level is dispatched as a [parallel_for] over the
+    pins in that level.  A fixed pool of OCaml 5 domains executes chunks of
+    the range; for small ranges the loop runs sequentially to avoid
+    dispatch overhead. *)
+
+type pool
+
+val create : ?domains:int -> unit -> pool
+(** [create ~domains ()] spawns a worker pool.  [domains] defaults to
+    [recommended_domain_count - 1], at least 1 (meaning: run sequentially). *)
+
+val shutdown : pool -> unit
+(** Terminate the pool's domains.  The pool must not be used afterwards. *)
+
+val domain_count : pool -> int
+
+val parallel_for : pool -> ?grain:int -> int -> (int -> unit) -> unit
+(** [parallel_for pool n f] evaluates [f i] for every [0 <= i < n].  Work
+    is split into chunks of at least [grain] (default 1024) indices;
+    ranges smaller than [grain] run on the calling domain.  [f] must be
+    safe to run concurrently on disjoint indices. *)
+
+val sequential_pool : pool
+(** A pool with zero workers: [parallel_for] always runs inline.  Useful
+    for tests and deterministic debugging. *)

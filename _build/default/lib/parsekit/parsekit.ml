@@ -1,0 +1,153 @@
+type token =
+  | Tident of string
+  | Tstring of string
+  | Tnumber of float
+  | Tlbrace
+  | Trbrace
+  | Tsemi
+  | Tarrow
+  | Teof
+
+type lexer = {
+  what : string;
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable tok : token;
+}
+
+let error lx msg =
+  failwith
+    (Printf.sprintf "%s parse error at %d:%d: %s" lx.what lx.line lx.col msg)
+
+let advance_char lx =
+  (if lx.pos < String.length lx.src && lx.src.[lx.pos] = '\n' then begin
+     lx.line <- lx.line + 1;
+     lx.col <- 0
+   end
+   else lx.col <- lx.col + 1);
+  lx.pos <- lx.pos + 1
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  || (c >= '0' && c <= '9')
+
+let is_number_start c = (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.'
+
+let rec next_token lx =
+  if lx.pos >= String.length lx.src then Teof
+  else begin
+    let c = lx.src.[lx.pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then begin
+      advance_char lx;
+      next_token lx
+    end
+    else if c = '#' then begin
+      while lx.pos < String.length lx.src && lx.src.[lx.pos] <> '\n' do
+        advance_char lx
+      done;
+      next_token lx
+    end
+    else if c = '{' then begin advance_char lx; Tlbrace end
+    else if c = '}' then begin advance_char lx; Trbrace end
+    else if c = ';' then begin advance_char lx; Tsemi end
+    else if c = '-' && lx.pos + 1 < String.length lx.src
+            && lx.src.[lx.pos + 1] = '>' then begin
+      advance_char lx;
+      advance_char lx;
+      Tarrow
+    end
+    else if c = '"' then begin
+      advance_char lx;
+      let start = lx.pos in
+      while lx.pos < String.length lx.src && lx.src.[lx.pos] <> '"' do
+        advance_char lx
+      done;
+      if lx.pos >= String.length lx.src then error lx "unterminated string";
+      let s = String.sub lx.src start (lx.pos - start) in
+      advance_char lx;
+      Tstring s
+    end
+    else if is_number_start c then begin
+      let start = lx.pos in
+      while
+        lx.pos < String.length lx.src
+        && (is_number_start lx.src.[lx.pos]
+            || lx.src.[lx.pos] = 'e' || lx.src.[lx.pos] = 'E')
+      do
+        advance_char lx
+      done;
+      let s = String.sub lx.src start (lx.pos - start) in
+      match float_of_string_opt s with
+      | Some f -> Tnumber f
+      | None -> error lx (Printf.sprintf "bad number %S" s)
+    end
+    else if is_ident_char c then begin
+      let start = lx.pos in
+      while lx.pos < String.length lx.src && is_ident_char lx.src.[lx.pos] do
+        advance_char lx
+      done;
+      Tident (String.sub lx.src start (lx.pos - start))
+    end
+    else error lx (Printf.sprintf "unexpected character %C" c)
+  end
+
+let make_lexer ?(what = "input") src =
+  let lx = { what; src; pos = 0; line = 1; col = 0; tok = Teof } in
+  lx.tok <- next_token lx;
+  lx
+
+let advance lx = lx.tok <- next_token lx
+let peek lx = lx.tok
+
+let eat lx expected name =
+  if lx.tok = expected then advance lx
+  else error lx (Printf.sprintf "expected %s" name)
+
+let ident lx =
+  match lx.tok with
+  | Tident s -> advance lx; s
+  | Tstring _ | Tnumber _ | Tlbrace | Trbrace | Tsemi | Tarrow | Teof ->
+    error lx "expected identifier"
+
+let string_ lx =
+  match lx.tok with
+  | Tstring s -> advance lx; s
+  | Tident _ | Tnumber _ | Tlbrace | Trbrace | Tsemi | Tarrow | Teof ->
+    error lx "expected string"
+
+let number lx =
+  match lx.tok with
+  | Tnumber f -> advance lx; f
+  | Tident _ | Tstring _ | Tlbrace | Trbrace | Tsemi | Tarrow | Teof ->
+    error lx "expected number"
+
+let bool_ lx =
+  match ident lx with
+  | "true" -> true
+  | "false" -> false
+  | s -> error lx (Printf.sprintf "expected bool, got %S" s)
+
+let numbers_until_semi lx =
+  let rec loop acc =
+    match peek lx with
+    | Tnumber f -> advance lx; loop (f :: acc)
+    | Tsemi -> advance lx; Array.of_list (List.rev acc)
+    | Tident _ | Tstring _ | Tlbrace | Trbrace | Tarrow | Teof ->
+      error lx "expected number or ';'"
+  in
+  loop []
+
+let block lx ~field =
+  eat lx Tlbrace "'{'";
+  let rec fields () =
+    match peek lx with
+    | Trbrace -> advance lx
+    | Tident _ ->
+      field lx (ident lx);
+      fields ()
+    | Tstring _ | Tnumber _ | Tlbrace | Tsemi | Tarrow | Teof ->
+      error lx "expected field name or '}'"
+  in
+  fields ()

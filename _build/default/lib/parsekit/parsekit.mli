@@ -1,0 +1,45 @@
+(** A tiny lexer/parser toolkit shared by the repo's text formats
+    (Liberty-lite cell libraries, Bookshelf-lite designs).
+
+    The token language is fixed: identifiers, double-quoted strings,
+    floating-point numbers, braces, semicolons and an arrow ([->]).
+    ['#'] starts a line comment.  Parse errors raise [Failure] with a
+    [line:column]-annotated message. *)
+
+type token =
+  | Tident of string
+  | Tstring of string
+  | Tnumber of float
+  | Tlbrace
+  | Trbrace
+  | Tsemi
+  | Tarrow
+  | Teof
+
+type lexer
+
+val make_lexer : ?what:string -> string -> lexer
+(** [what] names the format in error messages (default ["input"]). *)
+
+val peek : lexer -> token
+val advance : lexer -> unit
+val error : lexer -> string -> 'a
+(** Raise a positioned [Failure]. *)
+
+val eat : lexer -> token -> string -> unit
+(** [eat lx expected name] consumes [expected] or fails mentioning
+    [name]. *)
+
+val ident : lexer -> string
+val string_ : lexer -> string
+val number : lexer -> float
+val bool_ : lexer -> bool
+(** Parses the identifiers [true]/[false]. *)
+
+val numbers_until_semi : lexer -> float array
+(** Consume numbers up to (and including) the next [';']. *)
+
+val block :
+  lexer -> field:(lexer -> string -> unit) -> unit
+(** [block lx ~field] consumes ['{'], then repeatedly reads an
+    identifier and hands it to [field] until the matching ['}']. *)

@@ -1,0 +1,150 @@
+type t = {
+  tree : Steiner.t;
+  r_unit : float;
+  c_unit : float;
+  pin_caps : float array;
+  res : float array;
+  cap : float array;
+  load : float array;
+  delay : float array;
+  ldelay : float array;
+  beta : float array;
+  impulse2 : float array;
+}
+
+let create ~r_unit ~c_unit ~pin_caps tree =
+  if Array.length pin_caps <> tree.Steiner.pin_count then
+    invalid_arg "Rc.create: pin_caps size mismatch";
+  let n = Steiner.node_count tree in
+  { tree; r_unit; c_unit; pin_caps;
+    res = Array.make n 0.0;
+    cap = Array.make n 0.0;
+    load = Array.make n 0.0;
+    delay = Array.make n 0.0;
+    ldelay = Array.make n 0.0;
+    beta = Array.make n 0.0;
+    impulse2 = Array.make n 0.0 }
+
+let evaluate t =
+  let tree = t.tree in
+  let n = Steiner.node_count tree in
+  let order = tree.Steiner.order in
+  let parent = tree.Steiner.parent in
+  (* wire parasitics from current geometry *)
+  for v = 0 to n - 1 do
+    t.cap.(v) <- (if v < tree.Steiner.pin_count then t.pin_caps.(v) else 0.0)
+  done;
+  for v = 0 to n - 1 do
+    let len = Steiner.edge_length tree v in
+    t.res.(v) <- t.r_unit *. len;
+    let half_wire = 0.5 *. t.c_unit *. len in
+    if parent.(v) >= 0 then begin
+      t.cap.(v) <- t.cap.(v) +. half_wire;
+      t.cap.(parent.(v)) <- t.cap.(parent.(v)) +. half_wire
+    end
+  done;
+  (* pass 1 (bottom-up): Load *)
+  for v = 0 to n - 1 do
+    t.load.(v) <- t.cap.(v)
+  done;
+  for i = n - 1 downto 1 do
+    let v = order.(i) in
+    t.load.(parent.(v)) <- t.load.(parent.(v)) +. t.load.(v)
+  done;
+  (* pass 2 (top-down): Delay *)
+  t.delay.(order.(0)) <- 0.0;
+  for i = 1 to n - 1 do
+    let v = order.(i) in
+    t.delay.(v) <- t.delay.(parent.(v)) +. (t.res.(v) *. t.load.(v))
+  done;
+  (* pass 3 (bottom-up): LDelay *)
+  for v = 0 to n - 1 do
+    t.ldelay.(v) <- t.cap.(v) *. t.delay.(v)
+  done;
+  for i = n - 1 downto 1 do
+    let v = order.(i) in
+    t.ldelay.(parent.(v)) <- t.ldelay.(parent.(v)) +. t.ldelay.(v)
+  done;
+  (* pass 4 (top-down): Beta; then Impulse^2 *)
+  t.beta.(order.(0)) <- 0.0;
+  for i = 1 to n - 1 do
+    let v = order.(i) in
+    t.beta.(v) <- t.beta.(parent.(v)) +. (t.res.(v) *. t.ldelay.(v))
+  done;
+  for v = 0 to n - 1 do
+    t.impulse2.(v) <- (2.0 *. t.beta.(v)) -. (t.delay.(v) *. t.delay.(v))
+  done
+
+let root_load t = t.load.(t.tree.Steiner.order.(0))
+let sink_delay t v = t.delay.(v)
+let sink_impulse2 t v = Float.max 0.0 t.impulse2.(v)
+
+(* Reverse-mode differentiation: the adjoint of each forward pass runs in
+   the opposite traversal direction, in reverse pass order (Fig. 5). *)
+let backward t ~g_delay ~g_impulse2 ~g_root_load ~node_gx ~node_gy =
+  let tree = t.tree in
+  let n = Steiner.node_count tree in
+  if Array.length g_delay <> n || Array.length g_impulse2 <> n then
+    invalid_arg "Rc.backward: gradient size mismatch";
+  if Array.length node_gx <> n || Array.length node_gy <> n then
+    invalid_arg "Rc.backward: output size mismatch";
+  let order = tree.Steiner.order in
+  let parent = tree.Steiner.parent in
+  let g_load = Array.make n 0.0 in
+  let g_ldelay = Array.make n 0.0 in
+  let g_beta = Array.make n 0.0 in
+  let g_cap = Array.make n 0.0 in
+  let g_res = Array.make n 0.0 in
+  g_load.(order.(0)) <- g_root_load;
+  (* adjoint of Impulse^2 = 2 Beta - Delay^2 *)
+  for v = 0 to n - 1 do
+    g_beta.(v) <- 2.0 *. g_impulse2.(v);
+    g_delay.(v) <- g_delay.(v) -. (2.0 *. t.delay.(v) *. g_impulse2.(v))
+  done;
+  (* adjoint of Beta (forward was top-down, so go bottom-up) *)
+  for i = n - 1 downto 1 do
+    let v = order.(i) in
+    g_beta.(parent.(v)) <- g_beta.(parent.(v)) +. g_beta.(v);
+    g_res.(v) <- g_res.(v) +. (t.ldelay.(v) *. g_beta.(v));
+    g_ldelay.(v) <- g_ldelay.(v) +. (t.res.(v) *. g_beta.(v))
+  done;
+  (* adjoint of LDelay (forward was bottom-up, so go top-down) *)
+  for i = 0 to n - 1 do
+    let v = order.(i) in
+    if parent.(v) >= 0 then
+      g_ldelay.(v) <- g_ldelay.(v) +. g_ldelay.(parent.(v))
+  done;
+  for v = 0 to n - 1 do
+    g_cap.(v) <- g_cap.(v) +. (t.delay.(v) *. g_ldelay.(v));
+    g_delay.(v) <- g_delay.(v) +. (t.cap.(v) *. g_ldelay.(v))
+  done;
+  (* adjoint of Delay (forward was top-down, so go bottom-up) *)
+  for i = n - 1 downto 1 do
+    let v = order.(i) in
+    g_delay.(parent.(v)) <- g_delay.(parent.(v)) +. g_delay.(v);
+    g_res.(v) <- g_res.(v) +. (t.load.(v) *. g_delay.(v));
+    g_load.(v) <- g_load.(v) +. (t.res.(v) *. g_delay.(v))
+  done;
+  (* adjoint of Load (forward was bottom-up, so go top-down) *)
+  for i = 0 to n - 1 do
+    let v = order.(i) in
+    if parent.(v) >= 0 then g_load.(v) <- g_load.(v) +. g_load.(parent.(v));
+    g_cap.(v) <- g_cap.(v) +. g_load.(v)
+  done;
+  (* parasitics to edge lengths to coordinates *)
+  for i = 1 to n - 1 do
+    let v = order.(i) in
+    let p = parent.(v) in
+    let g_len =
+      (t.r_unit *. g_res.(v))
+      +. (0.5 *. t.c_unit *. (g_cap.(v) +. g_cap.(p)))
+    in
+    let dx = tree.Steiner.xs.(v) -. tree.Steiner.xs.(p) in
+    let dy = tree.Steiner.ys.(v) -. tree.Steiner.ys.(p) in
+    let sx = if dx > 0.0 then 1.0 else if dx < 0.0 then -1.0 else 0.0 in
+    let sy = if dy > 0.0 then 1.0 else if dy < 0.0 then -1.0 else 0.0 in
+    node_gx.(v) <- node_gx.(v) +. (g_len *. sx);
+    node_gx.(p) <- node_gx.(p) -. (g_len *. sx);
+    node_gy.(v) <- node_gy.(v) +. (g_len *. sy);
+    node_gy.(p) <- node_gy.(p) -. (g_len *. sy)
+  done

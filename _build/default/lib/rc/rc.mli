@@ -1,0 +1,66 @@
+(** Elmore delay on RC trees, forward and reverse mode (paper §3.4.2).
+
+    A net's Steiner tree is annotated with per-edge resistance
+    [r_unit * length] and per-node capacitance (half of each incident
+    wire's capacitance plus the sink pin capacitance).  The classic four
+    alternating tree-DP passes (Eq. 7) compute, for every node [u]:
+
+    - [load u]: downstream capacitance;
+    - [delay u]: Elmore delay from the root (driver);
+    - [ldelay u] and [beta u]: the moment accumulators;
+    - [impulse2 u = 2 * beta u - (delay u)^2]: squared slew impulse.
+
+    [backward] runs the four passes in reverse (Eq. 8, Fig. 5), turning
+    gradients with respect to sink delays, sink impulse-squares and the
+    root load into gradients with respect to the {e coordinates} of every
+    tree node.  Note: Eq. 8c of the paper prints the term
+    [+2 Delay(u) dImpulse2(u)]; the chain rule through
+    [impulse2 = 2 beta - delay^2] requires the {b negative} sign, which is
+    what we implement (validated against finite differences). *)
+
+type t = {
+  tree : Steiner.t;
+  r_unit : float;
+  c_unit : float;
+  pin_caps : float array;  (** per tree pin; index 0 is the driver. *)
+  res : float array;       (** per node: resistance of the edge to its parent. *)
+  cap : float array;
+  load : float array;
+  delay : float array;
+  ldelay : float array;
+  beta : float array;
+  impulse2 : float array;
+}
+
+val create : r_unit:float -> c_unit:float -> pin_caps:float array -> Steiner.t -> t
+(** Allocate state for a tree.  [pin_caps] must have one entry per tree
+    pin.  Call {!evaluate} before reading any result. *)
+
+val evaluate : t -> unit
+(** Recompute [res]/[cap] from the tree's current coordinates and run the
+    four forward passes.  Cheap to call every placement iteration. *)
+
+val root_load : t -> float
+(** Total capacitance seen by the net driver (valid after {!evaluate}). *)
+
+val sink_delay : t -> int -> float
+(** Elmore delay from the driver to tree node [v]. *)
+
+val sink_impulse2 : t -> int -> float
+(** Squared impulse at node [v], clamped at 0. *)
+
+val backward :
+  t ->
+  g_delay:float array ->
+  g_impulse2:float array ->
+  g_root_load:float ->
+  node_gx:float array ->
+  node_gy:float array ->
+  unit
+(** Reverse-mode pass.  [g_delay] and [g_impulse2] hold the objective's
+    gradients with respect to each node's delay and impulse-square
+    (callers fill sink entries, zeros elsewhere); [g_root_load] the
+    gradient with respect to {!root_load} (from the driving cell's LUT
+    query).  Coordinate gradients are {b accumulated} into
+    [node_gx]/[node_gy] (length [node_count]).  The contents of [g_delay]
+    and [g_impulse2] are destroyed. *)

@@ -1,0 +1,899 @@
+type transition = Rise | Fall
+
+let transition_index = function Rise -> 0 | Fall -> 1
+let flip = function Rise -> Fall | Fall -> Rise
+let both_transitions = [ Rise; Fall ]
+
+let pp_transition ppf = function
+  | Rise -> Format.pp_print_string ppf "rise"
+  | Fall -> Format.pp_print_string ppf "fall"
+
+module Constraints = struct
+  type t = {
+    clock_period : float;
+    input_delay : float;
+    output_delay : float;
+    input_slew : float;
+    clock_slew : float;
+    output_load : float;
+  }
+
+  let default =
+    { clock_period = 800.0;
+      input_delay = 0.0;
+      output_delay = 0.0;
+      input_slew = 15.0;
+      clock_slew = 10.0;
+      output_load = 4.0 }
+end
+
+module Graph = struct
+  type cell_arc = {
+    ca_from : int;
+    ca_to : int;
+    ca_arc : Liberty.timing_arc;
+  }
+
+  type check = {
+    ck_data : int;
+    ck_clock : int;
+    ck_arc : Liberty.check_arc;
+  }
+
+  type t = {
+    design : Netlist.t;
+    lib : Liberty.t;
+    constraints : Constraints.t;
+    pin_level : int array;
+    levels : int array array;
+    fanin_arcs : cell_arc list array;
+    fanout_arcs : cell_arc list array;
+    check_of_pin : check option array;
+    pin_cap : float array;
+    is_endpoint : bool array;
+    is_start : bool array;
+    is_clock_pin : bool array;
+    primary_inputs : int list;
+    primary_outputs : int list;
+    endpoints : int array;
+  }
+
+  let max_level g = Array.length g.levels - 1
+
+  let build design lib constraints =
+    let npins = Netlist.num_pins design in
+    let fanin_arcs = Array.make npins [] in
+    let fanout_arcs = Array.make npins [] in
+    let check_of_pin = Array.make npins None in
+    let pin_cap = Array.make npins 0.0 in
+    let is_clock_pin = Array.make npins false in
+    (* Resolve each cell's library arcs onto its design pins. *)
+    Array.iter
+      (fun (c : Netlist.cell) ->
+        if c.Netlist.lib_cell >= 0 then begin
+          let lc = lib.Liberty.lib_cells.(c.Netlist.lib_cell) in
+          let n_lib_pins = Array.length lc.Liberty.lc_pins in
+          let design_pin = Array.make n_lib_pins (-1) in
+          Array.iter
+            (fun p ->
+              let lp = design.Netlist.pins.(p).Netlist.lib_pin in
+              if lp < 0 || lp >= n_lib_pins then
+                invalid_arg
+                  (Printf.sprintf "Sta.Graph: cell %s pin %s has bad lib_pin"
+                     c.Netlist.cell_name
+                     design.Netlist.pins.(p).Netlist.pin_name);
+              design_pin.(lp) <- p)
+            c.Netlist.cell_pins;
+          let resolve lp =
+            if design_pin.(lp) < 0 then
+              invalid_arg
+                (Printf.sprintf "Sta.Graph: cell %s missing pin %s"
+                   c.Netlist.cell_name lc.Liberty.lc_pins.(lp).Liberty.lp_name)
+            else design_pin.(lp)
+          in
+          Array.iter
+            (fun p ->
+              let pin = design.Netlist.pins.(p) in
+              if pin.Netlist.lib_pin >= 0 then begin
+                let lp = lc.Liberty.lc_pins.(pin.Netlist.lib_pin) in
+                pin_cap.(p) <- lp.Liberty.lp_capacitance;
+                is_clock_pin.(p) <- lp.Liberty.lp_is_clock
+              end)
+            c.Netlist.cell_pins;
+          Array.iter
+            (fun (arc : Liberty.timing_arc) ->
+              let u = resolve arc.Liberty.arc_from
+              and v = resolve arc.Liberty.arc_to in
+              let ca = { ca_from = u; ca_to = v; ca_arc = arc } in
+              fanin_arcs.(v) <- ca :: fanin_arcs.(v);
+              fanout_arcs.(u) <- ca :: fanout_arcs.(u))
+            lc.Liberty.lc_arcs;
+          Array.iter
+            (fun (ck : Liberty.check_arc) ->
+              let d = resolve ck.Liberty.check_data
+              and k = resolve ck.Liberty.check_clock in
+              check_of_pin.(d) <-
+                Some { ck_data = d; ck_clock = k; ck_arc = ck })
+            lc.Liberty.lc_checks
+        end
+        else
+          (* pad: input pins model the external load *)
+          Array.iter
+            (fun p ->
+              if design.Netlist.pins.(p).Netlist.direction = Netlist.Input
+              then pin_cap.(p) <- constraints.Constraints.output_load)
+            c.Netlist.cell_pins)
+      design.Netlist.cells;
+    (* Longest-path levelisation over net arcs + cell arcs. *)
+    let successors = Array.make npins [] in
+    let indegree = Array.make npins 0 in
+    let add_edge u v =
+      successors.(u) <- v :: successors.(u);
+      indegree.(v) <- indegree.(v) + 1
+    in
+    Array.iter
+      (fun (net : Netlist.net) ->
+        match Netlist.net_driver design net.Netlist.net_id with
+        | None -> ()
+        | Some u ->
+          Array.iter
+            (fun p -> if p <> u then add_edge u p)
+            net.Netlist.net_pins)
+      design.Netlist.nets;
+    for v = 0 to npins - 1 do
+      List.iter (fun ca -> add_edge ca.ca_from ca.ca_to) fanin_arcs.(v)
+    done;
+    let pin_level = Array.make npins 0 in
+    let queue = Queue.create () in
+    for p = 0 to npins - 1 do
+      if indegree.(p) = 0 then Queue.push p queue
+    done;
+    let processed = ref 0 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      incr processed;
+      List.iter
+        (fun v ->
+          if pin_level.(u) + 1 > pin_level.(v) then
+            pin_level.(v) <- pin_level.(u) + 1;
+          indegree.(v) <- indegree.(v) - 1;
+          if indegree.(v) = 0 then Queue.push v queue)
+        successors.(u)
+    done;
+    if !processed <> npins then
+      invalid_arg "Sta.Graph: combinational cycle detected";
+    let nlevels = 1 + Array.fold_left max 0 pin_level in
+    let buckets = Array.make nlevels [] in
+    for p = npins - 1 downto 0 do
+      buckets.(pin_level.(p)) <- p :: buckets.(pin_level.(p))
+    done;
+    let levels = Array.map Array.of_list buckets in
+    let is_start = Array.make npins false in
+    let primary_inputs = ref [] and primary_outputs = ref [] in
+    let is_endpoint = Array.make npins false in
+    for p = npins - 1 downto 0 do
+      let pin = design.Netlist.pins.(p) in
+      let cell = design.Netlist.cells.(pin.Netlist.cell) in
+      if cell.Netlist.lib_cell < 0 then begin
+        match pin.Netlist.direction with
+        | Netlist.Output ->
+          primary_inputs := p :: !primary_inputs;
+          is_start.(p) <- true
+        | Netlist.Input ->
+          primary_outputs := p :: !primary_outputs;
+          is_endpoint.(p) <- true
+      end
+      else begin
+        if is_clock_pin.(p) then is_start.(p) <- true;
+        if check_of_pin.(p) <> None then is_endpoint.(p) <- true
+      end
+    done;
+    let endpoints =
+      Array.of_seq
+        (Seq.filter (fun p -> is_endpoint.(p)) (Seq.init npins Fun.id))
+    in
+    { design; lib; constraints; pin_level; levels; fanin_arcs; fanout_arcs;
+      check_of_pin; pin_cap; is_endpoint; is_start; is_clock_pin;
+      primary_inputs = !primary_inputs;
+      primary_outputs = !primary_outputs;
+      endpoints }
+end
+
+module Nets = struct
+  type t = {
+    graph : Graph.t;
+    mutable trees : (Steiner.t * Rc.t) option array;
+    tree_index : int array;
+  }
+
+  let build_tree ?exact_limit (g : Graph.t) net_id =
+    let design = g.Graph.design in
+    let pins = design.Netlist.nets.(net_id).Netlist.net_pins in
+    let n = Array.length pins in
+    if n < 2 then None
+    else begin
+      let xs = Array.map (fun p -> Netlist.pin_x design p) pins in
+      let ys = Array.map (fun p -> Netlist.pin_y design p) pins in
+      let tree = Steiner.build ?exact_limit ~xs ~ys () in
+      let pin_caps = Array.map (fun p -> g.Graph.pin_cap.(p)) pins in
+      let rc =
+        Rc.create ~r_unit:g.Graph.lib.Liberty.r_unit
+          ~c_unit:g.Graph.lib.Liberty.c_unit ~pin_caps tree
+      in
+      Rc.evaluate rc;
+      Some (tree, rc)
+    end
+
+  let create graph =
+    let design = graph.Graph.design in
+    let nnets = Netlist.num_nets design in
+    let tree_index = Array.make (Netlist.num_pins design) (-1) in
+    Array.iter
+      (fun (net : Netlist.net) ->
+        if Array.length net.Netlist.net_pins >= 2 then
+          Array.iteri
+            (fun i p -> tree_index.(p) <- i)
+            net.Netlist.net_pins)
+      design.Netlist.nets;
+    let trees =
+      Array.init nnets (fun n -> build_tree graph n)
+    in
+    { graph; trees; tree_index }
+
+  let rebuild ?exact_limit t =
+    Array.iteri
+      (fun n _ -> t.trees.(n) <- build_tree ?exact_limit t.graph n)
+      t.trees
+
+  let refresh t =
+    let design = t.graph.Graph.design in
+    Array.iteri
+      (fun n entry ->
+        match entry with
+        | None -> ()
+        | Some (tree, rc) ->
+          let pins = design.Netlist.nets.(n).Netlist.net_pins in
+          let xs = Array.map (fun p -> Netlist.pin_x design p) pins in
+          let ys = Array.map (fun p -> Netlist.pin_y design p) pins in
+          Steiner.update_coordinates tree ~xs ~ys;
+          Rc.evaluate rc)
+      t.trees
+
+  let total_tree_length t =
+    Array.fold_left
+      (fun acc entry ->
+        match entry with
+        | None -> acc
+        | Some (tree, _) -> acc +. Steiner.total_length tree)
+      0.0 t.trees
+end
+
+module Timer = struct
+  type endpoint_slack = {
+    ep_pin : int;
+    ep_setup_slack : float;
+    ep_hold_slack : float;
+  }
+
+  type report = {
+    setup_wns : float;
+    setup_tns : float;
+    hold_wns : float;
+    hold_tns : float;
+    endpoint_slacks : endpoint_slack list;
+  }
+
+  type t = {
+    graph : Graph.t;
+    nets : Nets.t;
+    at_l : float array;   (* 2 * pin + transition *)
+    at_e : float array;
+    sl_l : float array;
+    sl_e : float array;
+    rat_l : float array;
+    rat_e : float array;
+  }
+
+  let create graph =
+    let n = 2 * Netlist.num_pins graph.Graph.design in
+    { graph;
+      nets = Nets.create graph;
+      at_l = Array.make n neg_infinity;
+      at_e = Array.make n infinity;
+      sl_l = Array.make n 0.0;
+      sl_e = Array.make n infinity;
+      rat_l = Array.make n infinity;
+      rat_e = Array.make n neg_infinity }
+
+  let nets t = t.nets
+  let idx p tr = (2 * p) + transition_index tr
+  let at_late t p tr = t.at_l.(idx p tr)
+  let at_early t p tr = t.at_e.(idx p tr)
+  let slew_late t p tr = t.sl_l.(idx p tr)
+  let rat_late t p tr = t.rat_l.(idx p tr)
+
+  let delay_lut (arc : Liberty.timing_arc) = function
+    | Rise -> arc.Liberty.cell_rise
+    | Fall -> arc.Liberty.cell_fall
+
+  let slew_lut (arc : Liberty.timing_arc) = function
+    | Rise -> arc.Liberty.rise_transition
+    | Fall -> arc.Liberty.fall_transition
+
+  let compatible_inputs sense tr_out =
+    match sense with
+    | Liberty.Positive_unate -> [ tr_out ]
+    | Liberty.Negative_unate -> [ flip tr_out ]
+    | Liberty.Non_unate -> both_transitions
+
+  let tree_of t pin =
+    let design = t.graph.Graph.design in
+    let net = design.Netlist.pins.(pin).Netlist.net in
+    if net < 0 then None else t.nets.Nets.trees.(net)
+
+  let root_load_of t pin =
+    match tree_of t pin with None -> 0.0 | Some (_, rc) -> Rc.root_load rc
+
+  let propagate_net_arc t v =
+    let design = t.graph.Graph.design in
+    let pin = design.Netlist.pins.(v) in
+    if pin.Netlist.direction = Netlist.Input && pin.Netlist.net >= 0 then
+      match
+        (t.nets.Nets.trees.(pin.Netlist.net),
+         Netlist.net_driver design pin.Netlist.net)
+      with
+      | Some (_, rc), Some u when u <> v ->
+        let node = t.nets.Nets.tree_index.(v) in
+        let d = Rc.sink_delay rc node in
+        let i2 = Rc.sink_impulse2 rc node in
+        List.iter
+          (fun tr ->
+            let iu = idx u tr and iv = idx v tr in
+            if t.at_l.(iu) > neg_infinity then begin
+              t.at_l.(iv) <- t.at_l.(iu) +. d;
+              t.sl_l.(iv) <- sqrt ((t.sl_l.(iu) *. t.sl_l.(iu)) +. i2)
+            end;
+            if t.at_e.(iu) < infinity then begin
+              t.at_e.(iv) <- t.at_e.(iu) +. d;
+              t.sl_e.(iv) <- sqrt ((t.sl_e.(iu) *. t.sl_e.(iu)) +. i2)
+            end)
+          both_transitions
+      | (None | Some _), (None | Some _) -> ()
+
+  let propagate_cell_arcs t v =
+    let fanin = t.graph.Graph.fanin_arcs.(v) in
+    if fanin <> [] then begin
+      let load = root_load_of t v in
+      List.iter
+        (fun (ca : Graph.cell_arc) ->
+          let u = ca.Graph.ca_from in
+          List.iter
+            (fun tr_out ->
+              let iv = idx v tr_out in
+              List.iter
+                (fun tr_in ->
+                  let iu = idx u tr_in in
+                  if t.at_l.(iu) > neg_infinity then begin
+                    let d =
+                      Liberty.Lut.lookup
+                        (delay_lut ca.Graph.ca_arc tr_out)
+                        t.sl_l.(iu) load
+                    in
+                    let s =
+                      Liberty.Lut.lookup
+                        (slew_lut ca.Graph.ca_arc tr_out)
+                        t.sl_l.(iu) load
+                    in
+                    if t.at_l.(iu) +. d > t.at_l.(iv) then
+                      t.at_l.(iv) <- t.at_l.(iu) +. d;
+                    if s > t.sl_l.(iv) then t.sl_l.(iv) <- s
+                  end;
+                  if t.at_e.(iu) < infinity then begin
+                    let d =
+                      Liberty.Lut.lookup
+                        (delay_lut ca.Graph.ca_arc tr_out)
+                        t.sl_e.(iu) load
+                    in
+                    let s =
+                      Liberty.Lut.lookup
+                        (slew_lut ca.Graph.ca_arc tr_out)
+                        t.sl_e.(iu) load
+                    in
+                    if t.at_e.(iu) +. d < t.at_e.(iv) then
+                      t.at_e.(iv) <- t.at_e.(iu) +. d;
+                    if s < t.sl_e.(iv) then t.sl_e.(iv) <- s
+                  end)
+                (compatible_inputs ca.Graph.ca_arc.Liberty.sense tr_out))
+            both_transitions)
+        fanin
+    end
+
+  let check_lut (ck : Liberty.check_arc) ~setup = function
+    | Rise -> if setup then ck.Liberty.setup_rise else ck.Liberty.hold_rise
+    | Fall -> if setup then ck.Liberty.setup_fall else ck.Liberty.hold_fall
+
+  (* Endpoint required times; returns (setup_slack, hold_slack) or None
+     when the endpoint is unreachable. *)
+  let endpoint_slack t p =
+    let cs = t.graph.Graph.constraints in
+    let period = cs.Constraints.clock_period in
+    let setup = ref infinity and hold = ref infinity in
+    let reachable = ref false in
+    List.iter
+      (fun tr ->
+        let i = idx p tr in
+        (match t.graph.Graph.check_of_pin.(p) with
+         | Some ck ->
+           if t.at_l.(i) > neg_infinity then begin
+             reachable := true;
+             let su =
+               Liberty.Lut.lookup
+                 (check_lut ck.Graph.ck_arc ~setup:true tr)
+                 t.sl_l.(i) cs.Constraints.clock_slew
+             in
+             let rat = period -. su in
+             if rat < t.rat_l.(i) then t.rat_l.(i) <- rat;
+             let sl = rat -. t.at_l.(i) in
+             if sl < !setup then setup := sl
+           end;
+           if t.at_e.(i) < infinity then begin
+             reachable := true;
+             let ho =
+               Liberty.Lut.lookup
+                 (check_lut ck.Graph.ck_arc ~setup:false tr)
+                 t.sl_e.(i) cs.Constraints.clock_slew
+             in
+             if ho > t.rat_e.(i) then t.rat_e.(i) <- ho;
+             let sl = t.at_e.(i) -. ho in
+             if sl < !hold then hold := sl
+           end
+         | None ->
+           (* primary output *)
+           if t.at_l.(i) > neg_infinity then begin
+             reachable := true;
+             let rat = period -. cs.Constraints.output_delay in
+             if rat < t.rat_l.(i) then t.rat_l.(i) <- rat;
+             let sl = rat -. t.at_l.(i) in
+             if sl < !setup then setup := sl
+           end;
+           if t.at_e.(i) < infinity then begin
+             reachable := true;
+             t.rat_e.(i) <- Float.max t.rat_e.(i) 0.0;
+             let sl = t.at_e.(i) in
+             if sl < !hold then hold := sl
+           end))
+      both_transitions;
+    if !reachable then Some (!setup, !hold) else None
+
+  (* Late RAT back-propagation for per-pin slack reporting. *)
+  let propagate_rat t =
+    let design = t.graph.Graph.design in
+    let levels = t.graph.Graph.levels in
+    for l = Array.length levels - 1 downto 0 do
+      Array.iter
+        (fun v ->
+          let pin = design.Netlist.pins.(v) in
+          (* push through the net arc into the driver *)
+          (if pin.Netlist.direction = Netlist.Input && pin.Netlist.net >= 0
+           then
+             match
+               (t.nets.Nets.trees.(pin.Netlist.net),
+                Netlist.net_driver design pin.Netlist.net)
+             with
+             | Some (_, rc), Some u when u <> v ->
+               let d = Rc.sink_delay rc t.nets.Nets.tree_index.(v) in
+               List.iter
+                 (fun tr ->
+                   let iv = idx v tr and iu = idx u tr in
+                   if t.rat_l.(iv) < infinity then
+                     let cand = t.rat_l.(iv) -. d in
+                     if cand < t.rat_l.(iu) then t.rat_l.(iu) <- cand)
+                 both_transitions
+             | (None | Some _), (None | Some _) -> ());
+          (* push through cell arcs into the arc inputs *)
+          let load = root_load_of t v in
+          List.iter
+            (fun (ca : Graph.cell_arc) ->
+              let u = ca.Graph.ca_from in
+              List.iter
+                (fun tr_out ->
+                  let iv = idx v tr_out in
+                  if t.rat_l.(iv) < infinity then
+                    List.iter
+                      (fun tr_in ->
+                        let iu = idx u tr_in in
+                        if t.at_l.(iu) > neg_infinity then begin
+                          let d =
+                            Liberty.Lut.lookup
+                              (delay_lut ca.Graph.ca_arc tr_out)
+                              t.sl_l.(iu) load
+                          in
+                          let cand = t.rat_l.(iv) -. d in
+                          if cand < t.rat_l.(iu) then t.rat_l.(iu) <- cand
+                        end)
+                      (compatible_inputs ca.Graph.ca_arc.Liberty.sense tr_out))
+                both_transitions)
+            t.graph.Graph.fanin_arcs.(v))
+        levels.(l)
+    done
+
+  let run ?(rebuild_trees = true) t =
+    let g = t.graph in
+    let cs = g.Graph.constraints in
+    if rebuild_trees then Nets.rebuild t.nets else Nets.refresh t.nets;
+    Array.fill t.at_l 0 (Array.length t.at_l) neg_infinity;
+    Array.fill t.at_e 0 (Array.length t.at_e) infinity;
+    Array.fill t.sl_l 0 (Array.length t.sl_l) 0.0;
+    Array.fill t.sl_e 0 (Array.length t.sl_e) infinity;
+    Array.fill t.rat_l 0 (Array.length t.rat_l) infinity;
+    Array.fill t.rat_e 0 (Array.length t.rat_e) neg_infinity;
+    List.iter
+      (fun p ->
+        List.iter
+          (fun tr ->
+            let i = idx p tr in
+            t.at_l.(i) <- cs.Constraints.input_delay;
+            t.at_e.(i) <- cs.Constraints.input_delay;
+            t.sl_l.(i) <- cs.Constraints.input_slew;
+            t.sl_e.(i) <- cs.Constraints.input_slew)
+          both_transitions)
+      g.Graph.primary_inputs;
+    Array.iteri
+      (fun p clock ->
+        if clock then
+          List.iter
+            (fun tr ->
+              let i = idx p tr in
+              t.at_l.(i) <- 0.0;
+              t.at_e.(i) <- 0.0;
+              t.sl_l.(i) <- cs.Constraints.clock_slew;
+              t.sl_e.(i) <- cs.Constraints.clock_slew)
+            both_transitions)
+      g.Graph.is_clock_pin;
+    Array.iter
+      (fun level_pins ->
+        Array.iter
+          (fun v ->
+            propagate_net_arc t v;
+            propagate_cell_arcs t v)
+          level_pins)
+      g.Graph.levels;
+    let slacks = ref [] in
+    let setup_wns = ref infinity and setup_tns = ref 0.0 in
+    let hold_wns = ref infinity and hold_tns = ref 0.0 in
+    Array.iter
+      (fun p ->
+        match endpoint_slack t p with
+        | None -> ()
+        | Some (su, ho) ->
+          slacks := { ep_pin = p; ep_setup_slack = su; ep_hold_slack = ho }
+                    :: !slacks;
+          if su < !setup_wns then setup_wns := su;
+          if su < 0.0 then setup_tns := !setup_tns +. su;
+          if ho < !hold_wns then hold_wns := ho;
+          if ho < 0.0 then hold_tns := !hold_tns +. ho)
+      g.Graph.endpoints;
+    propagate_rat t;
+    let sorted =
+      List.sort
+        (fun a b -> Float.compare a.ep_setup_slack b.ep_setup_slack)
+        !slacks
+    in
+    { setup_wns = (if !setup_wns = infinity then 0.0 else !setup_wns);
+      setup_tns = !setup_tns;
+      hold_wns = (if !hold_wns = infinity then 0.0 else !hold_wns);
+      hold_tns = !hold_tns;
+      endpoint_slacks = sorted }
+
+  let pin_slack_late t p =
+    let best = ref infinity in
+    List.iter
+      (fun tr ->
+        let i = idx p tr in
+        if t.at_l.(i) > neg_infinity && t.rat_l.(i) < infinity then begin
+          let s = t.rat_l.(i) -. t.at_l.(i) in
+          if s < !best then best := s
+        end)
+      both_transitions;
+    !best
+
+  let net_slack t n =
+    let pins = t.graph.Graph.design.Netlist.nets.(n).Netlist.net_pins in
+    Array.fold_left (fun acc p -> Float.min acc (pin_slack_late t p)) infinity pins
+
+  type path_step = {
+    ps_pin : int;
+    ps_transition : transition;
+    ps_at : float;
+    ps_slew : float;
+  }
+
+  (* Trace the arrival-time realisation backwards: at every pin, find
+     the fan-in contribution whose (at + delay) reproduces the pin's AT. *)
+  let critical_path ?endpoint t =
+    let design = t.graph.Graph.design in
+    let pick_endpoint () =
+      let best = ref (-1) and best_slack = ref infinity in
+      Array.iter
+        (fun p ->
+          let s = pin_slack_late t p in
+          if s < !best_slack then begin
+            best := p;
+            best_slack := s
+          end)
+        t.graph.Graph.endpoints;
+      !best
+    in
+    let p0 = match endpoint with Some p -> p | None -> pick_endpoint () in
+    if p0 < 0 then []
+    else begin
+      let start_tr =
+        let slack tr =
+          if t.at_l.(idx p0 tr) > neg_infinity then
+            t.rat_l.(idx p0 tr) -. t.at_l.(idx p0 tr)
+          else infinity
+        in
+        if slack Rise <= slack Fall then Rise else Fall
+      in
+      if t.at_l.(idx p0 start_tr) = neg_infinity then []
+      else begin
+        let rec walk acc v tr guard =
+          let step =
+            { ps_pin = v; ps_transition = tr; ps_at = t.at_l.(idx v tr);
+              ps_slew = t.sl_l.(idx v tr) }
+          in
+          let acc = step :: acc in
+          if guard <= 0 then acc
+          else begin
+            let pin = design.Netlist.pins.(v) in
+            (* net arc predecessor *)
+            let via_net =
+              if pin.Netlist.direction = Netlist.Input && pin.Netlist.net >= 0
+              then
+                match
+                  (t.nets.Nets.trees.(pin.Netlist.net),
+                   Netlist.net_driver design pin.Netlist.net)
+                with
+                | Some _, Some u
+                  when u <> v && t.at_l.(idx u tr) > neg_infinity ->
+                  Some (u, tr)
+                | (None | Some _), (None | Some _) -> None
+              else None
+            in
+            match via_net with
+            | Some (u, tr_in) -> walk acc u tr_in (guard - 1)
+            | None ->
+              (* cell arc predecessor: the contribution realising AT *)
+              let load = root_load_of t v in
+              let best = ref None and best_err = ref infinity in
+              List.iter
+                (fun (ca : Graph.cell_arc) ->
+                  List.iter
+                    (fun tr_in ->
+                      let iu = idx ca.Graph.ca_from tr_in in
+                      if t.at_l.(iu) > neg_infinity then begin
+                        let d =
+                          Liberty.Lut.lookup
+                            (delay_lut ca.Graph.ca_arc tr)
+                            t.sl_l.(iu) load
+                        in
+                        let err =
+                          Float.abs (t.at_l.(iu) +. d -. t.at_l.(idx v tr))
+                        in
+                        if err < !best_err then begin
+                          best_err := err;
+                          best := Some (ca.Graph.ca_from, tr_in)
+                        end
+                      end)
+                    (compatible_inputs ca.Graph.ca_arc.Liberty.sense tr))
+                t.graph.Graph.fanin_arcs.(v);
+              (match !best with
+               | Some (u, tr_in) -> walk acc u tr_in (guard - 1)
+               | None -> acc)
+          end
+        in
+        walk [] p0 start_tr (4 * Netlist.num_pins design)
+      end
+    end
+
+  let pp_path graph ppf steps =
+    let design = graph.Graph.design in
+    Format.fprintf ppf "@[<v>";
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "%-24s %a at %8.1f ps  slew %6.1f ps@,"
+          design.Netlist.pins.(s.ps_pin).Netlist.pin_name pp_transition
+          s.ps_transition s.ps_at s.ps_slew)
+      steps;
+    Format.fprintf ppf "@]"
+
+  let pp_report ppf r =
+    Format.fprintf ppf
+      "@[<v>setup: WNS %.1f ps, TNS %.1f ps@,hold: WNS %.1f ps, TNS %.1f ps@,\
+       endpoints: %d@]"
+      r.setup_wns r.setup_tns r.hold_wns r.hold_tns
+      (List.length r.endpoint_slacks)
+end
+
+module Incremental = struct
+  type t = {
+    tm : Timer.t;
+    graph : Graph.t;
+    dirty : bool array;            (* pin queued for re-evaluation *)
+    net_pending : bool array;      (* net queued for RC refresh *)
+    mutable pending_nets : int list;
+    ep_setup : float array;        (* per endpoint pin; nan = unconstrained *)
+    ep_hold : float array;
+    mutable last_count : int;
+  }
+
+  let timer t = t.tm
+  let last_update_pin_count t = t.last_count
+
+  let record_endpoints t (report : Timer.report) =
+    List.iter
+      (fun (e : Timer.endpoint_slack) ->
+        t.ep_setup.(e.Timer.ep_pin) <- e.Timer.ep_setup_slack;
+        t.ep_hold.(e.Timer.ep_pin) <- e.Timer.ep_hold_slack)
+      report.Timer.endpoint_slacks
+
+  let create graph =
+    let tm = Timer.create graph in
+    let report = Timer.run tm in
+    let npins = Netlist.num_pins graph.Graph.design in
+    let t =
+      { tm; graph;
+        dirty = Array.make npins false;
+        net_pending = Array.make (Netlist.num_nets graph.Graph.design) false;
+        pending_nets = [];
+        ep_setup = Array.make npins Float.nan;
+        ep_hold = Array.make npins Float.nan;
+        last_count = 0 }
+    in
+    record_endpoints t report;
+    t
+
+  let queue_net t net =
+    if net >= 0 && not t.net_pending.(net) then begin
+      t.net_pending.(net) <- true;
+      t.pending_nets <- net :: t.pending_nets
+    end
+
+  let move_cell t cell ~x ~y =
+    let design = t.graph.Graph.design in
+    let c = design.Netlist.cells.(cell) in
+    c.Netlist.x <- x;
+    c.Netlist.y <- y;
+    Array.iter
+      (fun p -> queue_net t design.Netlist.pins.(p).Netlist.net)
+      c.Netlist.cell_pins
+
+  (* Re-evaluate one pin from its fan-in state; returns true when any of
+     its eight timing values changed (bitwise). *)
+  let reevaluate t v =
+    let tm = t.tm in
+    let ir = Timer.idx v Rise and if_ = Timer.idx v Fall in
+    let o1 = tm.Timer.at_l.(ir) and o2 = tm.Timer.at_l.(if_) in
+    let o3 = tm.Timer.at_e.(ir) and o4 = tm.Timer.at_e.(if_) in
+    let o5 = tm.Timer.sl_l.(ir) and o6 = tm.Timer.sl_l.(if_) in
+    let o7 = tm.Timer.sl_e.(ir) and o8 = tm.Timer.sl_e.(if_) in
+    tm.Timer.at_l.(ir) <- neg_infinity;
+    tm.Timer.at_l.(if_) <- neg_infinity;
+    tm.Timer.at_e.(ir) <- infinity;
+    tm.Timer.at_e.(if_) <- infinity;
+    tm.Timer.sl_l.(ir) <- 0.0;
+    tm.Timer.sl_l.(if_) <- 0.0;
+    tm.Timer.sl_e.(ir) <- infinity;
+    tm.Timer.sl_e.(if_) <- infinity;
+    Timer.propagate_net_arc tm v;
+    Timer.propagate_cell_arcs tm v;
+    o1 <> tm.Timer.at_l.(ir) || o2 <> tm.Timer.at_l.(if_)
+    || o3 <> tm.Timer.at_e.(ir) || o4 <> tm.Timer.at_e.(if_)
+    || o5 <> tm.Timer.sl_l.(ir) || o6 <> tm.Timer.sl_l.(if_)
+    || o7 <> tm.Timer.sl_e.(ir) || o8 <> tm.Timer.sl_e.(if_)
+
+  let refresh_endpoint t p =
+    let tm = t.tm in
+    List.iter
+      (fun tr ->
+        let i = Timer.idx p tr in
+        tm.Timer.rat_l.(i) <- infinity;
+        tm.Timer.rat_e.(i) <- neg_infinity)
+      both_transitions;
+    match Timer.endpoint_slack tm p with
+    | Some (setup, hold) ->
+      t.ep_setup.(p) <- setup;
+      t.ep_hold.(p) <- hold
+    | None ->
+      t.ep_setup.(p) <- Float.nan;
+      t.ep_hold.(p) <- Float.nan
+
+  let update t =
+    let design = t.graph.Graph.design in
+    let nets = t.tm.Timer.nets in
+    let nlevels = Array.length t.graph.Graph.levels in
+    let buckets = Array.make nlevels [] in
+    let mark v =
+      if not t.dirty.(v) then begin
+        t.dirty.(v) <- true;
+        let l = t.graph.Graph.pin_level.(v) in
+        buckets.(l) <- v :: buckets.(l)
+      end
+    in
+    (* refresh the RC state of every touched net and seed dirtiness *)
+    List.iter
+      (fun net ->
+        t.net_pending.(net) <- false;
+        match nets.Nets.trees.(net) with
+        | None -> ()
+        | Some (tree, rc) ->
+          let pins = design.Netlist.nets.(net).Netlist.net_pins in
+          let xs = Array.map (fun p -> Netlist.pin_x design p) pins in
+          let ys = Array.map (fun p -> Netlist.pin_y design p) pins in
+          Steiner.update_coordinates tree ~xs ~ys;
+          Rc.evaluate rc;
+          Array.iter mark pins)
+      t.pending_nets;
+    t.pending_nets <- [];
+    (* level-ordered sparse propagation *)
+    let count = ref 0 in
+    let dirty_endpoints = ref [] in
+    for l = 0 to nlevels - 1 do
+      (* marks added during processing always target higher levels *)
+      List.iter
+        (fun v ->
+          t.dirty.(v) <- false;
+          incr count;
+          let changed =
+            if t.graph.Graph.is_start.(v) then false else reevaluate t v
+          in
+          if t.graph.Graph.is_endpoint.(v) then
+            dirty_endpoints := v :: !dirty_endpoints;
+          if changed then begin
+            (* fan-outs: net sinks when v drives a net, plus cell arcs *)
+            let pin = design.Netlist.pins.(v) in
+            (if pin.Netlist.direction = Netlist.Output
+                && pin.Netlist.net >= 0
+             then
+               match Netlist.net_driver design pin.Netlist.net with
+               | Some u when u = v ->
+                 List.iter mark (Netlist.net_sinks design pin.Netlist.net)
+               | Some _ | None -> ());
+            List.iter
+              (fun (ca : Graph.cell_arc) -> mark ca.Graph.ca_to)
+              t.graph.Graph.fanout_arcs.(v)
+          end)
+        (List.rev buckets.(l));
+      buckets.(l) <- []
+    done;
+    t.last_count <- !count;
+    List.iter (fun p -> refresh_endpoint t p) !dirty_endpoints;
+    (* aggregate the report from the cached endpoint slacks *)
+    let slacks = ref [] in
+    let setup_wns = ref infinity and setup_tns = ref 0.0 in
+    let hold_wns = ref infinity and hold_tns = ref 0.0 in
+    Array.iter
+      (fun p ->
+        let su = t.ep_setup.(p) and ho = t.ep_hold.(p) in
+        if not (Float.is_nan su) then begin
+          slacks :=
+            { Timer.ep_pin = p; ep_setup_slack = su; ep_hold_slack = ho }
+            :: !slacks;
+          if su < !setup_wns then setup_wns := su;
+          if su < 0.0 then setup_tns := !setup_tns +. su;
+          if ho < !hold_wns then hold_wns := ho;
+          if ho < 0.0 then hold_tns := !hold_tns +. ho
+        end)
+      t.graph.Graph.endpoints;
+    let sorted =
+      List.sort
+        (fun (a : Timer.endpoint_slack) b ->
+          Float.compare a.Timer.ep_setup_slack b.Timer.ep_setup_slack)
+        !slacks
+    in
+    { Timer.setup_wns = (if !setup_wns = infinity then 0.0 else !setup_wns);
+      setup_tns = !setup_tns;
+      hold_wns = (if !hold_wns = infinity then 0.0 else !hold_wns);
+      hold_tns = !hold_tns;
+      endpoint_slacks = sorted }
+end

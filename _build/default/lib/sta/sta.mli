@@ -1,0 +1,203 @@
+(** Static timing analysis (paper §2.1).
+
+    The circuit is a DAG over pins with two arc kinds: {e net arcs} from a
+    net's driver to each sink (wire delay, Elmore model) and {e cell arcs}
+    between pins of one cell (NLDM look-up tables).  Pins are assigned
+    logic levels by longest-path topological sorting; arrival times and
+    slews propagate level by level; slacks compare arrival against
+    required times at endpoints (flip-flop data pins and primary
+    outputs).
+
+    This module hosts the {b exact} timer (hard min/max), used for final
+    scoring and for the net-weighting baseline; the differentiable
+    (smoothed) engine lives in [Difftimer] and shares {!Graph} and
+    {!Nets}. *)
+
+type transition = Rise | Fall
+
+val transition_index : transition -> int
+(** [Rise] is 0, [Fall] is 1; per-transition state is stored at
+    [2 * pin + transition_index]. *)
+
+val pp_transition : Format.formatter -> transition -> unit
+
+(** Design constraints (SDC-lite): a single ideal clock, uniform IO
+    timing. *)
+module Constraints : sig
+  type t = {
+    clock_period : float;   (** ps. *)
+    input_delay : float;    (** arrival time at primary inputs. *)
+    output_delay : float;   (** margin required at primary outputs. *)
+    input_slew : float;     (** slew of signals entering at PIs. *)
+    clock_slew : float;     (** slew of the (ideal) clock at CK pins. *)
+    output_load : float;    (** capacitance modelled at each PO pad, fF. *)
+  }
+
+  val default : t
+end
+
+(** The timing graph: levelised pins, cell arcs, checks and static
+    per-pin data.  Built once per design; placement moves do not change
+    it (paper §3.3 step 1). *)
+module Graph : sig
+  type cell_arc = {
+    ca_from : int;  (** design pin id. *)
+    ca_to : int;
+    ca_arc : Liberty.timing_arc;
+  }
+
+  type check = {
+    ck_data : int;
+    ck_clock : int;
+    ck_arc : Liberty.check_arc;
+  }
+
+  type t = {
+    design : Netlist.t;
+    lib : Liberty.t;
+    constraints : Constraints.t;
+    pin_level : int array;
+    levels : int array array;     (** [levels.(l)] = pins at level [l]. *)
+    fanin_arcs : cell_arc list array;   (** per output pin. *)
+    fanout_arcs : cell_arc list array;  (** per input pin. *)
+    check_of_pin : check option array;  (** per data pin. *)
+    pin_cap : float array;        (** sink capacitance per pin. *)
+    is_endpoint : bool array;
+    is_start : bool array;
+    is_clock_pin : bool array;
+    primary_inputs : int list;    (** pad output pins. *)
+    primary_outputs : int list;   (** pad input pins. *)
+    endpoints : int array;
+  }
+
+  val build : Netlist.t -> Liberty.t -> Constraints.t -> t
+  (** @raise Invalid_argument on a combinational cycle or if a cell
+      references a pin missing from its library cell. *)
+
+  val max_level : t -> int
+end
+
+(** Per-net Steiner trees plus RC state, shared by the exact and the
+    differentiable timer.  [trees.(n) = None] for nets with fewer than
+    two pins. *)
+module Nets : sig
+  type t = {
+    graph : Graph.t;
+    mutable trees : (Steiner.t * Rc.t) option array;
+    tree_index : int array;
+    (** [tree_index.(p)] is pin [p]'s node index inside its net's tree
+        ([-1] if the net has no tree). *)
+  }
+
+  val create : Graph.t -> t
+  (** Builds topologies from the current placement and evaluates RC. *)
+
+  val rebuild : ?exact_limit:int -> t -> unit
+  (** Re-run Steiner construction from current pin positions (the
+      periodic "call FLUTE" step of §3.6) and re-evaluate RC. *)
+
+  val refresh : t -> unit
+  (** Keep topologies; refresh coordinates via Steiner provenance and
+      re-evaluate RC (the cheap between-FLUTE-calls step of §3.6). *)
+
+  val total_tree_length : t -> float
+  (** Total Steiner wirelength (a routing-aware wirelength metric). *)
+end
+
+(** Exact timer. *)
+module Timer : sig
+  type endpoint_slack = {
+    ep_pin : int;
+    ep_setup_slack : float;
+    ep_hold_slack : float;
+  }
+
+  type report = {
+    setup_wns : float;
+    setup_tns : float;
+    hold_wns : float;
+    hold_tns : float;
+    endpoint_slacks : endpoint_slack list;
+    (** one entry per constrained endpoint, worst setup first. *)
+  }
+
+  type t
+
+  val create : Graph.t -> t
+  val nets : t -> Nets.t
+
+  val run : ?rebuild_trees:bool -> t -> report
+  (** Full analysis on the current placement.  [rebuild_trees] (default
+      true) reconstructs Steiner topologies first; pass false to reuse
+      topologies and only refresh coordinates. *)
+
+  val at_late : t -> int -> transition -> float
+  (** Latest arrival time at a pin after {!run}; [neg_infinity] when the
+      pin is unreachable from any startpoint. *)
+
+  val at_early : t -> int -> transition -> float
+  val slew_late : t -> int -> transition -> float
+  val rat_late : t -> int -> transition -> float
+  (** Required arrival time (late/setup), [infinity] if unconstrained. *)
+
+  val pin_slack_late : t -> int -> float
+  (** [min over transitions (rat - at)]; [infinity] when unconstrained. *)
+
+  val net_slack : t -> int -> float
+  (** Worst [pin_slack_late] over the net's pins (used by net-based
+      timing-driven placement, §2.3). *)
+
+  type path_step = {
+    ps_pin : int;
+    ps_transition : transition;
+    ps_at : float;
+    ps_slew : float;
+  }
+
+  val critical_path : ?endpoint:int -> t -> path_step list
+  (** The data path realising an endpoint's worst arrival time, from a
+      startpoint to the endpoint ([endpoint] defaults to the design's
+      worst one).  Empty when the endpoint is unreachable.  Valid after
+      {!run}; paths like these are what exceed 300 stages in industrial
+      designs (§2.2). *)
+
+  val pp_path : Graph.t -> Format.formatter -> path_step list -> unit
+
+  val pp_report : Format.formatter -> report -> unit
+end
+
+(** Incremental timing analysis.
+
+    The ICCAD 2015 contest the paper evaluates on is about {e
+    incremental} timing-driven placement [33], and the authors' timer
+    line descends from GPU-accelerated incremental STA [35].  This engine
+    keeps the full arrival/slew state of a {!Timer} and, after cells
+    move, re-propagates only the affected cones: the moved cells' nets
+    are re-evaluated (Elmore on refreshed Steiner coordinates), their
+    sinks and drivers are marked dirty, and dirtiness spreads level by
+    level only where arrival times or slews actually change.
+
+    Restrictions: Steiner topologies are refreshed through provenance,
+    not rebuilt (call {!Timer.run} for a from-scratch analysis), and
+    per-pin RAT reports ([Timer.pin_slack_late]) are not maintained —
+    endpoint slacks, WNS and TNS are. *)
+module Incremental : sig
+  type t
+
+  val create : Graph.t -> t
+  (** Builds the state and runs an initial full analysis. *)
+
+  val timer : t -> Timer.t
+  (** The underlying timer, for [at_late]/[slew_late] style reads. *)
+
+  val move_cell : t -> int -> x:float -> y:float -> unit
+  (** Move a cell (updates the design in place) and queue its timing
+      cone for re-evaluation.  Cheap; no propagation happens yet. *)
+
+  val update : t -> Timer.report
+  (** Propagate all pending moves and return the refreshed report. *)
+
+  val last_update_pin_count : t -> int
+  (** Number of pins re-evaluated by the last {!update} (observability
+      for tests and benchmarks). *)
+end

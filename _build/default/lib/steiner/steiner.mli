@@ -1,0 +1,72 @@
+(** Rectilinear Steiner minimal tree (RSMT) construction with
+    differentiability support (paper §3.4.1, Fig. 4).
+
+    This is the FLUTE substitute: nets with up to [exact_limit] pins get an
+    optimal RSMT by Hanan-grid enumeration; larger nets use a rectilinear
+    Prim MST refined by greedy local Steinerisation (inserting the median
+    point of two adjacent tree edges while it shortens the tree).
+
+    Every Steiner point's coordinates equal coordinates of specific pins
+    of the net (Hanan's theorem): point [s] takes its x from pin
+    [x_source s] and its y from pin [y_source s].  This {e provenance} is
+    what the paper's Figure 4 exploits: gradients landing on a Steiner
+    point are forwarded to the pins that determine it, and when pins move
+    slightly, Steiner points are updated in O(1) without re-running the
+    tree algorithm (the "reuse FLUTE results for 9 iterations" trick of
+    §3.6). *)
+
+(** A rooted tree over the net's pins plus inserted Steiner points.
+    Nodes [0 .. pin_count - 1] are the pins in the caller's order (driver
+    first); the remaining nodes are Steiner points.  The root is node 0.
+    [parent.(0) = -1]; every other node's edge to its parent is an
+    abstract rectilinear connection of length
+    [|dx| + |dy|] (corner bends do not affect Elmore delay, so they are
+    not materialised). *)
+type t = {
+  pin_count : int;
+  xs : float array;  (** mutable coordinates of all nodes. *)
+  ys : float array;
+  parent : int array;
+  x_source : int array;  (** pin index providing x; identity for pins. *)
+  y_source : int array;
+  order : int array;  (** topological order, root first. *)
+}
+
+val node_count : t -> int
+val is_steiner : t -> int -> bool
+
+val edge_length : t -> int -> float
+(** [edge_length t v] is the rectilinear length of the edge
+    [(parent v, v)]; 0 for the root. *)
+
+val total_length : t -> float
+
+val build : ?exact_limit:int -> xs:float array -> ys:float array -> unit -> t
+(** [build ~xs ~ys ()] constructs a tree over pins at [(xs, ys)] (driver
+    at index 0).  [exact_limit] (default 4, clamped to [2, 6]) bounds the
+    net degree for which the exhaustive optimal construction runs.
+    @raise Invalid_argument on empty input or mismatched lengths. *)
+
+val update_coordinates : t -> xs:float array -> ys:float array -> unit
+(** Refresh pin coordinates in place and recompute Steiner point
+    coordinates from their provenance, keeping the topology (the paper's
+    incremental update between FLUTE calls). *)
+
+val accumulate_pin_gradient :
+  t ->
+  node_gx:float array ->
+  node_gy:float array ->
+  pin_gx:float array ->
+  pin_gy:float array ->
+  unit
+(** Fold per-node gradients into per-pin gradients: each pin receives its
+    own gradient plus the gradients of every Steiner point whose x (resp.
+    y) it determines.  [pin_gx]/[pin_gy] are {b accumulated into} (callers
+    zero them). *)
+
+val mst_length : xs:float array -> ys:float array -> float
+(** Length of the rectilinear minimum spanning tree over the pins only
+    (upper bound reference for tests). *)
+
+val hpwl : xs:float array -> ys:float array -> float
+(** Net bounding-box half-perimeter (lower bound reference for tests). *)

@@ -1,0 +1,146 @@
+module Svg = struct
+  type options = {
+    width_px : int;
+    draw_nets : bool;
+    max_net_degree : int;
+    highlight_path : Sta.Timer.path_step list;
+  }
+
+  let default_options =
+    { width_px = 800; draw_nets = false; max_net_degree = 8;
+      highlight_path = [] }
+
+  let render ?(options = default_options) (design : Netlist.t) =
+    let region = design.Netlist.region in
+    let w = Geometry.Rect.width region and h = Geometry.Rect.height region in
+    let scale = float_of_int options.width_px /. Float.max 1e-9 w in
+    let height_px = int_of_float (Float.ceil (h *. scale)) in
+    (* SVG y grows downwards; flip so the origin is bottom-left *)
+    let sx x = (x -. region.Geometry.Rect.lx) *. scale in
+    let sy y = (region.Geometry.Rect.hy -. y) *. scale in
+    let b = Buffer.create (1 lsl 16) in
+    Buffer.add_string b
+      (Printf.sprintf
+         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" \
+          height=\"%d\" viewBox=\"0 0 %d %d\">\n"
+         options.width_px height_px options.width_px height_px);
+    Buffer.add_string b
+      (Printf.sprintf
+         "<rect x=\"0\" y=\"0\" width=\"%d\" height=\"%d\" fill=\"#fafafa\" \
+          stroke=\"#444\"/>\n"
+         options.width_px height_px);
+    (* cells *)
+    Array.iter
+      (fun (c : Netlist.cell) ->
+        let fill =
+          if c.Netlist.fixed then "#333333"
+          else if c.Netlist.lib_cell >= 0 && c.Netlist.width > 3.5 then
+            "#d4886b" (* wide cells: flip-flops in the synthetic library *)
+          else "#7a9cc6"
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" \
+              fill=\"%s\" fill-opacity=\"0.8\" stroke=\"#2a2a2a\" \
+              stroke-width=\"0.2\"/>\n"
+             (sx (c.Netlist.x -. (c.Netlist.width /. 2.0)))
+             (sy (c.Netlist.y +. (c.Netlist.height /. 2.0)))
+             (Float.max 1.0 (c.Netlist.width *. scale))
+             (Float.max 1.0 (c.Netlist.height *. scale))
+             fill))
+      design.Netlist.cells;
+    (* net fly-lines *)
+    if options.draw_nets then
+      Array.iter
+        (fun (net : Netlist.net) ->
+          if Array.length net.Netlist.net_pins <= options.max_net_degree then
+            match Netlist.net_driver design net.Netlist.net_id with
+            | None -> ()
+            | Some drv ->
+              let dx = sx (Netlist.pin_x design drv)
+              and dy = sy (Netlist.pin_y design drv) in
+              List.iter
+                (fun s ->
+                  Buffer.add_string b
+                    (Printf.sprintf
+                       "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" \
+                        y2=\"%.2f\" stroke=\"#88aa88\" stroke-width=\"0.4\" \
+                        stroke-opacity=\"0.5\"/>\n"
+                       dx dy
+                       (sx (Netlist.pin_x design s))
+                       (sy (Netlist.pin_y design s))))
+                (Netlist.net_sinks design net.Netlist.net_id))
+        design.Netlist.nets;
+    (* critical path overlay *)
+    (match options.highlight_path with
+     | [] -> ()
+     | steps ->
+       let points =
+         List.map
+           (fun (s : Sta.Timer.path_step) ->
+             Printf.sprintf "%.2f,%.2f"
+               (sx (Netlist.pin_x design s.Sta.Timer.ps_pin))
+               (sy (Netlist.pin_y design s.Sta.Timer.ps_pin)))
+           steps
+       in
+       Buffer.add_string b
+         (Printf.sprintf
+            "<polyline points=\"%s\" fill=\"none\" stroke=\"#cc2222\" \
+             stroke-width=\"1.5\"/>\n"
+            (String.concat " " points)));
+    Buffer.add_string b "</svg>\n";
+    Buffer.contents b
+
+  let save ?options path design =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (render ?options design))
+end
+
+module Ascii = struct
+  let density_map ?(columns = 48) (design : Netlist.t) =
+    let region = design.Netlist.region in
+    let w = Geometry.Rect.width region and h = Geometry.Rect.height region in
+    let cols = max 4 columns in
+    let rows = max 2 (int_of_float (Float.round (float_of_int cols *. h /. Float.max 1e-9 w /. 2.0))) in
+    (* /2 compensates terminal character aspect ratio *)
+    let movable = Array.make (rows * cols) 0.0 in
+    let fixed = Array.make (rows * cols) 0.0 in
+    let bin_w = w /. float_of_int cols and bin_h = h /. float_of_int rows in
+    Array.iter
+      (fun (c : Netlist.cell) ->
+        let cx =
+          Geometry.clamp ~lo:0.0 ~hi:(float_of_int cols -. 1.0)
+            ((c.Netlist.x -. region.Geometry.Rect.lx) /. bin_w)
+        in
+        let cy =
+          Geometry.clamp ~lo:0.0 ~hi:(float_of_int rows -. 1.0)
+            ((c.Netlist.y -. region.Geometry.Rect.ly) /. bin_h)
+        in
+        let idx = (int_of_float cy * cols) + int_of_float cx in
+        let area = c.Netlist.width *. c.Netlist.height in
+        if c.Netlist.fixed then fixed.(idx) <- fixed.(idx) +. area
+        else movable.(idx) <- movable.(idx) +. area)
+      design.Netlist.cells;
+    let bin_area = bin_w *. bin_h in
+    let b = Buffer.create (rows * (cols + 1)) in
+    for r = rows - 1 downto 0 do
+      for col = 0 to cols - 1 do
+        let idx = (r * cols) + col in
+        let d = movable.(idx) /. bin_area in
+        let ch =
+          if fixed.(idx) > movable.(idx) && fixed.(idx) > 0.0 then '@'
+          else if d <= 0.01 then '.'
+          else if d < 0.25 then ':'
+          else if d < 0.5 then '+'
+          else if d < 0.75 then 'o'
+          else if d < 1.0 then 'O'
+          else '#'
+        in
+        Buffer.add_char b ch
+      done;
+      Buffer.add_char b '\n'
+    done;
+    Buffer.contents b
+end

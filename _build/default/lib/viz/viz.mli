@@ -1,0 +1,31 @@
+(** Placement visualisation: SVG plots and terminal density maps.
+
+    A placement plot is the fastest way to sanity-check a run: cells as
+    rectangles (pads dark, flip-flops tinted), optional net fly-lines and
+    the critical path overlaid in red. *)
+
+(** SVG rendering. *)
+module Svg : sig
+  type options = {
+    width_px : int;          (** output width; height follows the region. *)
+    draw_nets : bool;        (** net fly-lines, driver to each sink. *)
+    max_net_degree : int;    (** skip fly-lines of nets above this degree. *)
+    highlight_path : Sta.Timer.path_step list;
+        (** overlay, e.g. [Sta.Timer.critical_path timer]. *)
+  }
+
+  val default_options : options
+
+  val render : ?options:options -> Netlist.t -> string
+  (** A standalone SVG document of the design at its current placement. *)
+
+  val save : ?options:options -> string -> Netlist.t -> unit
+end
+
+(** Low-fi terminal rendering. *)
+module Ascii : sig
+  val density_map : ?columns:int -> Netlist.t -> string
+  (** A [columns]-wide (default 48) character map of cell-area density:
+      ['.'] empty through ['#'] overfull, ['@'] for bins dominated by
+      fixed cells. *)
+end

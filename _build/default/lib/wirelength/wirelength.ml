@@ -1,0 +1,79 @@
+type t = {
+  design : Netlist.t;
+  mutable gamma_ : float;
+  coords : float array;  (* scratch: pin coordinates of the current net *)
+}
+
+let create ?(gamma = 4.0) design =
+  let max_degree =
+    Array.fold_left
+      (fun acc (net : Netlist.net) -> max acc (Array.length net.Netlist.net_pins))
+      1 design.Netlist.nets
+  in
+  { design; gamma_ = gamma; coords = Array.make max_degree 0.0 }
+
+let gamma t = t.gamma_
+let set_gamma t g = t.gamma_ <- g
+let hpwl t = Netlist.total_hpwl t.design
+
+(* One axis of the WA model for one net.  Returns the smooth extent and
+   accumulates d(extent)/d(coord_i) into [out] at the pins' cells.
+
+   With the max-shifted exponentials, the positive (max-like) part is
+     S+ = sum x_i e_i / sum e_i,   e_i = exp ((x_i - M) / g)
+   and its partial derivative is
+     dS+/dx_i = e_i (1 + (x_i - S+) / g) / sum e_i,
+   symmetrically for the min-like part with negated exponents. *)
+let axis_wa t (pins : int array) coord_of weight out =
+  let n = Array.length pins in
+  let g = t.gamma_ in
+  let xs = t.coords in
+  let lo = ref infinity and hi = ref neg_infinity in
+  for k = 0 to n - 1 do
+    let v = coord_of pins.(k) in
+    xs.(k) <- v;
+    if v < !lo then lo := v;
+    if v > !hi then hi := v
+  done;
+  let sum_ep = ref 0.0 and sum_xep = ref 0.0 in
+  let sum_em = ref 0.0 and sum_xem = ref 0.0 in
+  for k = 0 to n - 1 do
+    let ep = exp ((xs.(k) -. !hi) /. g) in
+    let em = exp ((!lo -. xs.(k)) /. g) in
+    sum_ep := !sum_ep +. ep;
+    sum_xep := !sum_xep +. (xs.(k) *. ep);
+    sum_em := !sum_em +. em;
+    sum_xem := !sum_xem +. (xs.(k) *. em)
+  done;
+  let s_plus = !sum_xep /. !sum_ep in
+  let s_minus = !sum_xem /. !sum_em in
+  for k = 0 to n - 1 do
+    let ep = exp ((xs.(k) -. !hi) /. g) in
+    let em = exp ((!lo -. xs.(k)) /. g) in
+    let d_plus = ep *. (1.0 +. ((xs.(k) -. s_plus) /. g)) /. !sum_ep in
+    let d_minus = em *. (1.0 -. ((xs.(k) -. s_minus) /. g)) /. !sum_em in
+    let cell = t.design.Netlist.pins.(pins.(k)).Netlist.cell in
+    out.(cell) <- out.(cell) +. (weight *. (d_plus -. d_minus))
+  done;
+  s_plus -. s_minus
+
+let evaluate t ?(weighted = true) ~grad_x ~grad_y () =
+  let ncells = Netlist.num_cells t.design in
+  if Array.length grad_x <> ncells || Array.length grad_y <> ncells then
+    invalid_arg "Wirelength.evaluate: gradient size mismatch";
+  let total = ref 0.0 in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      let pins = net.Netlist.net_pins in
+      if Array.length pins >= 2 then begin
+        let w = if weighted then net.Netlist.weight else 1.0 in
+        let wx =
+          axis_wa t pins (fun p -> Netlist.pin_x t.design p) w grad_x
+        in
+        let wy =
+          axis_wa t pins (fun p -> Netlist.pin_y t.design p) w grad_y
+        in
+        total := !total +. (w *. (wx +. wy))
+      end)
+    t.design.Netlist.nets;
+  !total

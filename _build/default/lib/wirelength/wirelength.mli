@@ -1,0 +1,33 @@
+(** Smooth wirelength models for analytical placement (paper §2.2).
+
+    The optimiser needs a differentiable stand-in for the half-perimeter
+    wirelength (HPWL).  We implement the weighted-average (WA) model used
+    by DREAMPlace: for one net and one axis,
+
+    [WA = (sum x_i e^(x_i/g)) / (sum e^(x_i/g))
+        - (sum x_i e^(-x_i/g)) / (sum e^(-x_i/g))]
+
+    which tends to [max x - min x] as the smoothing width [g] goes to 0.
+    Each net contributes [weight * (WA_x + WA_y)]; per-net weights are the
+    hook used by the net-weighting baseline (Eq. 4). *)
+
+type t
+
+val create : ?gamma:float -> Netlist.t -> t
+(** [gamma] is the smoothing width in microns (default 4.0; smaller is
+    sharper).  Buffers are sized for the design once. *)
+
+val gamma : t -> float
+val set_gamma : t -> float -> unit
+
+val evaluate :
+  t -> ?weighted:bool -> grad_x:float array -> grad_y:float array -> unit ->
+  float
+(** Smooth weighted wirelength of the design at its current positions.
+    Gradients with respect to {e cell centers} are {b accumulated} into
+    [grad_x]/[grad_y] (length [num_cells]; gradients also accrue on fixed
+    cells — callers mask them).  [weighted] (default true) applies net
+    weights. *)
+
+val hpwl : t -> float
+(** Exact (non-smooth, unweighted) HPWL for reporting. *)

@@ -1,0 +1,403 @@
+module Rng = struct
+  (* splitmix64: tiny, high-quality, and stable across platforms. *)
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int seed }
+
+  let next t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let int t n =
+    if n <= 0 then invalid_arg "Workload.Rng.int: bound must be positive";
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1)
+                    (Int64.of_int n))
+
+  let float t x =
+    let u = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+    x *. u /. 9007199254740992.0 (* 2^53 *)
+
+  let bool t p = float t 1.0 < p
+
+  let choose_weighted t choices =
+    let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 choices in
+    let r = float t total in
+    let rec pick acc = function
+      | [] -> invalid_arg "Workload.Rng.choose_weighted: empty"
+      | [ (_, v) ] -> v
+      | (w, v) :: rest -> if r < acc +. w then v else pick (acc +. w) rest
+    in
+    pick 0.0 choices
+end
+
+type spec = {
+  sp_name : string;
+  sp_seed : int;
+  sp_cells : int;
+  sp_ff_ratio : float;
+  sp_inputs : int;
+  sp_outputs : int;
+  sp_depth : int;
+  sp_utilization : float;
+  sp_clock_period : float;
+  sp_hub_ratio : float;
+  sp_hub_prob : float;
+}
+
+let default_spec =
+  { sp_name = "default";
+    sp_seed = 1;
+    sp_cells = 2000;
+    sp_ff_ratio = 0.12;
+    sp_inputs = 48;
+    sp_outputs = 48;
+    sp_depth = 16;
+    sp_utilization = 0.55;
+    sp_clock_period = 900.0;
+    sp_hub_ratio = 0.002;
+    sp_hub_prob = 0.04 }
+
+(* Relative weights of combinational cell types, loosely following the
+   composition of a mapped industrial design. *)
+let comb_mix =
+  [ (0.12, "INV_X1"); (0.05, "INV_X2"); (0.02, "INV_X4");
+    (0.05, "BUF_X1"); (0.03, "BUF_X2");
+    (0.16, "NAND2_X1"); (0.05, "NAND2_X2");
+    (0.11, "NOR2_X1"); (0.04, "NOR2_X2");
+    (0.07, "AND2_X1"); (0.07, "OR2_X1"); (0.06, "XOR2_X1");
+    (0.05, "AOI21_X1"); (0.05, "OAI21_X1"); (0.07, "MUX2_X1") ]
+
+let ff_mix = [ (0.8, "DFF_X1"); (0.2, "DFF_X2") ]
+
+(* Deterministic pin offsets inside a cell: spread along x, alternate
+   above/below the center line. *)
+let pin_offset (lc : Liberty.lib_cell) j =
+  let k = Array.length lc.Liberty.lc_pins in
+  let w = lc.Liberty.lc_width and h = lc.Liberty.lc_height in
+  let ox = (w *. (float_of_int (j + 1) /. float_of_int (k + 1))) -. (w /. 2.0) in
+  let oy = if j land 1 = 0 then -.h /. 8.0 else h /. 8.0 in
+  (ox, oy)
+
+(* An output pool per logic level, tracking which outputs are still
+   unused so fanout-0 outputs stay rare. *)
+type pool = {
+  mutable members : int array;
+  mutable used : bool array;
+  mutable unused_count : int;
+}
+
+let pool_of_list pins =
+  let members = Array.of_list pins in
+  { members;
+    used = Array.make (Array.length members) false;
+    unused_count = Array.length members }
+
+let pool_pick rng pool =
+  let n = Array.length pool.members in
+  if n = 0 then None
+  else begin
+    let idx =
+      if pool.unused_count > 0 && Rng.bool rng 0.7 then begin
+        (* pick among unused members: walk from a random start *)
+        let start = Rng.int rng n in
+        let rec find i steps =
+          if steps >= n then start
+          else if not pool.used.(i) then i
+          else find ((i + 1) mod n) (steps + 1)
+        in
+        find start 0
+      end
+      else Rng.int rng n
+    in
+    if not pool.used.(idx) then begin
+      pool.used.(idx) <- true;
+      pool.unused_count <- pool.unused_count - 1
+    end;
+    Some pool.members.(idx)
+  end
+
+let pool_unused pool =
+  let acc = ref [] in
+  Array.iteri
+    (fun i used -> if not used then acc := pool.members.(i) :: !acc)
+    pool.used;
+  !acc
+
+let generate lib spec =
+  let rng = Rng.create spec.sp_seed in
+  let cell_of name =
+    match Liberty.cell_index lib name with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Workload: no lib cell %S" name)
+  in
+  let n_ff =
+    max 1 (int_of_float (Float.round (spec.sp_ff_ratio *. float_of_int spec.sp_cells)))
+  in
+  let n_comb = max 1 (spec.sp_cells - n_ff) in
+  (* choose every instance's type up front to size the region *)
+  let comb_kinds =
+    Array.init n_comb (fun _ -> cell_of (Rng.choose_weighted rng comb_mix))
+  in
+  let ff_kinds =
+    Array.init n_ff (fun _ -> cell_of (Rng.choose_weighted rng ff_mix))
+  in
+  let area_of k =
+    let lc = lib.Liberty.lib_cells.(k) in
+    lc.Liberty.lc_width *. lc.Liberty.lc_height
+  in
+  let total_area =
+    Array.fold_left (fun a k -> a +. area_of k) 0.0 comb_kinds
+    +. Array.fold_left (fun a k -> a +. area_of k) 0.0 ff_kinds
+  in
+  let side = Float.sqrt (total_area /. spec.sp_utilization) in
+  let region = Geometry.Rect.make ~lx:0.0 ~ly:0.0 ~hx:side ~hy:side in
+  let b = Netlist.Builder.create ~region ~row_height:1.4 spec.sp_name in
+  (* ---- pads on the periphery ---- *)
+  let perimeter_position t =
+    (* t in [0,1) walks the boundary counter-clockwise from (0,0) *)
+    let s = t *. 4.0 in
+    if s < 1.0 then (s *. side, 0.0)
+    else if s < 2.0 then (side, (s -. 1.0) *. side)
+    else if s < 3.0 then ((3.0 -. s) *. side, side)
+    else (0.0, (4.0 -. s) *. side)
+  in
+  let pad_cells = ref [] in
+  let make_pad idx prefix direction =
+    (* positions are provisional; all pads are respaced after freeze once
+       the final pad count (including overflow observation pads) is known *)
+    let cell =
+      Netlist.Builder.add_cell b
+        ~name:(Printf.sprintf "%s%d" prefix idx)
+        ~lib_cell:(-1) ~width:2.0 ~height:2.0 ~x:0.0 ~y:0.0 ~fixed:true ()
+    in
+    pad_cells := cell :: !pad_cells;
+    Netlist.Builder.add_pin b ~cell
+      ~name:(Printf.sprintf "%s%d/P" prefix idx)
+      ~direction ()
+  in
+  let pi_pins =
+    List.init spec.sp_inputs (fun i -> make_pad i "pi" Netlist.Output)
+  in
+  (* ---- standard cells ---- *)
+  let random_position () =
+    let margin = 2.0 in
+    (margin +. Rng.float rng (side -. (2.0 *. margin)),
+     margin +. Rng.float rng (side -. (2.0 *. margin)))
+  in
+  let instantiate prefix i kind =
+    let lc = lib.Liberty.lib_cells.(kind) in
+    let x, y = random_position () in
+    let name = Printf.sprintf "%s%d" prefix i in
+    let cell =
+      Netlist.Builder.add_cell b ~name ~lib_cell:kind
+        ~width:lc.Liberty.lc_width ~height:lc.Liberty.lc_height ~x ~y ()
+    in
+    let pins =
+      Array.mapi
+        (fun j (lp : Liberty.lib_pin) ->
+          let ox, oy = pin_offset lc j in
+          Netlist.Builder.add_pin b ~cell
+            ~name:(Printf.sprintf "%s/%s" name lp.Liberty.lp_name)
+            ~direction:
+              (match lp.Liberty.lp_direction with
+               | Liberty.Lib_input -> Netlist.Input
+               | Liberty.Lib_output -> Netlist.Output)
+            ~offset_x:ox ~offset_y:oy ~lib_pin:j ())
+        lc.Liberty.lc_pins
+    in
+    (kind, pins)
+  in
+  let depth = max 2 spec.sp_depth in
+  let comb_level = Array.init n_comb (fun _ -> 1 + Rng.int rng depth) in
+  let combs = Array.mapi (fun i k -> instantiate "u" i k) comb_kinds in
+  let ffs = Array.mapi (fun i k -> instantiate "ff" i k) ff_kinds in
+  (* ---- wiring ---- *)
+  (* output pools per level; level 0 holds PIs and flip-flop Q pins *)
+  let q_pins =
+    Array.to_list ffs
+    |> List.map (fun (kind, pins) ->
+      let lc = lib.Liberty.lib_cells.(kind) in
+      match Liberty.output_pins lc with
+      | [ q ] -> pins.(q)
+      | [] | _ :: _ -> invalid_arg "Workload: flip-flop without unique Q")
+  in
+  let level_outputs = Array.make (depth + 1) [] in
+  level_outputs.(0) <- pi_pins @ q_pins;
+  Array.iteri
+    (fun i (kind, pins) ->
+      let lc = lib.Liberty.lib_cells.(kind) in
+      match Liberty.output_pins lc with
+      | [ y ] ->
+        let l = comb_level.(i) in
+        level_outputs.(l) <- pins.(y) :: level_outputs.(l)
+      | [] | _ :: _ -> invalid_arg "Workload: comb cell without unique output")
+    combs;
+  let pools = Array.map pool_of_list level_outputs in
+  let sinks_of = Hashtbl.create (n_comb * 2) in
+  let connect driver sink =
+    let existing = Option.value ~default:[] (Hashtbl.find_opt sinks_of driver) in
+    if List.mem sink existing then false
+    else begin
+      Hashtbl.replace sinks_of driver (sink :: existing);
+      true
+    end
+  in
+  let rec pick_driver_below level tries =
+    (* prefer the immediately preceding level to realise the target depth *)
+    let l =
+      if tries = 0 || Rng.bool rng 0.55 then level - 1
+      else Rng.int rng level
+    in
+    match pool_pick rng pools.(l) with
+    | Some p -> p
+    | None -> if tries > 8 then pools.(0).members.(0)
+      else pick_driver_below level (tries + 1)
+  in
+  (* a few outputs act as high-fanout hub drivers (enable/control-style
+     nets), giving the benchmark the fanout skew of mapped designs *)
+  let hubs =
+    let n_hubs =
+      int_of_float (Float.round (spec.sp_hub_ratio *. float_of_int n_comb))
+    in
+    Array.init (max 0 n_hubs) (fun _ ->
+      let i = Rng.int rng n_comb in
+      let kind, pins = combs.(i) in
+      let lc = lib.Liberty.lib_cells.(kind) in
+      match Liberty.output_pins lc with
+      | [ y ] -> (pins.(y), comb_level.(i))
+      | [] | _ :: _ -> invalid_arg "Workload: comb cell without unique output")
+  in
+  let pick_hub_below level =
+    let eligible =
+      Array.to_list hubs
+      |> List.filter_map (fun (p, l) -> if l < level then Some p else None)
+    in
+    match eligible with
+    | [] -> None
+    | _ :: _ -> Some (List.nth eligible (Rng.int rng (List.length eligible)))
+  in
+  Array.iteri
+    (fun i (kind, pins) ->
+      let lc = lib.Liberty.lib_cells.(kind) in
+      let level = comb_level.(i) in
+      List.iter
+        (fun j ->
+          let hub_driver =
+            if Rng.bool rng spec.sp_hub_prob then pick_hub_below level
+            else None
+          in
+          match hub_driver with
+          | Some driver when connect driver pins.(j) -> ()
+          | Some _ | None ->
+            let rec wire tries =
+              let driver = pick_driver_below level tries in
+              if not (connect driver pins.(j)) && tries < 4 then wire (tries + 1)
+            in
+            wire 0)
+        (Liberty.input_pins lc))
+    combs;
+  (* flip-flop D pins capture deep logic *)
+  let deep_min = max 1 (depth - 3) in
+  Array.iter
+    (fun (kind, pins) ->
+      let lc = lib.Liberty.lib_cells.(kind) in
+      let d_pin =
+        match
+          List.filter
+            (fun j -> not lc.Liberty.lc_pins.(j).Liberty.lp_is_clock)
+            (Liberty.input_pins lc)
+        with
+        | [ d ] -> d
+        | [] | _ :: _ -> invalid_arg "Workload: flip-flop without unique D"
+      in
+      let rec wire tries =
+        let l = deep_min + Rng.int rng (depth + 1 - deep_min) in
+        match pool_pick rng pools.(l) with
+        | Some driver -> if not (connect driver pins.(d_pin)) && tries < 6 then wire (tries + 1)
+        | None -> if tries < 12 then wire (tries + 1)
+          else begin
+            let driver = pick_driver_below depth tries in
+            ignore (connect driver pins.(d_pin))
+          end
+      in
+      wire 0)
+    ffs;
+  (* primary outputs observe random deep outputs *)
+  let next_po = ref 0 in
+  let add_po driver =
+    let sink = make_pad (spec.sp_inputs + !next_po) "po" Netlist.Input in
+    incr next_po;
+    ignore (connect driver sink)
+  in
+  for _ = 1 to spec.sp_outputs do
+    let l = deep_min + Rng.int rng (depth + 1 - deep_min) in
+    match pool_pick rng pools.(l) with
+    | Some driver -> add_po driver
+    | None -> ()
+  done;
+  (* leftover unused outputs get observation pads so no logic dangles *)
+  Array.iter
+    (fun pool ->
+      List.iter
+        (fun driver ->
+          if not (Hashtbl.mem sinks_of driver) then add_po driver)
+        (pool_unused pool))
+    pools;
+  (* materialise nets *)
+  let net_id = ref 0 in
+  Hashtbl.iter
+    (fun driver sinks ->
+      ignore
+        (Netlist.Builder.add_net b
+           ~name:(Printf.sprintf "n%d" !net_id)
+           ~pins:(driver :: sinks));
+      incr net_id)
+    sinks_of;
+  let design = Netlist.Builder.freeze b in
+  (* space all pads evenly around the periphery *)
+  let pads = Array.of_list (List.rev !pad_cells) in
+  let npads = Array.length pads in
+  Array.iteri
+    (fun k cell_id ->
+      let t = (float_of_int k +. 0.5) /. float_of_int (max 1 npads) in
+      let x, y = perimeter_position t in
+      let c = design.Netlist.cells.(cell_id) in
+      c.Netlist.x <- x;
+      c.Netlist.y <- y)
+    pads;
+  let constraints =
+    { Sta.Constraints.default with
+      Sta.Constraints.clock_period = spec.sp_clock_period }
+  in
+  (design, constraints)
+
+let superblue_mini ?(scale = 0.01) () =
+  let mk name seed cells depth period =
+    { sp_name = name ^ "-mini";
+      sp_seed = seed;
+      sp_cells = max 200 (int_of_float (float_of_int cells *. scale));
+      sp_ff_ratio = 0.12;
+      sp_inputs = max 8 (int_of_float (0.02 *. float_of_int cells *. scale));
+      sp_outputs = max 8 (int_of_float (0.02 *. float_of_int cells *. scale));
+      sp_depth = depth;
+      sp_utilization = 0.55;
+      sp_clock_period = period;
+      sp_hub_ratio = 0.002;
+      sp_hub_prob = 0.04 }
+  in
+  [ mk "superblue1" 1001 1209716 22 1250.0;
+    mk "superblue3" 1003 1213253 24 1340.0;
+    mk "superblue4" 1004 795645 20 1130.0;
+    mk "superblue5" 1005 1086888 26 1420.0;
+    mk "superblue7" 1007 1931639 24 1360.0;
+    mk "superblue10" 1010 1876103 28 1520.0;
+    mk "superblue16" 1016 981559 20 1140.0;
+    mk "superblue18" 1018 768068 18 1040.0 ]
+
+let find_spec name =
+  List.find_opt (fun s -> String.equal s.sp_name name) (superblue_mini ())

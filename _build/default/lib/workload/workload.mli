@@ -1,0 +1,61 @@
+(** Synthetic benchmark generator.
+
+    The ICCAD 2015 superblue designs used in the paper are proprietary
+    and million-cell scale; this module generates deterministic scaled
+    stand-ins that preserve the structural features timing-driven
+    placement responds to: levelised combinational logic between
+    flip-flop stages (deep critical paths, §2.2), realistic fanout skew,
+    IO pads on the periphery and a clock period that leaves the design in
+    violation after wirelength-only placement. *)
+
+(** A small deterministic PRNG (splitmix64) so generated benchmarks are
+    bit-identical across OCaml versions and platforms. *)
+module Rng : sig
+  type t
+
+  val create : int -> t
+  val int : t -> int -> int
+  (** [int rng n] is uniform in [0, n). *)
+
+  val float : t -> float -> float
+  (** [float rng x] is uniform in [0, x). *)
+
+  val bool : t -> float -> bool
+  (** [bool rng p] is true with probability [p]. *)
+
+  val choose_weighted : t -> (float * 'a) list -> 'a
+end
+
+type spec = {
+  sp_name : string;
+  sp_seed : int;
+  sp_cells : int;          (** target number of movable standard cells. *)
+  sp_ff_ratio : float;     (** fraction of cells that are flip-flops. *)
+  sp_inputs : int;         (** primary input pads. *)
+  sp_outputs : int;        (** primary output pads. *)
+  sp_depth : int;          (** target combinational depth. *)
+  sp_utilization : float;  (** cell area / region area. *)
+  sp_clock_period : float; (** ps. *)
+  sp_hub_ratio : float;
+      (** fraction of combinational outputs designated as high-fanout
+          "hub" drivers (control/enable-style nets; default 0.002). *)
+  sp_hub_prob : float;
+      (** probability that any given input connects to a hub instead of
+          regular level-based wiring (default 0.04). *)
+}
+
+val default_spec : spec
+
+val generate : Liberty.t -> spec -> Netlist.t * Sta.Constraints.t
+(** Build the netlist and its constraints.  Pads are placed fixed on the
+    region periphery; movable cells get deterministic pseudo-random
+    initial positions inside the region. *)
+
+val superblue_mini : ?scale:float -> unit -> spec list
+(** The eight Table 2 benchmarks scaled by [scale] (default 0.01: one
+    hundredth of the original cell counts), with per-design seeds, depth
+    and clock targets that reproduce the paper's relative difficulty. *)
+
+val find_spec : string -> spec option
+(** Look up a [superblue_mini ()] spec by name, e.g.
+    ["superblue4-mini"]. *)

@@ -1,0 +1,1 @@
+test/test_bookshelf.ml: Alcotest Array Bookshelf Filename Fun Liberty Netlist Sta Sys Workload

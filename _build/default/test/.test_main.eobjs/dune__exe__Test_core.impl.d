@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Float Geometry Liberty List Netlist Netweight Optim Sta Workload

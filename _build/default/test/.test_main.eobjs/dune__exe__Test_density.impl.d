@@ -1,0 +1,1 @@
+test/test_density.ml: Alcotest Array Density Float Geometry Netlist Printf Workload

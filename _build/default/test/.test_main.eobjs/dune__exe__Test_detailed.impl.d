@@ -1,0 +1,1 @@
+test/test_detailed.ml: Alcotest Array Detailed Float Geometry Legalize Liberty Netlist Workload

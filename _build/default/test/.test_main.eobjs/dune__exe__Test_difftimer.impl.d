@@ -1,0 +1,1 @@
+test/test_difftimer.ml: Alcotest Array Difftimer Float Fun Geometry Liberty List Netlist Parallel Printf Seq Sta Workload

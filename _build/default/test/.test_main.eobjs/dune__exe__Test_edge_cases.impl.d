@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Bookshelf Bytes Char Core Difftimer Float Geometry Legalize Liberty List Netlist Printf Sta String Wirelength Workload

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Bbox Float Geometry List Point QCheck2 QCheck_alcotest Rect

@@ -1,0 +1,1 @@
+test/test_legalize.ml: Alcotest Array Float Geometry Legalize Netlist Printf Workload

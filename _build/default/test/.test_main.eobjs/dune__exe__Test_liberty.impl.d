@@ -1,0 +1,1 @@
+test/test_liberty.ml: Alcotest Array Float Liberty List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_netweight.ml: Alcotest Array Liberty Netlist Netweight Sta Workload

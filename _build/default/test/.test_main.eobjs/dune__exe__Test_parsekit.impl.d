@@ -1,0 +1,1 @@
+test/test_parsekit.ml: Alcotest Array List Parsekit Printf String

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Bookshelf Detailed Difftimer Float Geometry Legalize Liberty List Netlist Printf QCheck2 QCheck_alcotest Rc Sta Steiner String Workload

@@ -1,0 +1,1 @@
+test/test_rc.ml: Alcotest Array Float QCheck2 QCheck_alcotest Rc Steiner Workload

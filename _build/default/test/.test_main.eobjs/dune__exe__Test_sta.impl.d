@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Float Geometry Liberty List Netlist Printf Rc Sta String Workload

@@ -1,0 +1,1 @@
+test/test_steiner.ml: Alcotest Array Float QCheck2 QCheck_alcotest Steiner Workload

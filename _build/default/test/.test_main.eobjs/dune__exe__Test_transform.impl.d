@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Float List QCheck2 QCheck_alcotest Transform Workload

@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Array Core Filename Float Fun Liberty List Netlist Sta Sys Verilog Workload

@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Array Filename Fun Geometry In_channel Liberty List Netlist Sta String Sys Viz Workload

@@ -1,0 +1,1 @@
+test/test_wirelength.ml: Alcotest Array Float Geometry Liberty Netlist Wirelength Workload

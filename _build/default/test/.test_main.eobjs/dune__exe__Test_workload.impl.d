@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bookshelf Float Geometry Hashtbl Liberty List Netlist Option Sta Workload

@@ -1,0 +1,87 @@
+(* Tests for the bookshelf-lite design format. *)
+
+let lib = Liberty.Synthetic.default ()
+
+let sample () =
+  Workload.generate lib { Workload.default_spec with Workload.sp_cells = 120 }
+
+let test_roundtrip_exact () =
+  let design, cons = sample () in
+  let s = Bookshelf.to_string design cons in
+  let d2, c2 = Bookshelf.of_string lib s in
+  Alcotest.(check string) "byte-identical second print" s
+    (Bookshelf.to_string d2 c2)
+
+let test_roundtrip_semantics () =
+  let design, cons = sample () in
+  let d2, c2 = Bookshelf.of_string lib (Bookshelf.to_string design cons) in
+  Alcotest.(check int) "cells" (Netlist.num_cells design) (Netlist.num_cells d2);
+  Alcotest.(check int) "pins" (Netlist.num_pins design) (Netlist.num_pins d2);
+  Alcotest.(check int) "nets" (Netlist.num_nets design) (Netlist.num_nets d2);
+  Alcotest.(check (float 1e-9)) "hpwl preserved" (Netlist.total_hpwl design)
+    (Netlist.total_hpwl d2);
+  Alcotest.(check (float 1e-9)) "clock period"
+    cons.Sta.Constraints.clock_period c2.Sta.Constraints.clock_period;
+  (* timing agrees after the round trip *)
+  let report d c =
+    let g = Sta.Graph.build d lib c in
+    (Sta.Timer.run (Sta.Timer.create g)).Sta.Timer.setup_wns
+  in
+  Alcotest.(check (float 1e-6)) "same wns" (report design cons) (report d2 c2)
+
+let test_save_load_file () =
+  let design, cons = sample () in
+  let path = Filename.temp_file "dgp_test" ".design" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Bookshelf.save path design cons;
+      let d2, _ = Bookshelf.load lib path in
+      Alcotest.(check string) "name" design.Netlist.design_name
+        d2.Netlist.design_name)
+
+let expect_failure name src =
+  match Bookshelf.of_string lib src with
+  | exception Failure _ -> ()
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected failure" name
+
+let test_parse_errors () =
+  expect_failure "not a design" "library \"x\" {}";
+  expect_failure "unknown field" "design \"d\" { mystery 4; }";
+  expect_failure "pin on unknown cell"
+    "design \"d\" { region 0 0 1 1; pin \"p\" { cell \"nope\"; direction \
+     input; offset 0 0; lib_pin -1; } }";
+  expect_failure "net with unknown pin"
+    "design \"d\" { region 0 0 1 1; net \"n\" { pins \"ghost\"; } }";
+  expect_failure "bad lib index"
+    "design \"d\" { region 0 0 1 1; cell \"c\" { lib 999; size 1 1; at 0 0; \
+     fixed false; } }";
+  expect_failure "trailing garbage" "design \"d\" { region 0 0 1 1; } extra"
+
+let test_minimal_design () =
+  let src =
+    "design \"tiny\" {\n\
+     region 0 0 10 10;\n\
+     row_height 2;\n\
+     constraints { clock_period 500; }\n\
+     cell \"a\" { pad; size 1 1; at 0 5; fixed true; }\n\
+     cell \"b\" { lib 0; size 1 1; at 5 5; fixed false; }\n\
+     pin \"a/P\" { cell \"a\"; direction output; offset 0 0; lib_pin -1; }\n\
+     pin \"b/A\" { cell \"b\"; direction input; offset 0 0; lib_pin 0; }\n\
+     net \"n\" { pins \"a/P\" \"b/A\"; }\n\
+     }"
+  in
+  let d, c = Bookshelf.of_string lib src in
+  Alcotest.(check int) "cells" 2 (Netlist.num_cells d);
+  Alcotest.(check (float 1e-12)) "row height" 2.0 d.Netlist.row_height;
+  Alcotest.(check (float 1e-12)) "period" 500.0 c.Sta.Constraints.clock_period;
+  Alcotest.(check bool) "pad fixed" true d.Netlist.cells.(0).Netlist.fixed;
+  Alcotest.(check int) "pad marker" (-1) d.Netlist.cells.(0).Netlist.lib_cell
+
+let suite =
+  [ Alcotest.test_case "roundtrip exact" `Quick test_roundtrip_exact;
+    Alcotest.test_case "roundtrip semantics" `Quick test_roundtrip_semantics;
+    Alcotest.test_case "save/load file" `Quick test_save_load_file;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "minimal design" `Quick test_minimal_design ]

@@ -1,0 +1,231 @@
+(* Integration tests for the placement framework. *)
+
+let lib = Liberty.Synthetic.default ()
+
+let quick_config =
+  { Core.default_config with
+    Core.max_iterations = 140; min_iterations = 40; stop_overflow = 0.15 }
+
+let setup ?(cells = 400) ?(seed = 1) () =
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = cells; sp_seed = seed; sp_clock_period = 800.0 }
+  in
+  let design, cons = Workload.generate lib spec in
+  (design, Sta.Graph.build design lib cons)
+
+let test_wirelength_mode_spreads_and_shortens () =
+  let design, graph = setup () in
+  let result =
+    Core.run { quick_config with Core.mode = Core.Wirelength_only } graph
+  in
+  Alcotest.(check bool) "ran some iterations" true
+    (result.Core.res_iterations >= 40);
+  Alcotest.(check bool) "overflow reduced" true (result.Core.res_overflow < 0.5);
+  Alcotest.(check bool) "no timing mode" true
+    (result.Core.res_timing_active_at = None);
+  (* cells stay inside the region *)
+  let region = design.Netlist.region in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      if not c.Netlist.fixed then begin
+        if c.Netlist.x < region.Geometry.Rect.lx -. 1e-9
+           || c.Netlist.x > region.Geometry.Rect.hx +. 1e-9
+           || c.Netlist.y < region.Geometry.Rect.ly -. 1e-9
+           || c.Netlist.y > region.Geometry.Rect.hy +. 1e-9
+        then Alcotest.fail "cell escaped the region"
+      end)
+    design.Netlist.cells
+
+let test_trace_structure () =
+  let _, graph = setup ~seed:2 () in
+  let result =
+    Core.run { quick_config with Core.mode = Core.Wirelength_only } graph
+  in
+  let trace = result.Core.res_trace in
+  Alcotest.(check int) "one point per iteration" result.Core.res_iterations
+    (List.length trace);
+  (* iterations are chronological starting at 0 *)
+  List.iteri
+    (fun i (p : Core.trace_point) ->
+      Alcotest.(check int) "iteration order" i p.Core.tp_iteration)
+    trace;
+  (* overflow at the end is below the start (cells spread) *)
+  match trace with
+  | first :: _ ->
+    let last = List.nth trace (List.length trace - 1) in
+    Alcotest.(check bool) "overflow decreases" true
+      (last.Core.tp_overflow < first.Core.tp_overflow)
+  | [] -> Alcotest.fail "empty trace"
+
+let test_timing_mode_activates_and_improves () =
+  let seed = 3 in
+  let _, graph_wl = setup ~seed () in
+  let wl_result =
+    Core.run { quick_config with Core.mode = Core.Wirelength_only } graph_wl
+  in
+  ignore wl_result;
+  let wl_report, _ = Core.score graph_wl in
+  let _, graph_t = setup ~seed () in
+  let t_result =
+    Core.run
+      { quick_config with
+        Core.mode = Core.Differentiable_timing Core.default_timing }
+      graph_t
+  in
+  let t_report, _ = Core.score graph_t in
+  Alcotest.(check bool) "timing activated" true
+    (t_result.Core.res_timing_active_at <> None);
+  Alcotest.(check bool) "wns improves over baseline" true
+    (t_report.Sta.Timer.setup_wns > wl_report.Sta.Timer.setup_wns);
+  Alcotest.(check bool) "tns improves over baseline" true
+    (t_report.Sta.Timer.setup_tns > wl_report.Sta.Timer.setup_tns)
+
+let test_netweight_mode_updates_weights () =
+  let design, graph = setup ~seed:4 () in
+  let _ =
+    Core.run
+      { quick_config with
+        Core.mode = Core.Net_weighting Netweight.default_config }
+      graph
+  in
+  let weighted =
+    Array.exists
+      (fun (net : Netlist.net) -> net.Netlist.weight > 1.0 +. 1e-9)
+      design.Netlist.nets
+  in
+  Alcotest.(check bool) "some weights raised" true weighted
+
+let test_keep_init () =
+  let design, graph = setup ~seed:5 () in
+  (* place all cells somewhere specific and keep *)
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      if not c.Netlist.fixed then begin
+        c.Netlist.x <- 10.0;
+        c.Netlist.y <- 10.0
+      end)
+    design.Netlist.cells;
+  let cfg =
+    { quick_config with
+      Core.mode = Core.Wirelength_only; max_iterations = 1; min_iterations = 0 }
+  in
+  let _ = Core.run { cfg with Core.init = `Keep } graph in
+  (* after a single iteration from `Keep, cells are still near (10,10) *)
+  let c = design.Netlist.cells.(List.hd (Netlist.movable_cells design)) in
+  Alcotest.(check bool) "stayed near start" true
+    (Float.abs (c.Netlist.x -. 10.0) < 5.0)
+
+let test_trace_timing_period () =
+  let _, graph = setup ~seed:6 () in
+  let cfg =
+    { quick_config with
+      Core.mode = Core.Wirelength_only; trace_timing_period = 20;
+      max_iterations = 45; min_iterations = 0; stop_overflow = 0.0 }
+  in
+  let result = Core.run cfg graph in
+  let sampled =
+    List.filter
+      (fun (p : Core.trace_point) -> Float.is_finite p.Core.tp_wns)
+      result.Core.res_trace
+  in
+  (* iterations 0, 20, 40 *)
+  Alcotest.(check int) "three timing samples" 3 (List.length sampled)
+
+let test_grad_clip_and_adaptive_growth () =
+  (* the future-work extensions run end to end and still beat the
+     wirelength-only baseline on timing *)
+  let seed = 9 in
+  let _, graph_wl = setup ~seed () in
+  let _ = Core.run { quick_config with Core.mode = Core.Wirelength_only } graph_wl in
+  let wl_report, _ = Core.score graph_wl in
+  let variant tc =
+    let _, graph = setup ~seed () in
+    let r =
+      Core.run
+        { quick_config with Core.mode = Core.Differentiable_timing tc }
+        graph
+    in
+    Alcotest.(check bool) "activated" true (r.Core.res_timing_active_at <> None);
+    let report, _ = Core.score graph in
+    Alcotest.(check bool) "beats baseline tns" true
+      (report.Sta.Timer.setup_tns > wl_report.Sta.Timer.setup_tns)
+  in
+  variant { Core.default_timing with Core.grad_clip = Some 3.0 };
+  variant { Core.default_timing with Core.growth_policy = `Adaptive }
+
+let test_score_consistency () =
+  let design, graph = setup ~seed:7 () in
+  let report, hpwl = Core.score graph in
+  Alcotest.(check (float 1e-9)) "hpwl matches netlist" (Netlist.total_hpwl design) hpwl;
+  Alcotest.(check bool) "wns finite" true (Float.is_finite report.Sta.Timer.setup_wns)
+
+let test_deterministic_runs () =
+  let run () =
+    let _, graph = setup ~seed:8 () in
+    let r = Core.run { quick_config with Core.mode = Core.Wirelength_only } graph in
+    (r.Core.res_hpwl, r.Core.res_iterations)
+  in
+  let h1, i1 = run () and h2, i2 = run () in
+  Alcotest.(check int) "same iterations" i1 i2;
+  Alcotest.(check (float 1e-9)) "same hpwl" h1 h2
+
+let suite =
+  [ Alcotest.test_case "wirelength mode spreads" `Slow
+      test_wirelength_mode_spreads_and_shortens;
+    Alcotest.test_case "trace structure" `Slow test_trace_structure;
+    Alcotest.test_case "timing mode activates and improves" `Slow
+      test_timing_mode_activates_and_improves;
+    Alcotest.test_case "net weighting updates weights" `Slow
+      test_netweight_mode_updates_weights;
+    Alcotest.test_case "keep init" `Quick test_keep_init;
+    Alcotest.test_case "trace timing period" `Slow test_trace_timing_period;
+    Alcotest.test_case "grad clip and adaptive growth" `Slow
+      test_grad_clip_and_adaptive_growth;
+    Alcotest.test_case "score consistency" `Quick test_score_consistency;
+    Alcotest.test_case "deterministic runs" `Slow test_deterministic_runs ]
+
+let test_optimizer_variants () =
+  (* every optimiser drives the placement loop without diverging *)
+  List.iter
+    (fun (label, algorithm, lr) ->
+      let _, graph = setup ~cells:250 ~seed:11 () in
+      let cfg =
+        { quick_config with
+          Core.mode = Core.Wirelength_only; optimizer = algorithm;
+          learning_rate = lr; max_iterations = 80; min_iterations = 20 }
+      in
+      let r = Core.run cfg graph in
+      Alcotest.(check bool) (label ^ " runs") true (r.Core.res_iterations >= 20);
+      Alcotest.(check bool) (label ^ " finite hpwl") true
+        (Float.is_finite r.Core.res_hpwl);
+      match r.Core.res_trace with
+      | first :: _ ->
+        let last = List.nth r.Core.res_trace (List.length r.Core.res_trace - 1) in
+        Alcotest.(check bool) (label ^ " spreads") true
+          (last.Core.tp_overflow < first.Core.tp_overflow)
+      | [] -> Alcotest.fail "no trace")
+    [ ("adam", Optim.adam, None);
+      ("nesterov", Optim.Nesterov { beta = 0.9 }, Some 0.02);
+      ("bb", Optim.Barzilai_borwein { fallback = 0.1 }, Some 0.05) ]
+
+let test_config_options_smoke () =
+  let _, graph = setup ~cells:200 ~seed:12 () in
+  let cfg =
+    { quick_config with
+      Core.mode = Core.Wirelength_only;
+      density_bins = Some 32;
+      wirelength_gamma = Some 2.5;
+      learning_rate = Some 0.3;
+      lr_decay = 0.995;
+      target_density = 0.9;
+      max_iterations = 60; min_iterations = 10 }
+  in
+  let r = Core.run cfg graph in
+  Alcotest.(check bool) "runs with explicit options" true
+    (r.Core.res_iterations >= 10)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "optimizer variants" `Slow test_optimizer_variants;
+      Alcotest.test_case "config options smoke" `Quick test_config_options_smoke ]

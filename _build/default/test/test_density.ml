@@ -1,0 +1,166 @@
+(* Tests for the electrostatic density system. *)
+
+let region = Geometry.Rect.make ~lx:0.0 ~ly:0.0 ~hx:64.0 ~hy:64.0
+
+(* [n] unit cells; positions set by the caller *)
+let design_with_cells n =
+  let b = Netlist.Builder.create ~region ~row_height:1.0 "dens" in
+  for i = 0 to n - 1 do
+    ignore
+      (Netlist.Builder.add_cell b
+         ~name:(Printf.sprintf "c%d" i)
+         ~lib_cell:0 ~width:2.0 ~height:2.0 ~x:32.0 ~y:32.0 ())
+  done;
+  Netlist.Builder.freeze b
+
+let spread design rng =
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      c.Netlist.x <- 2.0 +. Workload.Rng.float rng 60.0;
+      c.Netlist.y <- 2.0 +. Workload.Rng.float rng 60.0)
+    design.Netlist.cells
+
+let test_bins_sizing () =
+  let d = design_with_cells 100 in
+  let dens = Density.create d in
+  let b = Density.bins dens in
+  Alcotest.(check bool) "power of two" true (b land (b - 1) = 0);
+  let dens2 = Density.create ~bins:50 d in
+  Alcotest.(check bool) "rounded override" true
+    (Density.bins dens2 = 32 || Density.bins dens2 = 64)
+
+let test_overflow_extremes () =
+  let d = design_with_cells 200 in
+  let dens = Density.create d in
+  (* everything piled at the center: massive overflow *)
+  Density.update dens;
+  let crowded = Density.overflow dens in
+  Alcotest.(check bool) "crowded overflow" true (crowded > 0.5);
+  (* spread evenly on a grid: nearly no overflow *)
+  Array.iteri
+    (fun i (c : Netlist.cell) ->
+      c.Netlist.x <- 2.0 +. (4.0 *. float_of_int (i mod 15));
+      c.Netlist.y <- 2.0 +. (4.0 *. float_of_int (i / 15)))
+    d.Netlist.cells;
+  Density.update dens;
+  let relaxed = Density.overflow dens in
+  Alcotest.(check bool) "relaxed overflow" true (relaxed < 0.05);
+  Alcotest.(check bool) "ordering" true (relaxed < crowded)
+
+let test_penalty_decreases_when_spreading () =
+  let d = design_with_cells 200 in
+  let dens = Density.create d in
+  Density.update dens;
+  let crowded = Density.penalty dens in
+  let rng = Workload.Rng.create 17 in
+  spread d rng;
+  Density.update dens;
+  let relaxed = Density.penalty dens in
+  Alcotest.(check bool) "penalty drops" true (relaxed < crowded)
+
+let test_gradient_pushes_apart () =
+  (* one clump at the left: gradient should push cells right (descending
+     the energy moves them away from the clump, i.e. negative gradient
+     where moving right decreases energy) *)
+  let d = design_with_cells 100 in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      c.Netlist.x <- 10.0;
+      c.Netlist.y <- 32.0)
+    d.Netlist.cells;
+  let dens = Density.create d in
+  Density.update dens;
+  let n = Netlist.num_cells d in
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  Density.gradient dens ~scale:1.0 ~grad_x:gx ~grad_y:gy;
+  (* move a probe cell slightly right of the clump: its x-gradient must
+     be negative (energy decreases rightward) *)
+  d.Netlist.cells.(0).Netlist.x <- 14.0;
+  Density.update dens;
+  Array.fill gx 0 n 0.0;
+  Array.fill gy 0 n 0.0;
+  Density.gradient dens ~scale:1.0 ~grad_x:gx ~grad_y:gy;
+  Alcotest.(check bool) "pushed away from clump" true (gx.(0) < 0.0)
+
+let test_gradient_scale_linear () =
+  let d = design_with_cells 50 in
+  let rng = Workload.Rng.create 23 in
+  spread d rng;
+  let dens = Density.create d in
+  Density.update dens;
+  let n = Netlist.num_cells d in
+  let g1 = Array.make n 0.0 and g1y = Array.make n 0.0 in
+  Density.gradient dens ~scale:1.0 ~grad_x:g1 ~grad_y:g1y;
+  let g2 = Array.make n 0.0 and g2y = Array.make n 0.0 in
+  Density.gradient dens ~scale:2.5 ~grad_x:g2 ~grad_y:g2y;
+  Array.iteri
+    (fun i v ->
+      if Float.abs ((2.5 *. g1.(i)) -. v) > 1e-9 *. Float.max 1.0 (Float.abs v)
+      then Alcotest.fail "scale not linear")
+    g2
+
+let test_fixed_cells_reduce_capacity () =
+  (* fill a corner with a fixed macro; movable cells there overflow *)
+  let b = Netlist.Builder.create ~region ~row_height:1.0 "fixed" in
+  let _ =
+    Netlist.Builder.add_cell b ~name:"macro" ~lib_cell:(-1) ~width:30.0
+      ~height:30.0 ~x:16.0 ~y:16.0 ~fixed:true ()
+  in
+  for i = 0 to 19 do
+    ignore
+      (Netlist.Builder.add_cell b
+         ~name:(Printf.sprintf "m%d" i)
+         ~lib_cell:0 ~width:2.0 ~height:2.0 ~x:16.0 ~y:16.0 ())
+  done;
+  let d = Netlist.Builder.freeze b in
+  let dens = Density.create d in
+  Density.update dens;
+  let over_macro = Density.overflow dens in
+  (* same cells in the free corner *)
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      if not c.Netlist.fixed then begin
+        c.Netlist.x <- 48.0 +. (float_of_int c.Netlist.cell_id *. 0.1);
+        c.Netlist.y <- 48.0
+      end)
+    d.Netlist.cells;
+  Density.update dens;
+  let over_free = Density.overflow dens in
+  Alcotest.(check bool) "macro area counts against capacity" true
+    (over_macro > over_free)
+
+let test_gradient_zero_when_uniform () =
+  (* perfectly uniform density has (numerically) tiny field *)
+  let b = Netlist.Builder.create ~region ~row_height:1.0 "uniform" in
+  for i = 0 to 15 do
+    for j = 0 to 15 do
+      ignore
+        (Netlist.Builder.add_cell b
+           ~name:(Printf.sprintf "u%d_%d" i j)
+           ~lib_cell:0 ~width:4.0 ~height:4.0
+           ~x:(2.0 +. (4.0 *. float_of_int i))
+           ~y:(2.0 +. (4.0 *. float_of_int j))
+           ())
+    done
+  done;
+  let d = Netlist.Builder.freeze b in
+  let dens = Density.create ~bins:16 d in
+  Density.update dens;
+  let n = Netlist.num_cells d in
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  Density.gradient dens ~scale:1.0 ~grad_x:gx ~grad_y:gy;
+  let max_g = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 gx in
+  Alcotest.(check bool) "negligible field" true (max_g < 1e-6)
+
+let suite =
+  [ Alcotest.test_case "bins sizing" `Quick test_bins_sizing;
+    Alcotest.test_case "overflow extremes" `Quick test_overflow_extremes;
+    Alcotest.test_case "penalty decreases when spreading" `Quick
+      test_penalty_decreases_when_spreading;
+    Alcotest.test_case "gradient pushes away from clumps" `Quick
+      test_gradient_pushes_apart;
+    Alcotest.test_case "gradient linear in scale" `Quick test_gradient_scale_linear;
+    Alcotest.test_case "fixed cells reduce capacity" `Quick
+      test_fixed_cells_reduce_capacity;
+    Alcotest.test_case "uniform density has no field" `Quick
+      test_gradient_zero_when_uniform ]

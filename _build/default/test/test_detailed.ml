@@ -1,0 +1,98 @@
+(* Tests for detailed placement refinement. *)
+
+let lib = Liberty.Synthetic.default ()
+
+let legalized_design ?(cells = 500) seed =
+  let spec =
+    { Workload.default_spec with Workload.sp_cells = cells; sp_seed = seed }
+  in
+  let design, _ = Workload.generate lib spec in
+  ignore (Legalize.legalize design);
+  design
+
+let test_hpwl_never_worse () =
+  let design = legalized_design 1 in
+  let before = Netlist.total_hpwl design in
+  let s = Detailed.refine design in
+  Alcotest.(check (float 1e-9)) "stats before" before s.Detailed.hpwl_before;
+  Alcotest.(check (float 1e-9)) "stats after" (Netlist.total_hpwl design)
+    s.Detailed.hpwl_after;
+  Alcotest.(check bool) "no regression" true
+    (s.Detailed.hpwl_after <= s.Detailed.hpwl_before +. 1e-6);
+  Alcotest.(check bool) "actually improves a fresh legalisation" true
+    (s.Detailed.hpwl_after < s.Detailed.hpwl_before)
+
+let test_legality_preserved () =
+  let design = legalized_design 2 in
+  let _ = Detailed.refine design in
+  Alcotest.(check (float 1e-6)) "no overlap" 0.0 (Legalize.overlap_area design);
+  let rh = design.Netlist.row_height in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      if not c.Netlist.fixed then begin
+        let k = (c.Netlist.y -. (rh /. 2.0)) /. rh in
+        if Float.abs (k -. Float.round k) > 1e-6 then
+          Alcotest.fail "cell left its row";
+        let region = design.Netlist.region in
+        if c.Netlist.x -. (c.Netlist.width /. 2.0) < region.Geometry.Rect.lx -. 1e-6
+           || c.Netlist.x +. (c.Netlist.width /. 2.0)
+              > region.Geometry.Rect.hx +. 1e-6
+        then Alcotest.fail "cell left the region"
+      end)
+    design.Netlist.cells
+
+let test_moves_counted () =
+  let design = legalized_design 3 in
+  let s = Detailed.refine design in
+  Alcotest.(check bool) "some moves happen" true
+    (s.Detailed.reorder_moves + s.Detailed.swap_moves > 0);
+  Alcotest.(check bool) "passes bounded" true
+    (s.Detailed.passes_run >= 1 && s.Detailed.passes_run <= 3)
+
+let test_idempotent_at_fixpoint () =
+  let design = legalized_design ~cells:250 4 in
+  let s1 = Detailed.refine ~passes:100 design in
+  (* the greedy loop reached a fixpoint before the pass budget... *)
+  Alcotest.(check bool) "fixpoint reached" true (s1.Detailed.passes_run < 100);
+  (* ...so a second run finds no move at all *)
+  let s2 = Detailed.refine ~passes:100 design in
+  Alcotest.(check int) "no further moves" 0
+    (s2.Detailed.reorder_moves + s2.Detailed.swap_moves);
+  Alcotest.(check (float 1e-9)) "hpwl unchanged" s2.Detailed.hpwl_before
+    s2.Detailed.hpwl_after
+
+let test_window_validation () =
+  let design = legalized_design 5 in
+  match Detailed.refine ~window:1 design with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected window validation"
+
+let test_deterministic () =
+  let d1 = legalized_design 6 in
+  let d2 = legalized_design 6 in
+  let s1 = Detailed.refine d1 and s2 = Detailed.refine d2 in
+  Alcotest.(check (float 1e-9)) "same result" s1.Detailed.hpwl_after
+    s2.Detailed.hpwl_after;
+  Alcotest.(check int) "same moves"
+    (s1.Detailed.reorder_moves + s1.Detailed.swap_moves)
+    (s2.Detailed.reorder_moves + s2.Detailed.swap_moves)
+
+let test_larger_window_at_least_as_good () =
+  let d2 = legalized_design 7 in
+  let d4 = legalized_design 7 in
+  let s2 = Detailed.refine ~passes:2 ~window:2 d2 in
+  let s4 = Detailed.refine ~passes:2 ~window:4 d4 in
+  (* not guaranteed in general (greedy), but holds on this seed and
+     guards against the window parameter being ignored *)
+  Alcotest.(check bool) "window used" true
+    (s4.Detailed.hpwl_after <= s2.Detailed.hpwl_after *. 1.02)
+
+let suite =
+  [ Alcotest.test_case "hpwl never worse" `Quick test_hpwl_never_worse;
+    Alcotest.test_case "legality preserved" `Quick test_legality_preserved;
+    Alcotest.test_case "moves counted" `Quick test_moves_counted;
+    Alcotest.test_case "idempotent at fixpoint" `Quick test_idempotent_at_fixpoint;
+    Alcotest.test_case "window validation" `Quick test_window_validation;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "larger window helps" `Quick
+      test_larger_window_at_least_as_good ]

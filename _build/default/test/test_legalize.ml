@@ -1,0 +1,157 @@
+(* Tests for the Tetris legaliser. *)
+
+let region = Geometry.Rect.make ~lx:0.0 ~ly:0.0 ~hx:60.0 ~hy:60.0
+
+let random_design ?(rows = 1.5) ?(util = 0.5) seed n =
+  let b = Netlist.Builder.create ~region ~row_height:rows "lg" in
+  let rng = Workload.Rng.create seed in
+  let target_area = util *. Geometry.Rect.area region in
+  let area = ref 0.0 in
+  let i = ref 0 in
+  while !area < target_area && !i < n do
+    let w = 0.8 +. Workload.Rng.float rng 2.0 in
+    ignore
+      (Netlist.Builder.add_cell b
+         ~name:(Printf.sprintf "c%d" !i)
+         ~lib_cell:0 ~width:w ~height:rows
+         ~x:(2.0 +. Workload.Rng.float rng 56.0)
+         ~y:(2.0 +. Workload.Rng.float rng 56.0)
+         ());
+    area := !area +. (w *. rows);
+    incr i
+  done;
+  Netlist.Builder.freeze b
+
+let test_removes_overlap () =
+  let d = random_design 3 5000 in
+  Alcotest.(check bool) "initial overlap" true (Legalize.overlap_area d > 0.0);
+  let _ = Legalize.legalize d in
+  Alcotest.(check (float 1e-6)) "no overlap" 0.0 (Legalize.overlap_area d)
+
+let test_rows_and_region () =
+  let d = random_design 4 5000 in
+  let _ = Legalize.legalize d in
+  let rh = d.Netlist.row_height in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      if not c.Netlist.fixed then begin
+        (* y on a row center *)
+        let k = (c.Netlist.y -. (rh /. 2.0)) /. rh in
+        if Float.abs (k -. Float.round k) > 1e-6 then
+          Alcotest.failf "cell %s not on a row (y=%f)" c.Netlist.cell_name
+            c.Netlist.y;
+        (* fully inside the region *)
+        if c.Netlist.x -. (c.Netlist.width /. 2.0) < -1e-6
+           || c.Netlist.x +. (c.Netlist.width /. 2.0) > 60.0 +. 1e-6
+        then Alcotest.fail "cell outside region"
+      end)
+    d.Netlist.cells
+
+let test_displacement_stats () =
+  let d = random_design 5 5000 in
+  let before = Netlist.copy_positions d in
+  let s = Legalize.legalize d in
+  Alcotest.(check bool) "some cells move" true (s.Legalize.moved_cells > 0);
+  Alcotest.(check bool) "avg <= max" true
+    (s.Legalize.average_displacement <= s.Legalize.max_displacement +. 1e-9);
+  (* recompute displacement independently *)
+  let xs, ys = before in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i (c : Netlist.cell) ->
+      if not c.Netlist.fixed then
+        total := !total +. Float.abs (c.Netlist.x -. xs.(i))
+                 +. Float.abs (c.Netlist.y -. ys.(i)))
+    d.Netlist.cells;
+  Alcotest.(check (float 1e-6)) "total displacement" !total
+    s.Legalize.total_displacement
+
+let test_fixed_untouched () =
+  let b = Netlist.Builder.create ~region ~row_height:1.5 "fx" in
+  let _ =
+    Netlist.Builder.add_cell b ~name:"block" ~lib_cell:(-1) ~width:20.0
+      ~height:20.0 ~x:30.0 ~y:30.0 ~fixed:true ()
+  in
+  for i = 0 to 199 do
+    ignore
+      (Netlist.Builder.add_cell b
+         ~name:(Printf.sprintf "c%d" i)
+         ~lib_cell:0 ~width:1.5 ~height:1.5 ~x:30.0 ~y:30.0 ())
+  done;
+  let d = Netlist.Builder.freeze b in
+  let _ = Legalize.legalize d in
+  let block = d.Netlist.cells.(0) in
+  Alcotest.(check (float 1e-12)) "fixed x" 30.0 block.Netlist.x;
+  (* movable cells avoid the blockage *)
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      if not c.Netlist.fixed then begin
+        let r1 =
+          Geometry.Rect.of_center
+            (Geometry.Point.make c.Netlist.x c.Netlist.y)
+            ~width:c.Netlist.width ~height:c.Netlist.height
+        in
+        let r2 =
+          Geometry.Rect.of_center
+            (Geometry.Point.make 30.0 30.0)
+            ~width:20.0 ~height:20.0
+        in
+        if Geometry.Rect.overlap_area r1 r2 > 1e-6 then
+          Alcotest.failf "cell %s overlaps the blockage" c.Netlist.cell_name
+      end)
+    d.Netlist.cells
+
+let test_determinism () =
+  let d1 = random_design 6 4000 in
+  let d2 = random_design 6 4000 in
+  let _ = Legalize.legalize d1 in
+  let _ = Legalize.legalize d2 in
+  Array.iteri
+    (fun i (c : Netlist.cell) ->
+      let c2 = d2.Netlist.cells.(i) in
+      if c.Netlist.x <> c2.Netlist.x || c.Netlist.y <> c2.Netlist.y then
+        Alcotest.fail "legalisation not deterministic")
+    d1.Netlist.cells
+
+let test_too_full_fails () =
+  (* 120% utilisation cannot be legalised *)
+  let b = Netlist.Builder.create ~region ~row_height:1.5 "full" in
+  let area = ref 0.0 in
+  let i = ref 0 in
+  while !area < 1.2 *. Geometry.Rect.area region do
+    ignore
+      (Netlist.Builder.add_cell b
+         ~name:(Printf.sprintf "c%d" !i)
+         ~lib_cell:0 ~width:3.0 ~height:1.5 ~x:30.0 ~y:30.0 ());
+    area := !area +. 4.5;
+    incr i
+  done;
+  let d = Netlist.Builder.freeze b in
+  match Legalize.legalize d with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected failure at 120% utilisation"
+
+let test_already_legal_small_moves () =
+  (* a design already sitting on rows only gets micro-adjustments *)
+  let b = Netlist.Builder.create ~region ~row_height:1.5 "calm" in
+  for i = 0 to 9 do
+    ignore
+      (Netlist.Builder.add_cell b
+         ~name:(Printf.sprintf "c%d" i)
+         ~lib_cell:0 ~width:2.0 ~height:1.5
+         ~x:(5.0 +. (4.0 *. float_of_int i))
+         ~y:0.75 ())
+  done;
+  let d = Netlist.Builder.freeze b in
+  let s = Legalize.legalize d in
+  Alcotest.(check (float 1e-6)) "no movement" 0.0 s.Legalize.total_displacement
+
+let suite =
+  [ Alcotest.test_case "removes overlap" `Quick test_removes_overlap;
+    Alcotest.test_case "rows and region" `Quick test_rows_and_region;
+    Alcotest.test_case "displacement stats" `Quick test_displacement_stats;
+    Alcotest.test_case "fixed cells untouched" `Quick test_fixed_untouched;
+    Alcotest.test_case "deterministic" `Quick test_determinism;
+    Alcotest.test_case "over-full fails" `Quick test_too_full_fails;
+    Alcotest.test_case "already legal is stable" `Quick
+      test_already_legal_small_moves ]

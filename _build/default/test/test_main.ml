@@ -1,0 +1,28 @@
+(* Aggregates all suites under one alcotest runner: `dune runtest`. *)
+
+let () =
+  Alcotest.run "dgp"
+    [ ("geometry", Test_geometry.suite);
+      ("parallel", Test_parallel.suite);
+      ("transform", Test_transform.suite);
+      ("parsekit", Test_parsekit.suite);
+      ("netlist", Test_netlist.suite);
+      ("liberty", Test_liberty.suite);
+      ("steiner", Test_steiner.suite);
+      ("rc", Test_rc.suite);
+      ("sta", Test_sta.suite);
+      ("difftimer", Test_difftimer.suite);
+      ("wirelength", Test_wirelength.suite);
+      ("density", Test_density.suite);
+      ("optim", Test_optim.suite);
+      ("legalize", Test_legalize.suite);
+      ("detailed", Test_detailed.suite);
+      ("netweight", Test_netweight.suite);
+      ("workload", Test_workload.suite);
+      ("bookshelf", Test_bookshelf.suite);
+      ("verilog", Test_verilog.suite);
+      ("core", Test_core.suite);
+      ("viz", Test_viz.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("properties", Test_properties.suite);
+      ("report", Test_report.suite) ]

@@ -1,0 +1,99 @@
+(* Tests for the momentum-based net-weighting baseline. *)
+
+let lib = Liberty.Synthetic.default ()
+
+let setup ?(cells = 300) () =
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = cells; sp_clock_period = 700.0 }
+  in
+  let design, cons = Workload.generate lib spec in
+  let graph = Sta.Graph.build design lib cons in
+  (design, graph)
+
+let test_initial_weights_one () =
+  let design, graph = setup () in
+  let nw = Netweight.create graph in
+  ignore nw;
+  Array.iter
+    (fun (net : Netlist.net) ->
+      Alcotest.(check (float 1e-12)) "weight 1" 1.0 net.Netlist.weight)
+    design.Netlist.nets
+
+let test_update_increases_critical_only () =
+  let design, graph = setup () in
+  let nw = Netweight.create graph in
+  let report = Netweight.update nw in
+  Alcotest.(check bool) "violations exist" true
+    (report.Sta.Timer.setup_wns < 0.0);
+  let timer = Netweight.timer nw in
+  let raised = ref 0 in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      let slack = Sta.Timer.net_slack timer net.Netlist.net_id in
+      if net.Netlist.weight > 1.0 +. 1e-12 then begin
+        incr raised;
+        if slack >= 0.0 then
+          Alcotest.failf "non-critical net %s got weight %f"
+            net.Netlist.net_name net.Netlist.weight
+      end)
+    design.Netlist.nets;
+  Alcotest.(check bool) "some nets weighted" true (!raised > 0)
+
+let test_weights_monotone_and_capped () =
+  let design, graph = setup () in
+  let config = { Netweight.default_config with Netweight.max_weight = 1.5 } in
+  let nw = Netweight.create ~config graph in
+  let previous = Array.map (fun (n : Netlist.net) -> n.Netlist.weight)
+      design.Netlist.nets in
+  for _ = 1 to 10 do
+    let _ = Netweight.update nw in
+    Array.iteri
+      (fun i (net : Netlist.net) ->
+        if net.Netlist.weight < previous.(i) -. 1e-12 then
+          Alcotest.fail "weight decreased";
+        if net.Netlist.weight > 1.5 +. 1e-12 then
+          Alcotest.fail "weight exceeded cap";
+        previous.(i) <- net.Netlist.weight)
+      design.Netlist.nets
+  done
+
+let test_momentum_smooths () =
+  (* with beta = 1 the momentum never reacts, so weights stay at 1 *)
+  let design, graph = setup () in
+  let config = { Netweight.default_config with Netweight.beta = 1.0 } in
+  let nw = Netweight.create ~config graph in
+  let _ = Netweight.update nw in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      Alcotest.(check (float 1e-12)) "frozen momentum" 1.0 net.Netlist.weight)
+    design.Netlist.nets
+
+let test_reset () =
+  let design, graph = setup () in
+  let nw = Netweight.create graph in
+  let _ = Netweight.update nw in
+  Netweight.reset nw;
+  Array.iter
+    (fun (net : Netlist.net) ->
+      Alcotest.(check (float 1e-12)) "reset to 1" 1.0 net.Netlist.weight)
+    design.Netlist.nets
+
+let test_should_update_period () =
+  let _, graph = setup ~cells:100 () in
+  let config = { Netweight.default_config with Netweight.period = 4 } in
+  let nw = Netweight.create ~config graph in
+  Alcotest.(check bool) "iter 0" true (Netweight.should_update nw 0);
+  Alcotest.(check bool) "iter 1" false (Netweight.should_update nw 1);
+  Alcotest.(check bool) "iter 4" true (Netweight.should_update nw 4);
+  Alcotest.(check int) "config accessor" 4 (Netweight.config nw).Netweight.period
+
+let suite =
+  [ Alcotest.test_case "initial weights are 1" `Quick test_initial_weights_one;
+    Alcotest.test_case "update raises critical nets only" `Quick
+      test_update_increases_critical_only;
+    Alcotest.test_case "weights monotone and capped" `Quick
+      test_weights_monotone_and_capped;
+    Alcotest.test_case "momentum smooths reaction" `Quick test_momentum_smooths;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "update period" `Quick test_should_update_period ]

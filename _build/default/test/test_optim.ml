@@ -1,0 +1,125 @@
+(* Tests for the first-order optimisers. *)
+
+let test_sgd_step () =
+  let o = Optim.create Optim.Sgd ~n:2 in
+  let params = [| 1.0; 2.0 |] and grads = [| 0.5; -1.0 |] in
+  Optim.step o ~lr:0.1 ~params ~grads ();
+  Alcotest.(check (float 1e-12)) "p0" 0.95 params.(0);
+  Alcotest.(check (float 1e-12)) "p1" 2.1 params.(1);
+  Alcotest.(check int) "iterations" 1 (Optim.iterations o)
+
+let test_momentum_accumulates () =
+  let o = Optim.create (Optim.Momentum { beta = 0.5 }) ~n:1 in
+  let params = [| 0.0 |] in
+  Optim.step o ~lr:1.0 ~params ~grads:[| 1.0 |] ();
+  Alcotest.(check (float 1e-12)) "first step" (-1.0) params.(0);
+  (* velocity = 0.5 * 1 + 1 = 1.5 *)
+  Optim.step o ~lr:1.0 ~params ~grads:[| 1.0 |] ();
+  Alcotest.(check (float 1e-12)) "second step" (-2.5) params.(0)
+
+let test_nesterov_stronger_than_momentum () =
+  let run alg =
+    let o = Optim.create alg ~n:1 in
+    let params = [| 0.0 |] in
+    for _ = 1 to 5 do
+      Optim.step o ~lr:0.1 ~params ~grads:[| 1.0 |] ()
+    done;
+    params.(0)
+  in
+  let m = run (Optim.Momentum { beta = 0.9 }) in
+  let n = run (Optim.Nesterov { beta = 0.9 }) in
+  Alcotest.(check bool) "nesterov moves further on steady gradient" true (n < m)
+
+let test_adam_first_step_is_signed_lr () =
+  (* after one step, Adam moves by ~lr * sign(gradient) *)
+  let o = Optim.create Optim.adam ~n:2 in
+  let params = [| 0.0; 0.0 |] in
+  Optim.step o ~lr:0.01 ~params ~grads:[| 123.0; -0.004 |] ();
+  Alcotest.(check (float 1e-6)) "large grad" (-0.01) params.(0);
+  Alcotest.(check (float 1e-6)) "small grad" 0.01 params.(1)
+
+let test_mask () =
+  let o = Optim.create Optim.adam ~n:3 in
+  let params = [| 1.0; 2.0; 3.0 |] in
+  let mask = [| true; false; true |] in
+  Optim.step o ~lr:0.5 ~params ~grads:[| 1.0; 1.0; 1.0 |] ~mask ();
+  Alcotest.(check (float 1e-12)) "masked untouched" 2.0 params.(1);
+  Alcotest.(check bool) "others moved" true (params.(0) < 1.0 && params.(2) < 3.0)
+
+let test_reset () =
+  let o = Optim.create (Optim.Momentum { beta = 0.9 }) ~n:1 in
+  let params = [| 0.0 |] in
+  Optim.step o ~lr:1.0 ~params ~grads:[| 1.0 |] ();
+  Optim.reset o;
+  Alcotest.(check int) "iterations reset" 0 (Optim.iterations o);
+  params.(0) <- 0.0;
+  Optim.step o ~lr:1.0 ~params ~grads:[| 1.0 |] ();
+  Alcotest.(check (float 1e-12)) "velocity cleared" (-1.0) params.(0)
+
+let test_size_checks () =
+  let o = Optim.create Optim.Sgd ~n:2 in
+  let expect f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected size check"
+  in
+  expect (fun () -> Optim.step o ~lr:0.1 ~params:[| 0.0 |] ~grads:[| 0.0; 0.0 |] ());
+  expect (fun () ->
+    Optim.step o ~lr:0.1 ~params:[| 0.0; 0.0 |] ~grads:[| 0.0; 0.0 |]
+      ~mask:[| true |] ())
+
+(* every algorithm minimises a separable convex quadratic *)
+let quadratic_converges alg lr steps =
+  let n = 4 in
+  let target = [| 1.0; -2.0; 0.5; 3.0 |] in
+  let o = Optim.create alg ~n in
+  let params = Array.make n 0.0 in
+  let grads = Array.make n 0.0 in
+  for _ = 1 to steps do
+    for i = 0 to n - 1 do
+      grads.(i) <- 2.0 *. (params.(i) -. target.(i))
+    done;
+    Optim.step o ~lr ~params ~grads ()
+  done;
+  let err = ref 0.0 in
+  for i = 0 to n - 1 do
+    err := Float.max !err (Float.abs (params.(i) -. target.(i)))
+  done;
+  !err
+
+let test_quadratic_convergence () =
+  Alcotest.(check bool) "sgd" true (quadratic_converges Optim.Sgd 0.1 200 < 1e-6);
+  Alcotest.(check bool) "momentum" true
+    (quadratic_converges (Optim.Momentum { beta = 0.8 }) 0.02 400 < 1e-4);
+  Alcotest.(check bool) "nesterov" true
+    (quadratic_converges (Optim.Nesterov { beta = 0.8 }) 0.02 400 < 1e-4);
+  Alcotest.(check bool) "adam" true
+    (quadratic_converges Optim.adam 0.05 2000 < 1e-3)
+
+let suite =
+  [ Alcotest.test_case "sgd step" `Quick test_sgd_step;
+    Alcotest.test_case "momentum accumulates" `Quick test_momentum_accumulates;
+    Alcotest.test_case "nesterov lookahead" `Quick
+      test_nesterov_stronger_than_momentum;
+    Alcotest.test_case "adam first step" `Quick test_adam_first_step_is_signed_lr;
+    Alcotest.test_case "mask" `Quick test_mask;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "size checks" `Quick test_size_checks;
+    Alcotest.test_case "quadratic convergence" `Quick test_quadratic_convergence ]
+
+let test_barzilai_borwein () =
+  (* on a quadratic, BB converges much faster than plain SGD at the same
+     base lr *)
+  let bb = quadratic_converges (Optim.Barzilai_borwein { fallback = 0.1 }) 0.1 25 in
+  Alcotest.(check bool) "bb converges fast" true (bb < 1e-6);
+  let sgd = quadratic_converges Optim.Sgd 0.1 25 in
+  Alcotest.(check bool) "bb beats sgd in 25 steps" true (bb < sgd);
+  (* first step uses the fallback scale *)
+  let o = Optim.create (Optim.Barzilai_borwein { fallback = 0.5 }) ~n:1 in
+  let params = [| 1.0 |] in
+  Optim.step o ~lr:0.2 ~params ~grads:[| 1.0 |] ();
+  Alcotest.(check (float 1e-12)) "fallback step" 0.9 params.(0)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "barzilai-borwein" `Quick test_barzilai_borwein ]

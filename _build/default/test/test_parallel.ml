@@ -1,0 +1,72 @@
+(* Tests for the domain worker pool ("GPU kernel" substitute). *)
+
+let test_sequential_covers () =
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  Parallel.parallel_for Parallel.sequential_pool n (fun i ->
+    hits.(i) <- hits.(i) + 1);
+  Array.iteri
+    (fun i h -> if h <> 1 then Alcotest.failf "index %d hit %d times" i h)
+    hits
+
+let test_pool_covers_exactly_once () =
+  let pool = Parallel.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.shutdown pool)
+    (fun () ->
+      let n = 100_000 in
+      let hits = Array.make n 0 in
+      (* disjoint indices: no synchronisation needed *)
+      Parallel.parallel_for pool ~grain:64 n (fun i -> hits.(i) <- hits.(i) + 1);
+      let bad = ref 0 in
+      Array.iter (fun h -> if h <> 1 then incr bad) hits;
+      Alcotest.(check int) "all indices exactly once" 0 !bad)
+
+let test_pool_sum () =
+  let pool = Parallel.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.shutdown pool)
+    (fun () ->
+      let n = 50_000 in
+      let acc = Atomic.make 0 in
+      Parallel.parallel_for pool ~grain:128 n (fun i ->
+        ignore (Atomic.fetch_and_add acc i));
+      Alcotest.(check int) "sum" (n * (n - 1) / 2) (Atomic.get acc))
+
+let test_empty_and_small () =
+  let pool = Parallel.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.shutdown pool)
+    (fun () ->
+      Parallel.parallel_for pool 0 (fun _ -> Alcotest.fail "called on empty");
+      let count = ref 0 in
+      (* below grain: runs inline *)
+      Parallel.parallel_for pool ~grain:100 7 (fun _ -> incr count);
+      Alcotest.(check int) "small range" 7 !count)
+
+let test_domain_count () =
+  Alcotest.(check int) "sequential" 1 (Parallel.domain_count Parallel.sequential_pool);
+  let pool = Parallel.create ~domains:3 () in
+  Alcotest.(check int) "three domains" 3 (Parallel.domain_count pool);
+  Parallel.shutdown pool;
+  Alcotest.(check int) "after shutdown" 1 (Parallel.domain_count pool)
+
+let test_repeated_use () =
+  let pool = Parallel.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.shutdown pool)
+    (fun () ->
+      for round = 1 to 20 do
+        let n = 5000 in
+        let out = Array.make n 0 in
+        Parallel.parallel_for pool ~grain:37 n (fun i -> out.(i) <- i * round);
+        Alcotest.(check int) "spot check" (1234 * round) out.(1234)
+      done)
+
+let suite =
+  [ Alcotest.test_case "sequential pool covers range" `Quick test_sequential_covers;
+    Alcotest.test_case "pool covers exactly once" `Quick test_pool_covers_exactly_once;
+    Alcotest.test_case "pool atomic sum" `Quick test_pool_sum;
+    Alcotest.test_case "empty and sub-grain ranges" `Quick test_empty_and_small;
+    Alcotest.test_case "domain count" `Quick test_domain_count;
+    Alcotest.test_case "repeated parallel_for calls" `Quick test_repeated_use ]

@@ -1,0 +1,105 @@
+(* Tests for the shared lexer toolkit. *)
+
+open Parsekit
+
+let token_name = function
+  | Tident s -> "ident:" ^ s
+  | Tstring s -> "string:" ^ s
+  | Tnumber f -> Printf.sprintf "number:%g" f
+  | Tlbrace -> "{"
+  | Trbrace -> "}"
+  | Tsemi -> ";"
+  | Tarrow -> "->"
+  | Teof -> "eof"
+
+let tokens_of src =
+  let lx = make_lexer src in
+  let rec loop acc =
+    match peek lx with
+    | Teof -> List.rev (token_name Teof :: acc)
+    | t ->
+      advance lx;
+      loop (token_name t :: acc)
+  in
+  loop []
+
+let test_token_stream () =
+  Alcotest.(check (list string)) "mixed"
+    [ "ident:foo"; "{"; "string:bar baz"; "number:-1.5"; ";"; "->"; "}"; "eof" ]
+    (tokens_of "foo { \"bar baz\" -1.5 ; -> }")
+
+let test_comments_and_ws () =
+  Alcotest.(check (list string)) "comment skipped"
+    [ "ident:a"; "number:2"; "eof" ]
+    (tokens_of "a # everything here is ignored\n 2")
+
+let test_scientific_numbers () =
+  Alcotest.(check (list string)) "exponent"
+    [ "number:15000"; "number:2.5e-07"; "eof" ]
+    (tokens_of "1.5e4 2.5E-7")
+
+let test_arrow_vs_minus () =
+  Alcotest.(check (list string)) "negative number"
+    [ "number:-3"; "->"; "eof" ]
+    (tokens_of "-3 ->")
+
+let test_helpers () =
+  let lx = make_lexer "name \"s\" 4.5 true 1 2 3 ;" in
+  Alcotest.(check string) "ident" "name" (ident lx);
+  Alcotest.(check string) "string" "s" (string_ lx);
+  Alcotest.(check (float 1e-12)) "number" 4.5 (number lx);
+  Alcotest.(check bool) "bool" true (bool_ lx);
+  let nums = numbers_until_semi lx in
+  Alcotest.(check int) "nums" 3 (Array.length nums);
+  Alcotest.(check (float 1e-12)) "nums content" 2.0 nums.(1)
+
+let test_block () =
+  let lx = make_lexer "{ alpha 1; beta 2; }" in
+  let seen = ref [] in
+  block lx ~field:(fun lx name ->
+    let v = number lx in
+    eat lx Tsemi "';'";
+    seen := (name, v) :: !seen);
+  Alcotest.(check int) "two fields" 2 (List.length !seen);
+  Alcotest.(check (float 1e-12)) "alpha" 1.0 (List.assoc "alpha" !seen)
+
+let test_error_position () =
+  let lx = make_lexer ~what:"demo" "ok ok\n  $" in
+  ignore (ident lx);
+  match ident lx with
+  | exception Failure msg ->
+    Alcotest.(check bool) "mentions format" true
+      (String.length msg >= 4 && String.sub msg 0 4 = "demo");
+    Alcotest.(check bool) "mentions line 2" true
+      (String.length msg > 0
+       && (let found = ref false in
+           String.iteri
+             (fun i _ ->
+               if i + 1 < String.length msg && msg.[i] = '2' && msg.[i + 1] = ':'
+               then found := true)
+             msg;
+           !found))
+  | _ -> Alcotest.fail "expected lexing failure"
+
+let test_expect_mismatches () =
+  let expect_fail f =
+    match f () with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "expected Failure"
+  in
+  expect_fail (fun () -> ident (make_lexer "42"));
+  expect_fail (fun () -> number (make_lexer "foo"));
+  expect_fail (fun () -> string_ (make_lexer "foo"));
+  expect_fail (fun () -> bool_ (make_lexer "maybe"));
+  expect_fail (fun () -> eat (make_lexer "}") Tlbrace "'{'");
+  expect_fail (fun () -> ignore (tokens_of "\"unterminated"))
+
+let suite =
+  [ Alcotest.test_case "token stream" `Quick test_token_stream;
+    Alcotest.test_case "comments and whitespace" `Quick test_comments_and_ws;
+    Alcotest.test_case "scientific numbers" `Quick test_scientific_numbers;
+    Alcotest.test_case "arrow vs minus" `Quick test_arrow_vs_minus;
+    Alcotest.test_case "helpers" `Quick test_helpers;
+    Alcotest.test_case "block" `Quick test_block;
+    Alcotest.test_case "error positions" `Quick test_error_position;
+    Alcotest.test_case "expectation mismatches" `Quick test_expect_mismatches ]

@@ -1,0 +1,165 @@
+(* Tests for the Elmore delay model: closed forms on tiny nets and
+   finite-difference validation of the reverse-mode pass. *)
+
+let r_unit = 0.02
+let c_unit = 0.25
+
+let test_two_pin_closed_form () =
+  (* driver at (0,0), sink at (30,40): L = 70 um.
+     R = r L; sink node cap = cL/2 + pin cap; delay = R * load(sink). *)
+  let tree = Steiner.build ~xs:[| 0.0; 30.0 |] ~ys:[| 0.0; 40.0 |] () in
+  let pin_cap = 3.0 in
+  let rc = Rc.create ~r_unit ~c_unit ~pin_caps:[| 0.0; pin_cap |] tree in
+  Rc.evaluate rc;
+  let len = 70.0 in
+  let res = r_unit *. len in
+  let sink_load = (c_unit *. len /. 2.0) +. pin_cap in
+  Alcotest.(check (float 1e-9)) "delay" (res *. sink_load) (Rc.sink_delay rc 1);
+  Alcotest.(check (float 1e-9)) "root load" ((c_unit *. len) +. pin_cap)
+    (Rc.root_load rc);
+  (* impulse^2 = 2 beta - delay^2 with beta = R * (cap_sink * delay) *)
+  let beta = res *. (sink_load *. Rc.sink_delay rc 1) in
+  Alcotest.(check (float 1e-6)) "impulse2"
+    ((2.0 *. beta) -. (Rc.sink_delay rc 1 ** 2.0))
+    (Rc.sink_impulse2 rc 1)
+
+let test_chain_superposition () =
+  (* a 3-pin L-shaped net where the middle pin lies on the path:
+     driver (0,0), a (10,0), b (20,0): a pure chain, delays add up. *)
+  let tree = Steiner.build ~xs:[| 0.0; 10.0; 20.0 |] ~ys:[| 0.0; 0.0; 0.0 |] () in
+  let rc = Rc.create ~r_unit ~c_unit ~pin_caps:[| 0.0; 1.0; 2.0 |] tree in
+  Rc.evaluate rc;
+  let r1 = r_unit *. 10.0 and r2 = r_unit *. 10.0 in
+  let cap_a = (c_unit *. 10.0) +. 1.0 (* half of both adjacent wires *) in
+  let cap_b = (c_unit *. 5.0) +. 2.0 in
+  let load_b = cap_b in
+  let load_a = cap_a +. cap_b in
+  Alcotest.(check (float 1e-9)) "delay a" (r1 *. load_a) (Rc.sink_delay rc 1);
+  Alcotest.(check (float 1e-9)) "delay b"
+    ((r1 *. load_a) +. (r2 *. load_b))
+    (Rc.sink_delay rc 2)
+
+let test_delays_nonnegative_and_monotone () =
+  let rng = Workload.Rng.create 5 in
+  for _ = 1 to 50 do
+    let n = 2 + Workload.Rng.int rng 8 in
+    let xs = Array.init n (fun _ -> Workload.Rng.float rng 100.0) in
+    let ys = Array.init n (fun _ -> Workload.Rng.float rng 100.0) in
+    let tree = Steiner.build ~xs ~ys () in
+    let pin_caps = Array.init n (fun i -> if i = 0 then 0.0 else 1.0) in
+    let rc = Rc.create ~r_unit ~c_unit ~pin_caps tree in
+    Rc.evaluate rc;
+    for v = 0 to Steiner.node_count tree - 1 do
+      if Rc.sink_delay rc v < -1e-12 then Alcotest.fail "negative delay";
+      if Rc.sink_impulse2 rc v < 0.0 then Alcotest.fail "negative impulse2";
+      (* delay grows monotonically away from the driver *)
+      let p = tree.Steiner.parent.(v) in
+      if p >= 0 && Rc.sink_delay rc v < Rc.sink_delay rc p -. 1e-12 then
+        Alcotest.fail "delay not monotone along tree"
+    done
+  done
+
+let test_root_load_is_total_cap () =
+  let rng = Workload.Rng.create 6 in
+  let n = 7 in
+  let xs = Array.init n (fun _ -> Workload.Rng.float rng 50.0) in
+  let ys = Array.init n (fun _ -> Workload.Rng.float rng 50.0) in
+  let tree = Steiner.build ~xs ~ys () in
+  let pin_caps = Array.init n (fun i -> float_of_int i *. 0.5) in
+  let rc = Rc.create ~r_unit ~c_unit ~pin_caps tree in
+  Rc.evaluate rc;
+  let total_pin_cap = Array.fold_left ( +. ) 0.0 pin_caps in
+  let total_wire_cap = c_unit *. Steiner.total_length tree in
+  Alcotest.(check (float 1e-9)) "root load" (total_pin_cap +. total_wire_cap)
+    (Rc.root_load rc)
+
+let test_zero_length_net () =
+  let tree = Steiner.build ~xs:[| 5.0; 5.0 |] ~ys:[| 5.0; 5.0 |] () in
+  let rc = Rc.create ~r_unit ~c_unit ~pin_caps:[| 0.0; 2.0 |] tree in
+  Rc.evaluate rc;
+  Alcotest.(check (float 1e-12)) "zero delay" 0.0 (Rc.sink_delay rc 1);
+  Alcotest.(check (float 1e-12)) "load is pin cap" 2.0 (Rc.root_load rc)
+
+(* reverse mode vs finite differences on random nets and random
+   objective weights over delays / impulses / root load *)
+let prop_backward_matches_fd =
+  QCheck2.Test.make ~name:"rc backward = finite differences" ~count:60
+    QCheck2.Gen.(int_range 2 8)
+    (fun n ->
+      let rng = Workload.Rng.create ((n * 7919) + 3) in
+      let xs = Array.init n (fun _ -> 1.0 +. Workload.Rng.float rng 90.0) in
+      let ys = Array.init n (fun _ -> 1.0 +. Workload.Rng.float rng 90.0) in
+      let tree = Steiner.build ~xs ~ys () in
+      let pin_caps =
+        Array.init n (fun i -> if i = 0 then 0.0 else 0.5 +. Workload.Rng.float rng 3.0)
+      in
+      let rc = Rc.create ~r_unit ~c_unit ~pin_caps tree in
+      let a = Array.init n (fun _ -> Workload.Rng.float rng 1.0) in
+      let bw = Array.init n (fun _ -> Workload.Rng.float rng 0.05) in
+      let cw = Workload.Rng.float rng 1.0 in
+      let f () =
+        Steiner.update_coordinates tree ~xs ~ys;
+        Rc.evaluate rc;
+        let acc = ref (cw *. Rc.root_load rc) in
+        for i = 1 to n - 1 do
+          acc := !acc +. (a.(i) *. Rc.sink_delay rc i)
+                 +. (bw.(i) *. Rc.sink_impulse2 rc i)
+        done;
+        !acc
+      in
+      ignore (f ());
+      let nn = Steiner.node_count tree in
+      let g_delay = Array.make nn 0.0 and g_i2 = Array.make nn 0.0 in
+      for i = 1 to n - 1 do
+        g_delay.(i) <- a.(i);
+        g_i2.(i) <- bw.(i)
+      done;
+      let ngx = Array.make nn 0.0 and ngy = Array.make nn 0.0 in
+      Rc.backward rc ~g_delay ~g_impulse2:g_i2 ~g_root_load:cw ~node_gx:ngx
+        ~node_gy:ngy;
+      let pgx = Array.make n 0.0 and pgy = Array.make n 0.0 in
+      Steiner.accumulate_pin_gradient tree ~node_gx:ngx ~node_gy:ngy
+        ~pin_gx:pgx ~pin_gy:pgy;
+      let h = 1e-6 in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let x0 = xs.(i) in
+        xs.(i) <- x0 +. h;
+        let fp = f () in
+        xs.(i) <- x0 -. h;
+        let fm = f () in
+        xs.(i) <- x0;
+        let fd = (fp -. fm) /. (2.0 *. h) in
+        if Float.abs (fd -. pgx.(i)) > 1e-5 *. Float.max 1.0 (Float.abs fd)
+        then ok := false
+      done;
+      ignore (f ());
+      !ok)
+
+let test_backward_size_checks () =
+  let tree = Steiner.build ~xs:[| 0.0; 1.0 |] ~ys:[| 0.0; 1.0 |] () in
+  let rc = Rc.create ~r_unit ~c_unit ~pin_caps:[| 0.0; 1.0 |] tree in
+  Rc.evaluate rc;
+  match
+    Rc.backward rc ~g_delay:(Array.make 5 0.0) ~g_impulse2:(Array.make 2 0.0)
+      ~g_root_load:0.0 ~node_gx:(Array.make 2 0.0) ~node_gy:(Array.make 2 0.0)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected size check"
+
+let test_create_size_check () =
+  let tree = Steiner.build ~xs:[| 0.0; 1.0 |] ~ys:[| 0.0; 1.0 |] () in
+  match Rc.create ~r_unit ~c_unit ~pin_caps:[| 0.0 |] tree with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected size check"
+
+let suite =
+  [ Alcotest.test_case "two-pin closed form" `Quick test_two_pin_closed_form;
+    Alcotest.test_case "chain superposition" `Quick test_chain_superposition;
+    Alcotest.test_case "delays nonneg and monotone" `Quick
+      test_delays_nonnegative_and_monotone;
+    Alcotest.test_case "root load = total cap" `Quick test_root_load_is_total_cap;
+    Alcotest.test_case "zero-length net" `Quick test_zero_length_net;
+    Alcotest.test_case "backward size checks" `Quick test_backward_size_checks;
+    Alcotest.test_case "create size check" `Quick test_create_size_check;
+    QCheck_alcotest.to_alcotest prop_backward_matches_fd ]

@@ -1,0 +1,485 @@
+(* Tests for the timing graph and the exact STA engine. *)
+
+let lib = Liberty.Synthetic.default ()
+
+let lib_cell name =
+  match Liberty.cell_index lib name with
+  | Some i -> i
+  | None -> Alcotest.failf "missing lib cell %s" name
+
+(* Hand-built chain: PI pad -> INV_X1 -> DFF_X1 (D), with the DFF's Q
+   looping out to a PO pad.  Small enough to cross-check by direct
+   component evaluation. *)
+let build_chain () =
+  let region = Geometry.Rect.make ~lx:0.0 ~ly:0.0 ~hx:100.0 ~hy:100.0 in
+  let b = Netlist.Builder.create ~region ~row_height:1.4 "chain" in
+  let add_instance name kind x y =
+    let lc = lib.Liberty.lib_cells.(kind) in
+    let cell =
+      Netlist.Builder.add_cell b ~name ~lib_cell:kind ~width:lc.Liberty.lc_width
+        ~height:lc.Liberty.lc_height ~x ~y ()
+    in
+    Array.mapi
+      (fun j (lp : Liberty.lib_pin) ->
+        Netlist.Builder.add_pin b ~cell
+          ~name:(Printf.sprintf "%s/%s" name lp.Liberty.lp_name)
+          ~direction:
+            (match lp.Liberty.lp_direction with
+             | Liberty.Lib_input -> Netlist.Input
+             | Liberty.Lib_output -> Netlist.Output)
+          ~lib_pin:j ())
+      lc.Liberty.lc_pins
+  in
+  let pad name x y direction =
+    let cell =
+      Netlist.Builder.add_cell b ~name ~lib_cell:(-1) ~width:2.0 ~height:2.0
+        ~x ~y ~fixed:true ()
+    in
+    Netlist.Builder.add_pin b ~cell ~name:(name ^ "/P") ~direction ()
+  in
+  let pi = pad "pi0" 0.0 50.0 Netlist.Output in
+  let po = pad "po0" 100.0 50.0 Netlist.Input in
+  let inv = add_instance "inv" (lib_cell "INV_X1") 30.0 50.0 in
+  let dff = add_instance "dff" (lib_cell "DFF_X1") 60.0 50.0 in
+  (* INV pins: A=0 Y=1. DFF pins: D=0 CK=1 Q=2 *)
+  let _ = Netlist.Builder.add_net b ~name:"n_in" ~pins:[ pi; inv.(0) ] in
+  let _ = Netlist.Builder.add_net b ~name:"n_mid" ~pins:[ inv.(1); dff.(0) ] in
+  let _ = Netlist.Builder.add_net b ~name:"n_out" ~pins:[ dff.(2); po ] in
+  Netlist.Builder.freeze b
+
+let constraints = { Sta.Constraints.default with Sta.Constraints.clock_period = 600.0 }
+
+let test_graph_structure () =
+  let d = build_chain () in
+  let g = Sta.Graph.build d lib constraints in
+  Alcotest.(check int) "endpoints" 2 (Array.length g.Sta.Graph.endpoints);
+  Alcotest.(check int) "primary inputs" 1 (List.length g.Sta.Graph.primary_inputs);
+  Alcotest.(check int) "primary outputs" 1 (List.length g.Sta.Graph.primary_outputs);
+  (* arc levels strictly increase *)
+  Array.iteri
+    (fun v arcs ->
+      List.iter
+        (fun (ca : Sta.Graph.cell_arc) ->
+          if g.Sta.Graph.pin_level.(ca.Sta.Graph.ca_from)
+             >= g.Sta.Graph.pin_level.(v)
+          then Alcotest.fail "level not increasing along cell arc")
+        arcs)
+    g.Sta.Graph.fanin_arcs;
+  (* net sinks are above their drivers *)
+  Array.iter
+    (fun (net : Netlist.net) ->
+      match Netlist.net_driver d net.Netlist.net_id with
+      | None -> ()
+      | Some drv ->
+        List.iter
+          (fun s ->
+            if g.Sta.Graph.pin_level.(s) <= g.Sta.Graph.pin_level.(drv) then
+              Alcotest.fail "net sink below driver")
+          (Netlist.net_sinks d net.Netlist.net_id))
+    d.Netlist.nets;
+  (* the DFF data pin checks in *)
+  match Netlist.pin_by_name d "dff/D" with
+  | None -> Alcotest.fail "missing dff/D"
+  | Some p ->
+    Alcotest.(check bool) "check arc" true
+      (g.Sta.Graph.check_of_pin.(p.Netlist.pin_id) <> None);
+    Alcotest.(check bool) "endpoint" true
+      g.Sta.Graph.is_endpoint.(p.Netlist.pin_id)
+
+let test_clock_pin_is_start () =
+  let d = build_chain () in
+  let g = Sta.Graph.build d lib constraints in
+  match Netlist.pin_by_name d "dff/CK" with
+  | None -> Alcotest.fail "missing dff/CK"
+  | Some p ->
+    Alcotest.(check bool) "clock pin" true
+      g.Sta.Graph.is_clock_pin.(p.Netlist.pin_id);
+    Alcotest.(check bool) "start" true g.Sta.Graph.is_start.(p.Netlist.pin_id)
+
+(* AT along the chain equals hand-composed net + cell delays. *)
+let test_chain_arrival_time () =
+  let d = build_chain () in
+  let g = Sta.Graph.build d lib constraints in
+  let timer = Sta.Timer.create g in
+  let _ = Sta.Timer.run timer in
+  let pin name =
+    match Netlist.pin_by_name d name with
+    | Some p -> p.Netlist.pin_id
+    | None -> Alcotest.failf "missing %s" name
+  in
+  (* input pad arrival *)
+  Alcotest.(check (float 1e-9)) "pi at" constraints.Sta.Constraints.input_delay
+    (Sta.Timer.at_late timer (pin "pi0/P") Sta.Rise);
+  (* compose the first net arc by hand via the shared Nets state *)
+  let nets = Sta.Timer.nets timer in
+  let n_in =
+    match Netlist.net_by_name d "n_in" with
+    | Some n -> n.Netlist.net_id
+    | None -> Alcotest.fail "n_in"
+  in
+  (match nets.Sta.Nets.trees.(n_in) with
+   | None -> Alcotest.fail "no tree for n_in"
+   | Some (_, rc) ->
+     let node = nets.Sta.Nets.tree_index.(pin "inv/A") in
+     let expect =
+       constraints.Sta.Constraints.input_delay +. Rc.sink_delay rc node
+     in
+     Alcotest.(check (float 1e-9)) "inv/A at" expect
+       (Sta.Timer.at_late timer (pin "inv/A") Sta.Rise));
+  (* the inverter flips transitions: rise at Y comes from fall at A *)
+  let inv_cell =
+    match Liberty.find_cell lib "INV_X1" with
+    | Some c -> c
+    | None -> Alcotest.fail "INV_X1"
+  in
+  let arc = inv_cell.Liberty.lc_arcs.(0) in
+  let n_mid =
+    match Netlist.net_by_name d "n_mid" with
+    | Some n -> n.Netlist.net_id
+    | None -> Alcotest.fail "n_mid"
+  in
+  (match nets.Sta.Nets.trees.(n_mid) with
+   | None -> Alcotest.fail "no tree for n_mid"
+   | Some (_, rc) ->
+     let load = Rc.root_load rc in
+     let slew_a = Sta.Timer.slew_late timer (pin "inv/A") Sta.Fall in
+     let at_a = Sta.Timer.at_late timer (pin "inv/A") Sta.Fall in
+     let d_rise = Liberty.Lut.lookup arc.Liberty.cell_rise slew_a load in
+     Alcotest.(check (float 1e-9)) "inv/Y rise at" (at_a +. d_rise)
+       (Sta.Timer.at_late timer (pin "inv/Y") Sta.Rise))
+
+let test_slack_and_rat_relation () =
+  let d = build_chain () in
+  let g = Sta.Graph.build d lib constraints in
+  let timer = Sta.Timer.create g in
+  let report = Sta.Timer.run timer in
+  (* WNS is the min endpoint slack, TNS the sum of negative ones *)
+  let min_slack =
+    List.fold_left
+      (fun acc (e : Sta.Timer.endpoint_slack) ->
+        Float.min acc e.Sta.Timer.ep_setup_slack)
+      infinity report.Sta.Timer.endpoint_slacks
+  in
+  Alcotest.(check (float 1e-9)) "wns"
+    (Float.min 0.0 min_slack)
+    (Float.min 0.0 report.Sta.Timer.setup_wns);
+  let tns =
+    List.fold_left
+      (fun acc (e : Sta.Timer.endpoint_slack) ->
+        acc +. Float.min 0.0 e.Sta.Timer.ep_setup_slack)
+      0.0 report.Sta.Timer.endpoint_slacks
+  in
+  Alcotest.(check (float 1e-9)) "tns" tns report.Sta.Timer.setup_tns;
+  (* endpoints sorted by setup slack *)
+  let rec sorted = function
+    | (a : Sta.Timer.endpoint_slack) :: (b :: _ as rest) ->
+      a.Sta.Timer.ep_setup_slack <= b.Sta.Timer.ep_setup_slack && sorted rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted report.Sta.Timer.endpoint_slacks)
+
+let test_period_shift () =
+  (* increasing the clock period by delta shifts every setup slack by
+     exactly delta *)
+  let d = build_chain () in
+  let g1 = Sta.Graph.build d lib constraints in
+  let r1 = Sta.Timer.run (Sta.Timer.create g1) in
+  let c2 =
+    { constraints with
+      Sta.Constraints.clock_period =
+        constraints.Sta.Constraints.clock_period +. 100.0 }
+  in
+  let g2 = Sta.Graph.build d lib c2 in
+  let r2 = Sta.Timer.run (Sta.Timer.create g2) in
+  Alcotest.(check (float 1e-6)) "wns shift"
+    (r1.Sta.Timer.setup_wns +. 100.0)
+    r2.Sta.Timer.setup_wns
+
+let test_moving_cell_changes_timing () =
+  let d = build_chain () in
+  let g = Sta.Graph.build d lib constraints in
+  let timer = Sta.Timer.create g in
+  let r1 = Sta.Timer.run timer in
+  (* drag the inverter far away: the path gets slower *)
+  (match Netlist.cell_by_name d "inv" with
+   | Some c -> c.Netlist.x <- 5.0; c.Netlist.y <- 5.0
+   | None -> Alcotest.fail "inv missing");
+  let r2 = Sta.Timer.run timer in
+  Alcotest.(check bool) "worse wns" true
+    (r2.Sta.Timer.setup_wns < r1.Sta.Timer.setup_wns)
+
+let test_pin_slack_consistency () =
+  let design, cons = Workload.generate lib
+      { Workload.default_spec with Workload.sp_cells = 400; sp_clock_period = 800.0 } in
+  let g = Sta.Graph.build design lib cons in
+  let timer = Sta.Timer.create g in
+  let report = Sta.Timer.run timer in
+  (* per-pin slack from RAT propagation is never better than WNS *)
+  let min_pin_slack = ref infinity in
+  for p = 0 to Netlist.num_pins design - 1 do
+    let s = Sta.Timer.pin_slack_late timer p in
+    if s < !min_pin_slack then min_pin_slack := s
+  done;
+  Alcotest.(check (float 1e-6)) "min pin slack = wns"
+    report.Sta.Timer.setup_wns !min_pin_slack;
+  (* net slack is the min over the net's pins *)
+  let net = design.Netlist.nets.(0) in
+  let expect =
+    Array.fold_left
+      (fun acc p -> Float.min acc (Sta.Timer.pin_slack_late timer p))
+      infinity net.Netlist.net_pins
+  in
+  Alcotest.(check (float 1e-9)) "net slack" expect
+    (Sta.Timer.net_slack timer net.Netlist.net_id)
+
+let test_hold_nonnegative_on_chain () =
+  (* with an ideal clock and zero input delay, the chain has positive
+     hold slack (combinational delay exceeds the hold requirement) *)
+  let d = build_chain () in
+  let g = Sta.Graph.build d lib constraints in
+  let r = Sta.Timer.run (Sta.Timer.create g) in
+  Alcotest.(check bool) "hold met" true (r.Sta.Timer.hold_wns >= 0.0)
+
+let test_cycle_detection () =
+  let region = Geometry.Rect.make ~lx:0.0 ~ly:0.0 ~hx:10.0 ~hy:10.0 in
+  let b = Netlist.Builder.create ~region "loop" in
+  let kind = lib_cell "INV_X1" in
+  let mk name =
+    let cell = Netlist.Builder.add_cell b ~name ~lib_cell:kind ~width:1.0
+        ~height:1.0 () in
+    let a = Netlist.Builder.add_pin b ~cell ~name:(name ^ "/A")
+        ~direction:Netlist.Input ~lib_pin:0 () in
+    let y = Netlist.Builder.add_pin b ~cell ~name:(name ^ "/Y")
+        ~direction:Netlist.Output ~lib_pin:1 () in
+    (a, y)
+  in
+  let a1, y1 = mk "i1" in
+  let a2, y2 = mk "i2" in
+  let _ = Netlist.Builder.add_net b ~name:"n1" ~pins:[ y1; a2 ] in
+  let _ = Netlist.Builder.add_net b ~name:"n2" ~pins:[ y2; a1 ] in
+  let d = Netlist.Builder.freeze b in
+  match Sta.Graph.build d lib constraints with
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "mentions cycle" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected cycle detection"
+
+let test_slew_propagation_positive () =
+  let design, cons = Workload.generate lib
+      { Workload.default_spec with Workload.sp_cells = 300 } in
+  let g = Sta.Graph.build design lib cons in
+  let timer = Sta.Timer.create g in
+  let _ = Sta.Timer.run timer in
+  for p = 0 to Netlist.num_pins design - 1 do
+    if Sta.Timer.at_late timer p Sta.Rise > neg_infinity then begin
+      if Sta.Timer.slew_late timer p Sta.Rise <= 0.0 then
+        Alcotest.fail "non-positive slew on a reached pin"
+    end
+  done
+
+let suite =
+  [ Alcotest.test_case "graph structure" `Quick test_graph_structure;
+    Alcotest.test_case "clock pin is startpoint" `Quick test_clock_pin_is_start;
+    Alcotest.test_case "chain arrival time composition" `Quick
+      test_chain_arrival_time;
+    Alcotest.test_case "slack and rat relation" `Quick test_slack_and_rat_relation;
+    Alcotest.test_case "clock period shift" `Quick test_period_shift;
+    Alcotest.test_case "moving a cell changes timing" `Quick
+      test_moving_cell_changes_timing;
+    Alcotest.test_case "pin slack consistency" `Quick test_pin_slack_consistency;
+    Alcotest.test_case "hold met on chain" `Quick test_hold_nonnegative_on_chain;
+    Alcotest.test_case "combinational cycle detection" `Quick test_cycle_detection;
+    Alcotest.test_case "slews positive where reached" `Quick
+      test_slew_propagation_positive ]
+
+let test_critical_path () =
+  let design, cons = Workload.generate lib
+      { Workload.default_spec with Workload.sp_cells = 400; sp_clock_period = 700.0 } in
+  let g = Sta.Graph.build design lib cons in
+  let timer = Sta.Timer.create g in
+  let report = Sta.Timer.run timer in
+  let path = Sta.Timer.critical_path timer in
+  (match path with
+   | [] -> Alcotest.fail "empty critical path"
+   | first :: _ ->
+     (* starts at a startpoint *)
+     Alcotest.(check bool) "starts at startpoint" true
+       g.Sta.Graph.is_start.(first.Sta.Timer.ps_pin);
+     let last = List.nth path (List.length path - 1) in
+     (* ends at the worst endpoint *)
+     Alcotest.(check bool) "ends at endpoint" true
+       g.Sta.Graph.is_endpoint.(last.Sta.Timer.ps_pin);
+     Alcotest.(check (float 1e-6)) "endpoint slack = wns"
+       report.Sta.Timer.setup_wns
+       (Sta.Timer.pin_slack_late timer last.Sta.Timer.ps_pin);
+     (* arrival times increase monotonically along the path *)
+     let rec monotone = function
+       | (a : Sta.Timer.path_step) :: (b :: _ as rest) ->
+         a.Sta.Timer.ps_at <= b.Sta.Timer.ps_at +. 1e-9 && monotone rest
+       | [ _ ] | [] -> true
+     in
+     Alcotest.(check bool) "at monotone" true (monotone path);
+     (* levels strictly increase *)
+     let rec levels_up = function
+       | (a : Sta.Timer.path_step) :: (b :: _ as rest) ->
+         g.Sta.Graph.pin_level.(a.Sta.Timer.ps_pin)
+         < g.Sta.Graph.pin_level.(b.Sta.Timer.ps_pin)
+         && levels_up rest
+       | [ _ ] | [] -> true
+     in
+     Alcotest.(check bool) "levels increase" true (levels_up path))
+
+let test_critical_path_specific_endpoint () =
+  let d = build_chain () in
+  let g = Sta.Graph.build d lib constraints in
+  let timer = Sta.Timer.create g in
+  let _ = Sta.Timer.run timer in
+  match Netlist.pin_by_name d "dff/D" with
+  | None -> Alcotest.fail "missing dff/D"
+  | Some p ->
+    let path = Sta.Timer.critical_path ~endpoint:p.Netlist.pin_id timer in
+    let names =
+      List.map
+        (fun (s : Sta.Timer.path_step) ->
+          d.Netlist.pins.(s.Sta.Timer.ps_pin).Netlist.pin_name)
+        path
+    in
+    Alcotest.(check (list string)) "chain path"
+      [ "pi0/P"; "inv/A"; "inv/Y"; "dff/D" ] names
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "critical path" `Quick test_critical_path;
+      Alcotest.test_case "critical path to endpoint" `Quick
+        test_critical_path_specific_endpoint ]
+
+let test_incremental_matches_full () =
+  let design, cons = Workload.generate lib
+      { Workload.default_spec with Workload.sp_cells = 500; sp_clock_period = 750.0 } in
+  let g = Sta.Graph.build design lib cons in
+  let inc = Sta.Incremental.create g in
+  (* a reference timer sharing nothing with the incremental one *)
+  let reference = Sta.Timer.create g in
+  let rng = Workload.Rng.create 314 in
+  let ncells = Netlist.num_cells design in
+  for round = 1 to 8 do
+    (* move a few random movable cells *)
+    let moved = ref 0 in
+    while !moved < 3 do
+      let c = design.Netlist.cells.(Workload.Rng.int rng ncells) in
+      if not c.Netlist.fixed then begin
+        incr moved;
+        Sta.Incremental.move_cell inc c.Netlist.cell_id
+          ~x:(2.0 +. Workload.Rng.float rng 90.0)
+          ~y:(2.0 +. Workload.Rng.float rng 90.0)
+      end
+    done;
+    let ir = Sta.Incremental.update inc in
+    (* full reference analysis on the same positions; refresh (not
+       rebuild) so both engines see identical Steiner topologies *)
+    let fr = Sta.Timer.run ~rebuild_trees:false reference in
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "wns round %d" round)
+      fr.Sta.Timer.setup_wns ir.Sta.Timer.setup_wns;
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "tns round %d" round)
+      fr.Sta.Timer.setup_tns ir.Sta.Timer.setup_tns;
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "hold tns round %d" round)
+      fr.Sta.Timer.hold_tns ir.Sta.Timer.hold_tns;
+    (* per-pin arrival times agree *)
+    let tm = Sta.Incremental.timer inc in
+    for p = 0 to Netlist.num_pins design - 1 do
+      let a = Sta.Timer.at_late tm p Sta.Rise in
+      let b = Sta.Timer.at_late reference p Sta.Rise in
+      if Float.is_finite a || Float.is_finite b then
+        if Float.abs (a -. b) > 1e-6 then
+          Alcotest.failf "at mismatch at pin %d round %d: %f vs %f" p round a b
+    done;
+    (* sparsity: far fewer pins re-evaluated than exist *)
+    Alcotest.(check bool) "sparse update" true
+      (Sta.Incremental.last_update_pin_count inc < Netlist.num_pins design)
+  done
+
+let test_incremental_no_move_is_noop () =
+  let design, cons = Workload.generate lib
+      { Workload.default_spec with Workload.sp_cells = 200 } in
+  let g = Sta.Graph.build design lib cons in
+  let inc = Sta.Incremental.create g in
+  let r1 = Sta.Incremental.update inc in
+  Alcotest.(check int) "nothing recomputed" 0
+    (Sta.Incremental.last_update_pin_count inc);
+  let r2 = Sta.Incremental.update inc in
+  Alcotest.(check (float 1e-12)) "stable wns" r1.Sta.Timer.setup_wns
+    r2.Sta.Timer.setup_wns
+
+let test_incremental_move_then_back () =
+  let design, cons = Workload.generate lib
+      { Workload.default_spec with Workload.sp_cells = 200 } in
+  let g = Sta.Graph.build design lib cons in
+  let inc = Sta.Incremental.create g in
+  let r0 = Sta.Incremental.update inc in
+  let c = design.Netlist.cells.(List.hd (Netlist.movable_cells design)) in
+  let x0 = c.Netlist.x and y0 = c.Netlist.y in
+  Sta.Incremental.move_cell inc c.Netlist.cell_id ~x:(x0 +. 20.0) ~y:(y0 +. 10.0);
+  let r1 = Sta.Incremental.update inc in
+  Alcotest.(check bool) "timing changed" true
+    (r1.Sta.Timer.setup_tns <> r0.Sta.Timer.setup_tns);
+  Sta.Incremental.move_cell inc c.Netlist.cell_id ~x:x0 ~y:y0;
+  let r2 = Sta.Incremental.update inc in
+  Alcotest.(check (float 1e-6)) "restored tns" r0.Sta.Timer.setup_tns
+    r2.Sta.Timer.setup_tns
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "incremental matches full" `Quick
+        test_incremental_matches_full;
+      Alcotest.test_case "incremental no-op" `Quick
+        test_incremental_no_move_is_noop;
+      Alcotest.test_case "incremental move and restore" `Quick
+        test_incremental_move_then_back ]
+
+let test_io_constraint_effects () =
+  let d = build_chain () in
+  (* input_delay shifts the whole data path *)
+  let wns c =
+    let g = Sta.Graph.build d lib c in
+    (Sta.Timer.run (Sta.Timer.create g)).Sta.Timer.setup_wns
+  in
+  let base = wns constraints in
+  let delayed =
+    wns { constraints with Sta.Constraints.input_delay = 50.0 }
+  in
+  Alcotest.(check bool) "input delay hurts" true (delayed <= base -. 40.0);
+  (* output_delay tightens PO endpoints only; the chain's PO is less
+     critical than its FF, so WNS moves once the margin is large *)
+  let tightened =
+    wns { constraints with Sta.Constraints.output_delay = 400.0 }
+  in
+  Alcotest.(check bool) "output delay tightens" true (tightened < base);
+  (* heavier PO load slows the driving path *)
+  let loaded =
+    wns { constraints with Sta.Constraints.output_load = 30.0 }
+  in
+  Alcotest.(check bool) "output load hurts" true (loaded < base)
+
+let test_slew_limits_monotone () =
+  (* faster input slew can only help arrival on the PI -> INV -> D path
+     (the PO is launched by the clock and is insensitive to input slew) *)
+  let d = build_chain () in
+  let at_d c =
+    let g = Sta.Graph.build d lib c in
+    let timer = Sta.Timer.create g in
+    let _ = Sta.Timer.run timer in
+    match Netlist.pin_by_name d "dff/D" with
+    | Some p -> Sta.Timer.at_late timer p.Netlist.pin_id Sta.Rise
+    | None -> Alcotest.fail "dff/D"
+  in
+  let fast = at_d { constraints with Sta.Constraints.input_slew = 5.0 } in
+  let slow = at_d { constraints with Sta.Constraints.input_slew = 80.0 } in
+  Alcotest.(check bool) "slew monotone" true (fast < slow)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "io constraint effects" `Quick test_io_constraint_effects;
+      Alcotest.test_case "slew monotone" `Quick test_slew_limits_monotone ]

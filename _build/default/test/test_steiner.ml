@@ -1,0 +1,174 @@
+(* Tests for RSMT construction, provenance and gradient scattering. *)
+
+let rand_net rng n =
+  (Array.init n (fun _ -> Workload.Rng.float rng 100.0),
+   Array.init n (fun _ -> Workload.Rng.float rng 100.0))
+
+let test_single_pin () =
+  let t = Steiner.build ~xs:[| 3.0 |] ~ys:[| 4.0 |] () in
+  Alcotest.(check int) "nodes" 1 (Steiner.node_count t);
+  Alcotest.(check (float 1e-12)) "length" 0.0 (Steiner.total_length t)
+
+let test_two_pins () =
+  let t = Steiner.build ~xs:[| 0.0; 3.0 |] ~ys:[| 0.0; 4.0 |] () in
+  Alcotest.(check int) "nodes" 2 (Steiner.node_count t);
+  Alcotest.(check (float 1e-12)) "length" 7.0 (Steiner.total_length t);
+  Alcotest.(check int) "root parent" (-1) t.Steiner.parent.(t.Steiner.order.(0));
+  Alcotest.(check bool) "pin not steiner" false (Steiner.is_steiner t 1)
+
+let test_three_pins_optimal () =
+  (* for 3 pins the optimal RSMT length equals the bbox half-perimeter *)
+  let rng = Workload.Rng.create 21 in
+  for _ = 1 to 100 do
+    let xs, ys = rand_net rng 3 in
+    let t = Steiner.build ~xs ~ys () in
+    let hp = Steiner.hpwl ~xs ~ys in
+    if Float.abs (Steiner.total_length t -. hp) > 1e-9 then
+      Alcotest.failf "3-pin not optimal: %f vs %f" (Steiner.total_length t) hp
+  done
+
+let test_coincident_pins () =
+  let t = Steiner.build ~xs:[| 1.0; 1.0; 1.0 |] ~ys:[| 2.0; 2.0; 2.0 |] () in
+  Alcotest.(check (float 1e-12)) "zero length" 0.0 (Steiner.total_length t);
+  Alcotest.(check int) "pins preserved" 3 t.Steiner.pin_count
+
+let test_invalid () =
+  let expect f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect (fun () -> Steiner.build ~xs:[||] ~ys:[||] ());
+  expect (fun () -> Steiner.build ~xs:[| 1.0 |] ~ys:[| 1.0; 2.0 |] ())
+
+let tree_is_connected t =
+  (* every non-root node has a parent; order is a valid topological
+     ordering (parents precede children) *)
+  let n = Steiner.node_count t in
+  let pos = Array.make n (-1) in
+  Array.iteri (fun i v -> pos.(v) <- i) t.Steiner.order;
+  let ok = ref (pos.(t.Steiner.order.(0)) = 0) in
+  for v = 0 to n - 1 do
+    let p = t.Steiner.parent.(v) in
+    if p >= 0 then begin
+      if pos.(p) >= pos.(v) then ok := false
+    end
+    else if v <> t.Steiner.order.(0) then ok := false
+  done;
+  !ok
+
+let prop_bounds =
+  QCheck2.Test.make ~name:"hpwl <= rsmt <= mst, tree well-formed" ~count:300
+    QCheck2.Gen.(int_range 2 12)
+    (fun n ->
+      let rng = Workload.Rng.create (n * 7919) in
+      let xs, ys = rand_net rng n in
+      let t = Steiner.build ~xs ~ys () in
+      let len = Steiner.total_length t in
+      let mst = Steiner.mst_length ~xs ~ys in
+      let hp = Steiner.hpwl ~xs ~ys in
+      hp -. 1e-9 <= len && len <= mst +. 1e-9 && tree_is_connected t)
+
+let prop_provenance =
+  QCheck2.Test.make ~name:"steiner coordinates come from source pins" ~count:200
+    QCheck2.Gen.(int_range 3 10)
+    (fun n ->
+      let rng = Workload.Rng.create (n * 104729) in
+      let xs, ys = rand_net rng n in
+      let t = Steiner.build ~xs ~ys () in
+      let ok = ref true in
+      for v = t.Steiner.pin_count to Steiner.node_count t - 1 do
+        if t.Steiner.xs.(v) <> xs.(t.Steiner.x_source.(v)) then ok := false;
+        if t.Steiner.ys.(v) <> ys.(t.Steiner.y_source.(v)) then ok := false
+      done;
+      !ok)
+
+let prop_update_consistent =
+  QCheck2.Test.make ~name:"update_coordinates matches provenance" ~count:200
+    QCheck2.Gen.(int_range 2 10)
+    (fun n ->
+      let rng = Workload.Rng.create (n * 31 + 5) in
+      let xs, ys = rand_net rng n in
+      let t = Steiner.build ~xs ~ys () in
+      (* move pins a little and refresh *)
+      let xs2 = Array.map (fun x -> x +. Workload.Rng.float rng 2.0) xs in
+      let ys2 = Array.map (fun y -> y +. Workload.Rng.float rng 2.0) ys in
+      Steiner.update_coordinates t ~xs:xs2 ~ys:ys2;
+      let ok = ref true in
+      for v = 0 to Steiner.node_count t - 1 do
+        let ex =
+          if v < t.Steiner.pin_count then xs2.(v) else xs2.(t.Steiner.x_source.(v))
+        in
+        if t.Steiner.xs.(v) <> ex then ok := false
+      done;
+      !ok)
+
+let test_exact_beats_heuristic () =
+  let rng = Workload.Rng.create 77 in
+  let better = ref 0 in
+  for _ = 1 to 200 do
+    let xs, ys = rand_net rng 4 in
+    let exact = Steiner.total_length (Steiner.build ~exact_limit:4 ~xs ~ys ()) in
+    let heur = Steiner.total_length (Steiner.build ~exact_limit:2 ~xs ~ys ()) in
+    if exact > heur +. 1e-9 then
+      Alcotest.failf "exact worse than heuristic: %f > %f" exact heur;
+    if exact < heur -. 1e-9 then incr better
+  done;
+  (* the exhaustive search must win at least occasionally *)
+  Alcotest.(check bool) "sometimes strictly better" true (!better > 0)
+
+let test_gradient_accumulation () =
+  let rng = Workload.Rng.create 13 in
+  let xs, ys = rand_net rng 6 in
+  let t = Steiner.build ~xs ~ys () in
+  let n = Steiner.node_count t in
+  let node_gx = Array.init n (fun i -> float_of_int i) in
+  let node_gy = Array.init n (fun i -> 2.0 *. float_of_int i) in
+  let pin_gx = Array.make 6 0.0 and pin_gy = Array.make 6 0.0 in
+  Steiner.accumulate_pin_gradient t ~node_gx ~node_gy ~pin_gx ~pin_gy;
+  (* gradient mass is conserved: nothing vanishes at Steiner points *)
+  let sum a = Array.fold_left ( +. ) 0.0 a in
+  Alcotest.(check (float 1e-9)) "x mass" (sum node_gx) (sum pin_gx);
+  Alcotest.(check (float 1e-9)) "y mass" (sum node_gy) (sum pin_gy)
+
+let test_edge_length () =
+  let t = Steiner.build ~xs:[| 0.0; 10.0 |] ~ys:[| 0.0; 5.0 |] () in
+  let root = t.Steiner.order.(0) in
+  Alcotest.(check (float 1e-12)) "root edge" 0.0 (Steiner.edge_length t root);
+  let other = t.Steiner.order.(1) in
+  Alcotest.(check (float 1e-12)) "edge" 15.0 (Steiner.edge_length t other)
+
+let test_star_net_has_steiner () =
+  (* a + of 5 pins: center pin plus 4 arms; RSMT should beat the star *)
+  let xs = [| 0.0; 10.0; -10.0; 0.0; 0.0 |] in
+  let ys = [| 0.0; 0.0; 0.0; 10.0; -10.0 |] in
+  let t = Steiner.build ~xs ~ys () in
+  Alcotest.(check (float 1e-9)) "length" 40.0 (Steiner.total_length t)
+
+let suite =
+  [ Alcotest.test_case "single pin" `Quick test_single_pin;
+    Alcotest.test_case "two pins" `Quick test_two_pins;
+    Alcotest.test_case "three pins optimal" `Quick test_three_pins_optimal;
+    Alcotest.test_case "coincident pins" `Quick test_coincident_pins;
+    Alcotest.test_case "invalid input" `Quick test_invalid;
+    Alcotest.test_case "exact beats heuristic on 4 pins" `Quick
+      test_exact_beats_heuristic;
+    Alcotest.test_case "gradient mass conservation" `Quick
+      test_gradient_accumulation;
+    Alcotest.test_case "edge length" `Quick test_edge_length;
+    Alcotest.test_case "plus-shaped net" `Quick test_star_net_has_steiner;
+    QCheck_alcotest.to_alcotest prop_bounds;
+    QCheck_alcotest.to_alcotest prop_provenance;
+    QCheck_alcotest.to_alcotest prop_update_consistent ]
+
+let test_exact_limit_clamped () =
+  (* out-of-range exact limits are clamped, not rejected *)
+  let xs = [| 0.0; 10.0; 5.0 |] and ys = [| 0.0; 10.0; 2.0 |] in
+  let a = Steiner.build ~exact_limit:99 ~xs ~ys () in
+  let b = Steiner.build ~exact_limit:(-3) ~xs ~ys () in
+  Alcotest.(check (float 1e-9)) "same optimal length" (Steiner.total_length a)
+    (Steiner.total_length b)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "exact limit clamped" `Quick test_exact_limit_clamped ]

@@ -1,0 +1,133 @@
+(* Tests for the structural Verilog reader/writer. *)
+
+let lib = Liberty.Synthetic.default ()
+
+let sample_source =
+  "// a tiny mapped netlist\n\
+   module top (a, b, clk_unused, y);\n\
+  \  input a, b;\n\
+  \  input clk_unused;\n\
+  \  output y;\n\
+  \  wire n1, n2;\n\
+  \  /* two gates and a register */\n\
+  \  NAND2_X1 u1 (.A(a), .B(b), .Y(n1));\n\
+  \  INV_X1 u2 (.A(n1), .Y(n2));\n\
+  \  DFF_X1 ff1 (.D(n2), .CK(clk), .Q(y));\n\
+   endmodule\n"
+
+let test_import_basics () =
+  let d = Verilog.import lib sample_source in
+  Alcotest.(check string) "module name" "top" d.Netlist.design_name;
+  (* 4 pads + 3 cells *)
+  Alcotest.(check int) "cells" 7 (Netlist.num_cells d);
+  Alcotest.(check int) "movable" 3 (List.length (Netlist.movable_cells d));
+  (* the clock net (only clock pins, no driver) is dropped: ideal clock *)
+  (match Netlist.pin_by_name d "ff1/CK" with
+   | Some p -> Alcotest.(check int) "ck unconnected" (-1) p.Netlist.net
+   | None -> Alcotest.fail "missing ff1/CK");
+  (* connectivity: a -> u1.A *)
+  (match Netlist.pin_by_name d "u1/A" with
+   | Some p ->
+     let net = d.Netlist.nets.(p.Netlist.net) in
+     let driver =
+       match Netlist.net_driver d net.Netlist.net_id with
+       | Some q -> d.Netlist.pins.(q).Netlist.pin_name
+       | None -> "?"
+     in
+     Alcotest.(check string) "driven by pad a" "a/P" driver
+   | None -> Alcotest.fail "missing u1/A")
+
+let test_import_is_placeable () =
+  let d = Verilog.import lib sample_source in
+  let g = Sta.Graph.build d lib Sta.Constraints.default in
+  let report = Sta.Timer.run (Sta.Timer.create g) in
+  Alcotest.(check bool) "finite timing" true
+    (Float.is_finite report.Sta.Timer.setup_wns);
+  (* endpoints: ff1/D and the y port *)
+  Alcotest.(check int) "endpoints" 2 (Array.length g.Sta.Graph.endpoints)
+
+let test_roundtrip_connectivity () =
+  (* export a generated design, re-import it, and compare STA results:
+     geometry is invented on import, so compare the *graph*, not
+     positions *)
+  let spec = { Workload.default_spec with Workload.sp_cells = 150 } in
+  let design, cons = Workload.generate lib spec in
+  let src = Verilog.export design lib in
+  let d2 = Verilog.import lib src in
+  Alcotest.(check int) "cells preserved" (Netlist.num_cells design)
+    (Netlist.num_cells d2);
+  Alcotest.(check int) "nets preserved" (Netlist.num_nets design)
+    (Netlist.num_nets d2);
+  Alcotest.(check int) "pins preserved" (Netlist.num_pins design)
+    (Netlist.num_pins d2);
+  let g1 = Sta.Graph.build design lib cons in
+  let g2 = Sta.Graph.build d2 lib cons in
+  Alcotest.(check int) "same depth" (Sta.Graph.max_level g1)
+    (Sta.Graph.max_level g2);
+  Alcotest.(check int) "same endpoints"
+    (Array.length g1.Sta.Graph.endpoints)
+    (Array.length g2.Sta.Graph.endpoints);
+  (* the re-imported design places and times end to end *)
+  let cfg =
+    { Core.default_config with
+      Core.mode = Core.Wirelength_only; max_iterations = 60;
+      min_iterations = 10 }
+  in
+  let r = Core.run cfg g2 in
+  Alcotest.(check bool) "placeable" true (r.Core.res_iterations >= 10)
+
+let test_export_reimport_fixpoint () =
+  let spec = { Workload.default_spec with Workload.sp_cells = 80 } in
+  let design, _ = Workload.generate lib spec in
+  let src = Verilog.export design lib in
+  let d2 = Verilog.import lib src in
+  Alcotest.(check string) "export stable" src (Verilog.export d2 lib)
+
+let test_escaped_identifiers () =
+  let src =
+    "module top (\\weird[0] , y);\n\
+    \  input \\weird[0] ;\n\
+    \  output y;\n\
+    \  INV_X1 \\inv.cell (.A(\\weird[0] ), .Y(y));\n\
+     endmodule\n"
+  in
+  let d = Verilog.import lib src in
+  Alcotest.(check bool) "escaped cell name" true
+    (Netlist.cell_by_name d "inv.cell" <> None);
+  Alcotest.(check bool) "escaped port" true
+    (Netlist.cell_by_name d "weird[0]" <> None)
+
+let test_parse_errors () =
+  let expect name src =
+    match Verilog.import lib src with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "%s: expected Failure" name
+  in
+  expect "not a module" "wire x;";
+  expect "unknown cell" "module t (a); input a; BOGUS_X9 u (.A(a)); endmodule";
+  expect "unknown pin"
+    "module t (a); input a; INV_X1 u (.Q(a)); endmodule";
+  expect "positional connection"
+    "module t (a); input a; INV_X1 u (a); endmodule";
+  expect "unterminated comment" "module t (a); /* input a; endmodule";
+  expect "missing endmodule" "module t (a); input a;"
+
+let test_save_load () =
+  let spec = { Workload.default_spec with Workload.sp_cells = 60 } in
+  let design, _ = Workload.generate lib spec in
+  let path = Filename.temp_file "dgp" ".v" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Verilog.save path design lib;
+      let d2 = Verilog.load lib path in
+      Alcotest.(check int) "cells" (Netlist.num_cells design) (Netlist.num_cells d2))
+
+let suite =
+  [ Alcotest.test_case "import basics" `Quick test_import_basics;
+    Alcotest.test_case "import is placeable" `Quick test_import_is_placeable;
+    Alcotest.test_case "roundtrip connectivity" `Quick test_roundtrip_connectivity;
+    Alcotest.test_case "export fixpoint" `Quick test_export_reimport_fixpoint;
+    Alcotest.test_case "escaped identifiers" `Quick test_escaped_identifiers;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "save/load" `Quick test_save_load ]

@@ -1,0 +1,131 @@
+(* Tests for the weighted-average smooth wirelength model. *)
+
+let lib = Liberty.Synthetic.default ()
+
+let sample_design seed =
+  let spec =
+    { Workload.default_spec with Workload.sp_cells = 120; sp_seed = seed }
+  in
+  let design, _ = Workload.generate lib spec in
+  design
+
+let test_wa_below_hpwl () =
+  let design = sample_design 1 in
+  let wl = Wirelength.create ~gamma:2.0 design in
+  let n = Netlist.num_cells design in
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  let wa = Wirelength.evaluate wl ~weighted:false ~grad_x:gx ~grad_y:gy () in
+  let hp = Wirelength.hpwl wl in
+  Alcotest.(check bool) "wa <= hpwl" true (wa <= hp +. 1e-6);
+  Alcotest.(check bool) "wa positive" true (wa > 0.0)
+
+let test_wa_converges_to_hpwl () =
+  let design = sample_design 2 in
+  let wl = Wirelength.create ~gamma:0.01 design in
+  let n = Netlist.num_cells design in
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  let wa = Wirelength.evaluate wl ~weighted:false ~grad_x:gx ~grad_y:gy () in
+  let hp = Wirelength.hpwl wl in
+  Alcotest.(check bool) "relative gap < 1%" true
+    (Float.abs (wa -. hp) /. hp < 0.01)
+
+let test_gamma_accessors () =
+  let design = sample_design 3 in
+  let wl = Wirelength.create ~gamma:5.0 design in
+  Alcotest.(check (float 1e-12)) "initial" 5.0 (Wirelength.gamma wl);
+  Wirelength.set_gamma wl 2.5;
+  Alcotest.(check (float 1e-12)) "updated" 2.5 (Wirelength.gamma wl)
+
+let test_weight_scaling () =
+  let design = sample_design 4 in
+  let wl = Wirelength.create ~gamma:2.0 design in
+  let n = Netlist.num_cells design in
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  let base = Wirelength.evaluate wl ~weighted:true ~grad_x:gx ~grad_y:gy () in
+  Array.iter (fun (net : Netlist.net) -> net.Netlist.weight <- 2.0)
+    design.Netlist.nets;
+  Array.fill gx 0 n 0.0;
+  Array.fill gy 0 n 0.0;
+  let doubled = Wirelength.evaluate wl ~weighted:true ~grad_x:gx ~grad_y:gy () in
+  Alcotest.(check (float 1e-6)) "doubling weights doubles WL" (2.0 *. base)
+    doubled;
+  Netlist.reset_weights design
+
+let test_two_pin_gradient_signs () =
+  (* a 2-pin net pulls its endpoints together *)
+  let region = Geometry.Rect.make ~lx:0.0 ~ly:0.0 ~hx:50.0 ~hy:50.0 in
+  let b = Netlist.Builder.create ~region "two" in
+  let c0 = Netlist.Builder.add_cell b ~name:"a" ~lib_cell:0 ~width:1.0
+      ~height:1.0 ~x:10.0 ~y:10.0 () in
+  let c1 = Netlist.Builder.add_cell b ~name:"b" ~lib_cell:0 ~width:1.0
+      ~height:1.0 ~x:30.0 ~y:40.0 () in
+  let p0 = Netlist.Builder.add_pin b ~cell:c0 ~name:"a/Y"
+      ~direction:Netlist.Output () in
+  let p1 = Netlist.Builder.add_pin b ~cell:c1 ~name:"b/A"
+      ~direction:Netlist.Input () in
+  let _ = Netlist.Builder.add_net b ~name:"n" ~pins:[ p0; p1 ] in
+  let design = Netlist.Builder.freeze b in
+  let wl = Wirelength.create ~gamma:1.0 design in
+  let gx = Array.make 2 0.0 and gy = Array.make 2 0.0 in
+  let _ = Wirelength.evaluate wl ~grad_x:gx ~grad_y:gy () in
+  Alcotest.(check bool) "left cell pulled right" true (gx.(0) < 0.0);
+  Alcotest.(check bool) "right cell pulled left" true (gx.(1) > 0.0);
+  Alcotest.(check bool) "bottom cell pulled up" true (gy.(0) < 0.0);
+  Alcotest.(check bool) "top cell pulled down" true (gy.(1) > 0.0);
+  (* translation invariance: gradients sum to ~0 per axis *)
+  Alcotest.(check (float 1e-9)) "x grads balance" 0.0 (gx.(0) +. gx.(1));
+  Alcotest.(check (float 1e-9)) "y grads balance" 0.0 (gy.(0) +. gy.(1))
+
+let test_gradient_matches_fd () =
+  let design = sample_design 5 in
+  let wl = Wirelength.create ~gamma:3.0 design in
+  let n = Netlist.num_cells design in
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  let value () =
+    Array.fill gx 0 n 0.0;
+    Array.fill gy 0 n 0.0;
+    Wirelength.evaluate wl ~grad_x:gx ~grad_y:gy ()
+  in
+  let _ = value () in
+  let agx = Array.copy gx and agy = Array.copy gy in
+  let rng = Workload.Rng.create 31 in
+  let h = 1e-5 in
+  for _ = 1 to 20 do
+    let c = design.Netlist.cells.(Workload.Rng.int rng n) in
+    let x0 = c.Netlist.x in
+    c.Netlist.x <- x0 +. h;
+    let fp = value () in
+    c.Netlist.x <- x0 -. h;
+    let fm = value () in
+    c.Netlist.x <- x0;
+    let fd = (fp -. fm) /. (2.0 *. h) in
+    if Float.abs (fd -. agx.(c.Netlist.cell_id)) > 1e-5 *. Float.max 1.0 (Float.abs fd)
+    then Alcotest.failf "x gradient mismatch at %s" c.Netlist.cell_name;
+    let y0 = c.Netlist.y in
+    c.Netlist.y <- y0 +. h;
+    let fp = value () in
+    c.Netlist.y <- y0 -. h;
+    let fm = value () in
+    c.Netlist.y <- y0;
+    let fd = (fp -. fm) /. (2.0 *. h) in
+    if Float.abs (fd -. agy.(c.Netlist.cell_id)) > 1e-5 *. Float.max 1.0 (Float.abs fd)
+    then Alcotest.failf "y gradient mismatch at %s" c.Netlist.cell_name
+  done
+
+let test_size_check () =
+  let design = sample_design 6 in
+  let wl = Wirelength.create design in
+  match
+    Wirelength.evaluate wl ~grad_x:(Array.make 2 0.0) ~grad_y:(Array.make 2 0.0) ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected size check"
+
+let suite =
+  [ Alcotest.test_case "wa below hpwl" `Quick test_wa_below_hpwl;
+    Alcotest.test_case "wa converges to hpwl" `Quick test_wa_converges_to_hpwl;
+    Alcotest.test_case "gamma accessors" `Quick test_gamma_accessors;
+    Alcotest.test_case "weight scaling" `Quick test_weight_scaling;
+    Alcotest.test_case "two-pin gradient signs" `Quick test_two_pin_gradient_signs;
+    Alcotest.test_case "gradient matches fd" `Quick test_gradient_matches_fd;
+    Alcotest.test_case "size check" `Quick test_size_check ]

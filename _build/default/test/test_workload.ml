@@ -1,0 +1,166 @@
+(* Tests for the synthetic benchmark generator. *)
+
+let lib = Liberty.Synthetic.default ()
+
+let test_rng_determinism () =
+  let a = Workload.Rng.create 42 and b = Workload.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same ints" (Workload.Rng.int a 1000)
+      (Workload.Rng.int b 1000)
+  done;
+  let c = Workload.Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Workload.Rng.int a 1000 <> Workload.Rng.int c 1000 then differs := true
+  done;
+  Alcotest.(check bool) "different seed differs" true !differs
+
+let test_rng_ranges () =
+  let rng = Workload.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let i = Workload.Rng.int rng 10 in
+    if i < 0 || i >= 10 then Alcotest.fail "int out of range";
+    let f = Workload.Rng.float rng 3.0 in
+    if f < 0.0 || f >= 3.0 then Alcotest.fail "float out of range"
+  done
+
+let test_rng_bool_bias () =
+  let rng = Workload.Rng.create 8 in
+  let hits = ref 0 in
+  for _ = 1 to 10000 do
+    if Workload.Rng.bool rng 0.25 then incr hits
+  done;
+  Alcotest.(check bool) "about a quarter" true (!hits > 2000 && !hits < 3000)
+
+let test_choose_weighted () =
+  let rng = Workload.Rng.create 9 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 3000 do
+    let v = Workload.Rng.choose_weighted rng [ (0.7, "a"); (0.2, "b"); (0.1, "c") ] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  Alcotest.(check bool) "ordering" true (get "a" > get "b" && get "b" > get "c")
+
+let test_generation_determinism () =
+  let spec = { Workload.default_spec with Workload.sp_cells = 300 } in
+  let d1, c1 = Workload.generate lib spec in
+  let d2, c2 = Workload.generate lib spec in
+  Alcotest.(check string) "identical designs"
+    (Bookshelf.to_string d1 c1) (Bookshelf.to_string d2 c2)
+
+let test_generated_structure () =
+  let spec = { Workload.default_spec with Workload.sp_cells = 500 } in
+  let design, cons = Workload.generate lib spec in
+  let stats = Netlist.Stats.compute design in
+  (* the movable count matches the requested size *)
+  Alcotest.(check int) "movable cells" 500 stats.Netlist.Stats.movable;
+  Alcotest.(check bool) "utilization near target" true
+    (Float.abs (stats.Netlist.Stats.utilization -. 0.55) < 0.05);
+  Alcotest.(check (float 1e-9)) "clock period" 900.0
+    cons.Sta.Constraints.clock_period;
+  (* clock pins are left unconnected (ideal clock) *)
+  Array.iter
+    (fun (p : Netlist.pin) ->
+      let cell = design.Netlist.cells.(p.Netlist.cell) in
+      if cell.Netlist.lib_cell >= 0 then begin
+        let lc = lib.Liberty.lib_cells.(cell.Netlist.lib_cell) in
+        if p.Netlist.lib_pin >= 0
+           && lc.Liberty.lc_pins.(p.Netlist.lib_pin).Liberty.lp_is_clock
+        then
+          Alcotest.(check int) "clock unconnected" (-1) p.Netlist.net
+        else if p.Netlist.net < 0 then
+          Alcotest.failf "non-clock pin %s unconnected" p.Netlist.pin_name
+      end)
+    design.Netlist.pins
+
+let test_pads_on_periphery () =
+  let spec = { Workload.default_spec with Workload.sp_cells = 400 } in
+  let design, _ = Workload.generate lib spec in
+  let region = design.Netlist.region in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      if c.Netlist.fixed then begin
+        let on_edge =
+          Float.abs c.Netlist.x < 1e-6
+          || Float.abs (c.Netlist.x -. region.Geometry.Rect.hx) < 1e-6
+          || Float.abs c.Netlist.y < 1e-6
+          || Float.abs (c.Netlist.y -. region.Geometry.Rect.hy) < 1e-6
+        in
+        if not on_edge then
+          Alcotest.failf "pad %s not on periphery (%f, %f)" c.Netlist.cell_name
+            c.Netlist.x c.Netlist.y
+      end)
+    design.Netlist.cells
+
+let test_sta_runs_on_generated () =
+  let spec = { Workload.default_spec with Workload.sp_cells = 400 } in
+  let design, cons = Workload.generate lib spec in
+  let graph = Sta.Graph.build design lib cons in
+  let timer = Sta.Timer.create graph in
+  let report = Sta.Timer.run timer in
+  Alcotest.(check bool) "finite wns" true (Float.is_finite report.Sta.Timer.setup_wns);
+  Alcotest.(check bool) "has violations initially" true
+    (report.Sta.Timer.setup_wns < 0.0);
+  Alcotest.(check bool) "endpoints" true
+    (List.length report.Sta.Timer.endpoint_slacks > 0)
+
+let test_depth_reflected_in_levels () =
+  let shallow =
+    Workload.generate lib
+      { Workload.default_spec with Workload.sp_cells = 400; sp_depth = 4 }
+  in
+  let deep =
+    Workload.generate lib
+      { Workload.default_spec with Workload.sp_cells = 400; sp_depth = 20 }
+  in
+  let levels (design, cons) = Sta.Graph.max_level (Sta.Graph.build design lib cons) in
+  Alcotest.(check bool) "deeper spec gives deeper graph" true
+    (levels deep > levels shallow)
+
+let test_superblue_suite () =
+  let specs = Workload.superblue_mini () in
+  Alcotest.(check int) "eight benchmarks" 8 (List.length specs);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s.Workload.sp_name ^ " cells scaled") true
+        (s.Workload.sp_cells > 5000 && s.Workload.sp_cells < 25000))
+    specs;
+  (match Workload.find_spec "superblue18-mini" with
+   | Some s -> Alcotest.(check int) "seed" 1018 s.Workload.sp_seed
+   | None -> Alcotest.fail "find_spec failed");
+  Alcotest.(check bool) "unknown name" true (Workload.find_spec "nope" = None)
+
+let suite =
+  [ Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "rng bool bias" `Quick test_rng_bool_bias;
+    Alcotest.test_case "choose weighted" `Quick test_choose_weighted;
+    Alcotest.test_case "generation determinism" `Quick test_generation_determinism;
+    Alcotest.test_case "generated structure" `Quick test_generated_structure;
+    Alcotest.test_case "pads on periphery" `Quick test_pads_on_periphery;
+    Alcotest.test_case "sta runs on generated" `Quick test_sta_runs_on_generated;
+    Alcotest.test_case "depth reflected in levels" `Quick
+      test_depth_reflected_in_levels;
+    Alcotest.test_case "superblue-mini suite" `Quick test_superblue_suite ]
+
+let test_hub_fanout_skew () =
+  let design, _ =
+    Workload.generate lib { Workload.default_spec with Workload.sp_cells = 3000 }
+  in
+  let s = Netlist.Stats.compute design in
+  Alcotest.(check bool) "hubs create high fanout" true
+    (s.Netlist.Stats.max_fanout > 20);
+  (* disabling hubs removes the tail *)
+  let flat, _ =
+    Workload.generate lib
+      { Workload.default_spec with
+        Workload.sp_cells = 3000; sp_hub_ratio = 0.0; sp_hub_prob = 0.0 }
+  in
+  let sf = Netlist.Stats.compute flat in
+  Alcotest.(check bool) "no hubs, low fanout" true
+    (sf.Netlist.Stats.max_fanout < 15)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "hub fanout skew" `Quick test_hub_fanout_skew ]
