@@ -1,0 +1,19 @@
+.PHONY: all test bench bench-full clean
+
+all:
+	dune build
+
+test:
+	dune build && dune runtest
+
+# Quick forward/backward micro-benchmark of the differentiable timer;
+# writes BENCH_difftimer.json at the repo root.
+bench:
+	dune exec bench/main.exe -- difftimer --quick
+
+# Same benchmark with the full iteration count (slower, less noisy).
+bench-full:
+	dune exec bench/main.exe -- difftimer
+
+clean:
+	dune clean

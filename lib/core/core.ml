@@ -264,8 +264,8 @@ let run ?pool config graph =
           let m = Difftimer.forward ?pool dt in
           Array.fill tgx 0 ncells 0.0;
           Array.fill tgy 0 ncells 0.0;
-          Difftimer.backward dt ~w_tns:!w_tns ~w_wns:!w_wns ~grad_x:tgx
-            ~grad_y:tgy;
+          Difftimer.backward ?pool dt ~w_tns:!w_tns ~w_wns:!w_wns
+            ~grad_x:tgx ~grad_y:tgy;
           (match timing_cfg.grad_clip with
            | Some k -> clip_gradients mask tgx tgy k
            | None -> ());

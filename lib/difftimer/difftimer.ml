@@ -6,6 +6,22 @@ type metrics = {
   endpoint_count : int;
 }
 
+(* Per-worker scratch for the per-net Elmore adjoint: node- and pin-sized
+   work buffers (grown on demand; rebuilt trees may gain nodes), the RC
+   adjoint scratch, and a full per-cell gradient accumulator used when
+   nets are sliced across workers. *)
+type net_scratch = {
+  mutable ns_node_gd : float array;
+  mutable ns_node_gi2 : float array;
+  mutable ns_node_gx : float array;
+  mutable ns_node_gy : float array;
+  mutable ns_pin_gx : float array;
+  mutable ns_pin_gy : float array;
+  ns_rc : Rc.scratch;
+  ns_gx : float array;
+  ns_gy : float array;
+}
+
 type t = {
   graph : Sta.Graph.t;
   nets : Sta.Nets.t;
@@ -21,27 +37,57 @@ type t = {
   g_i2 : float array;
   g_root_load : float array;  (* per net *)
   mutable wns_smooth_ : float;
-  (* per-net scratch, grown on demand (rebuilt trees may gain nodes) *)
-  mutable node_gd : float array;
-  mutable node_gi2 : float array;
-  mutable node_gx : float array;
-  mutable node_gy : float array;
-  mutable pin_gx : float array;
-  mutable pin_gy : float array;
+  (* forward tape: per (arc, tr_out, tr_in) slot [4a + 2*tr_out + tr_in],
+     the delay/slew LUT values and their partials, written once by the
+     forward max-pass and reused by the sum-pass and the backward
+     gather.  A slot is meaningful only under the same reachability and
+     compatibility guards that wrote it. *)
+  tape_d : float array;
+  tape_dd_ds : float array;
+  tape_dd_dl : float array;
+  tape_s : float array;
+  tape_ds_ds : float array;
+  tape_ds_dl : float array;
+  mutable slices : net_scratch array;
+  mutable hint_nodes : int;  (* initial sizing for fresh slices *)
+  mutable hint_pins : int;
 }
 
-let ensure_scratch t nnodes npins_net =
-  if Array.length t.node_gd < nnodes then begin
-    let n = max nnodes (2 * Array.length t.node_gd) in
-    t.node_gd <- Array.make n 0.0;
-    t.node_gi2 <- Array.make n 0.0;
-    t.node_gx <- Array.make n 0.0;
-    t.node_gy <- Array.make n 0.0
+let make_net_scratch ~ncells ~nodes ~pins =
+  let nodes = max 1 nodes and pins = max 1 pins in
+  { ns_node_gd = Array.make nodes 0.0;
+    ns_node_gi2 = Array.make nodes 0.0;
+    ns_node_gx = Array.make nodes 0.0;
+    ns_node_gy = Array.make nodes 0.0;
+    ns_pin_gx = Array.make pins 0.0;
+    ns_pin_gy = Array.make pins 0.0;
+    ns_rc = Rc.make_scratch nodes;
+    ns_gx = Array.make ncells 0.0;
+    ns_gy = Array.make ncells 0.0 }
+
+let ensure_net_scratch ns nnodes npins_net =
+  if Array.length ns.ns_node_gd < nnodes then begin
+    let n = max nnodes (2 * Array.length ns.ns_node_gd) in
+    ns.ns_node_gd <- Array.make n 0.0;
+    ns.ns_node_gi2 <- Array.make n 0.0;
+    ns.ns_node_gx <- Array.make n 0.0;
+    ns.ns_node_gy <- Array.make n 0.0
   end;
-  if Array.length t.pin_gx < npins_net then begin
-    let n = max npins_net (2 * Array.length t.pin_gx) in
-    t.pin_gx <- Array.make n 0.0;
-    t.pin_gy <- Array.make n 0.0
+  if Array.length ns.ns_pin_gx < npins_net then begin
+    let n = max npins_net (2 * Array.length ns.ns_pin_gx) in
+    ns.ns_pin_gx <- Array.make n 0.0;
+    ns.ns_pin_gy <- Array.make n 0.0
+  end
+
+let ensure_slices t k =
+  let have = Array.length t.slices in
+  if have < k then begin
+    let ncells = Netlist.num_cells t.graph.Sta.Graph.design in
+    t.slices <-
+      Array.init k (fun s ->
+        if s < have then t.slices.(s)
+        else
+          make_net_scratch ~ncells ~nodes:t.hint_nodes ~pins:t.hint_pins)
   end
 
 let lse ~gamma xs =
@@ -70,6 +116,7 @@ let create ?(gamma = 100.0) graph =
   let design = graph.Sta.Graph.design in
   let npins = Netlist.num_pins design in
   let nnets = Netlist.num_nets design in
+  let narcs = Sta.Graph.num_arcs graph in
   let nets = Sta.Nets.create graph in
   let max_nodes = ref 1 and max_pins = ref 1 in
   Array.iter
@@ -92,12 +139,15 @@ let create ?(gamma = 100.0) graph =
     g_i2 = Array.make npins 0.0;
     g_root_load = Array.make nnets 0.0;
     wns_smooth_ = 0.0;
-    node_gd = Array.make !max_nodes 0.0;
-    node_gi2 = Array.make !max_nodes 0.0;
-    node_gx = Array.make !max_nodes 0.0;
-    node_gy = Array.make !max_nodes 0.0;
-    pin_gx = Array.make !max_pins 0.0;
-    pin_gy = Array.make !max_pins 0.0 }
+    tape_d = Array.make (4 * narcs) 0.0;
+    tape_dd_ds = Array.make (4 * narcs) 0.0;
+    tape_dd_dl = Array.make (4 * narcs) 0.0;
+    tape_s = Array.make (4 * narcs) 0.0;
+    tape_ds_ds = Array.make (4 * narcs) 0.0;
+    tape_ds_dl = Array.make (4 * narcs) 0.0;
+    slices = [||];
+    hint_nodes = !max_nodes;
+    hint_pins = !max_pins }
 
 let nets t = t.nets
 let gamma t = t.gamma_
@@ -110,20 +160,15 @@ let endpoint_slack t p = t.ep_slack.(p)
 
 let both = [ Sta.Rise; Sta.Fall ]
 
-let delay_lut (arc : Liberty.timing_arc) = function
-  | Sta.Rise -> arc.Liberty.cell_rise
-  | Sta.Fall -> arc.Liberty.cell_fall
+(* LUT selection keyed by transition index (0 = rise, 1 = fall) *)
+let delay_lut_i (arc : Liberty.timing_arc) oi =
+  if oi = 0 then arc.Liberty.cell_rise else arc.Liberty.cell_fall
 
-let slew_lut (arc : Liberty.timing_arc) = function
-  | Sta.Rise -> arc.Liberty.rise_transition
-  | Sta.Fall -> arc.Liberty.fall_transition
+let slew_lut_i (arc : Liberty.timing_arc) oi =
+  if oi = 0 then arc.Liberty.rise_transition else arc.Liberty.fall_transition
 
-let compatible sense tr_out =
-  match sense with
-  | Liberty.Positive_unate -> [ tr_out ]
-  | Liberty.Negative_unate ->
-    [ (match tr_out with Sta.Rise -> Sta.Fall | Sta.Fall -> Sta.Rise) ]
-  | Liberty.Non_unate -> both
+let check_setup_lut_i (ck : Liberty.check_arc) ti =
+  if ti = 0 then ck.Liberty.setup_rise else ck.Liberty.setup_fall
 
 let tree_of t pin =
   let net = t.graph.Sta.Graph.design.Netlist.pins.(pin).Netlist.net in
@@ -132,99 +177,114 @@ let tree_of t pin =
 let root_load_of t pin =
   match tree_of t pin with None -> 0.0 | Some (_, rc) -> Rc.root_load rc
 
-(* forward kernel for one pin: reads strictly lower levels only. *)
+(* forward kernel for one pin: reads strictly lower levels only, writes
+   only this pin's state and this pin's fan-in tape slots. *)
 let forward_pin t v =
-  let design = t.graph.Sta.Graph.design in
+  let g = t.graph in
   let gamma = t.gamma_ in
-  let pin = design.Netlist.pins.(v) in
+  let pin = g.Sta.Graph.design.Netlist.pins.(v) in
+  let net = pin.Netlist.net in
   (* net arc: at most one fan-in, no smoothing needed (Eq. 9) *)
-  (if pin.Netlist.direction = Netlist.Input && pin.Netlist.net >= 0 then
-     match
-       (t.nets.Sta.Nets.trees.(pin.Netlist.net),
-        Netlist.net_driver design pin.Netlist.net)
-     with
-     | Some (_, rc), Some u when u <> v ->
-       let node = t.nets.Sta.Nets.tree_index.(v) in
-       let d = Rc.sink_delay rc node in
-       let i2 = Rc.sink_impulse2 rc node in
-       List.iter
-         (fun tr ->
-           let iu = idx u tr and iv = idx v tr in
+  (if pin.Netlist.direction = Netlist.Input && net >= 0 then begin
+     let u = g.Sta.Graph.net_driver_of.(net) in
+     if u >= 0 && u <> v then
+       match t.nets.Sta.Nets.trees.(net) with
+       | Some (_, rc) ->
+         let node = t.nets.Sta.Nets.tree_index.(v) in
+         let d = Rc.sink_delay rc node in
+         let i2 = Rc.sink_impulse2 rc node in
+         for ti = 0 to 1 do
+           let iu = (2 * u) + ti and iv = (2 * v) + ti in
            if t.at_.(iu) > neg_infinity then begin
              t.at_.(iv) <- t.at_.(iu) +. d;
              t.slew_.(iv) <- sqrt ((t.slew_.(iu) *. t.slew_.(iu)) +. i2)
-           end)
-         both
-     | (None | Some _), (None | Some _) -> ());
-  (* cell arcs: LSE aggregation over fan-in contributions (Eq. 11) *)
-  let fanin = t.graph.Sta.Graph.fanin_arcs.(v) in
-  if fanin <> [] then begin
+           end
+         done
+       | None -> ()
+   end);
+  (* cell arcs: LSE aggregation over fan-in contributions (Eq. 11).  The
+     max-pass evaluates every (arc, transition) LUT pair exactly once
+     into the tape; the sum-pass and the backward gather reuse it. *)
+  let lo = g.Sta.Graph.fanin_off.(v) and hi = g.Sta.Graph.fanin_off.(v + 1) in
+  if hi > lo then begin
     let load = root_load_of t v in
-    List.iter
-      (fun tr_out ->
-        let iv = idx v tr_out in
-        (* pass 1: maxima for the shifted LSE *)
-        let max_a = ref neg_infinity and max_s = ref neg_infinity in
-        List.iter
-          (fun (ca : Sta.Graph.cell_arc) ->
-            List.iter
-              (fun tr_in ->
-                let iu = idx ca.Sta.Graph.ca_from tr_in in
-                if t.at_.(iu) > neg_infinity then begin
-                  let d =
-                    Liberty.Lut.lookup
-                      (delay_lut ca.Sta.Graph.ca_arc tr_out)
-                      t.slew_.(iu) load
-                  in
-                  let s =
-                    Liberty.Lut.lookup
-                      (slew_lut ca.Sta.Graph.ca_arc tr_out)
-                      t.slew_.(iu) load
-                  in
-                  if t.at_.(iu) +. d > !max_a then max_a := t.at_.(iu) +. d;
-                  if s > !max_s then max_s := s
-                end)
-              (compatible ca.Sta.Graph.ca_arc.Liberty.sense tr_out))
-          fanin;
-        if !max_a > neg_infinity then begin
-          let sum_a = ref 0.0 and sum_s = ref 0.0 in
-          List.iter
-            (fun (ca : Sta.Graph.cell_arc) ->
-              List.iter
-                (fun tr_in ->
-                  let iu = idx ca.Sta.Graph.ca_from tr_in in
-                  if t.at_.(iu) > neg_infinity then begin
-                    let d =
-                      Liberty.Lut.lookup
-                        (delay_lut ca.Sta.Graph.ca_arc tr_out)
-                        t.slew_.(iu) load
-                    in
-                    let s =
-                      Liberty.Lut.lookup
-                        (slew_lut ca.Sta.Graph.ca_arc tr_out)
-                        t.slew_.(iu) load
-                    in
-                    sum_a := !sum_a +. exp ((t.at_.(iu) +. d -. !max_a) /. gamma);
-                    sum_s := !sum_s +. exp ((s -. !max_s) /. gamma)
-                  end)
-                (compatible ca.Sta.Graph.ca_arc.Liberty.sense tr_out))
-            fanin;
-          t.at_.(iv) <- !max_a +. (gamma *. log !sum_a);
-          t.slew_.(iv) <- !max_s +. (gamma *. log !sum_s)
-        end)
-      both
+    for oi = 0 to 1 do
+      let iv = (2 * v) + oi in
+      (* pass 1: evaluate LUTs into the tape, tracking the shift maxima *)
+      let max_a = ref neg_infinity and max_s = ref neg_infinity in
+      for k = lo to hi - 1 do
+        let a = g.Sta.Graph.fanin_arc.(k) in
+        let u = g.Sta.Graph.arc_from.(a) in
+        let arc = g.Sta.Graph.arc_table.(a) in
+        let sub = (g.Sta.Graph.arc_mask.(a) lsr (2 * oi)) land 3 in
+        for ii = 0 to 1 do
+          if sub land (1 lsl ii) <> 0 then begin
+            let iu = (2 * u) + ii in
+            if t.at_.(iu) > neg_infinity then begin
+              let e = (4 * a) + (2 * oi) + ii in
+              let d, dd_ds, dd_dl =
+                Liberty.Lut.lookup_with_gradient (delay_lut_i arc oi)
+                  t.slew_.(iu) load
+              in
+              let s, ds_ds, ds_dl =
+                Liberty.Lut.lookup_with_gradient (slew_lut_i arc oi)
+                  t.slew_.(iu) load
+              in
+              t.tape_d.(e) <- d;
+              t.tape_dd_ds.(e) <- dd_ds;
+              t.tape_dd_dl.(e) <- dd_dl;
+              t.tape_s.(e) <- s;
+              t.tape_ds_ds.(e) <- ds_ds;
+              t.tape_ds_dl.(e) <- ds_dl;
+              if t.at_.(iu) +. d > !max_a then max_a := t.at_.(iu) +. d;
+              if s > !max_s then max_s := s
+            end
+          end
+        done
+      done;
+      if !max_a > neg_infinity then begin
+        (* pass 2: shifted sums from the taped values, no LUT re-query *)
+        let sum_a = ref 0.0 and sum_s = ref 0.0 in
+        for k = lo to hi - 1 do
+          let a = g.Sta.Graph.fanin_arc.(k) in
+          let u = g.Sta.Graph.arc_from.(a) in
+          let sub = (g.Sta.Graph.arc_mask.(a) lsr (2 * oi)) land 3 in
+          for ii = 0 to 1 do
+            if sub land (1 lsl ii) <> 0 then begin
+              let iu = (2 * u) + ii in
+              if t.at_.(iu) > neg_infinity then begin
+                let e = (4 * a) + (2 * oi) + ii in
+                sum_a :=
+                  !sum_a +. exp ((t.at_.(iu) +. t.tape_d.(e) -. !max_a)
+                                 /. gamma);
+                sum_s := !sum_s +. exp ((t.tape_s.(e) -. !max_s) /. gamma)
+              end
+            end
+          done
+        done;
+        t.at_.(iv) <- !max_a +. (gamma *. log !sum_a);
+        t.slew_.(iv) <- !max_s +. (gamma *. log !sum_s)
+      end
+    done
   end
 
-let check_setup_lut (ck : Liberty.check_arc) = function
-  | Sta.Rise -> ck.Liberty.setup_rise
-  | Sta.Fall -> ck.Liberty.setup_fall
+(* partial reduction over endpoints (merged in chunk order) *)
+type ep_stats = {
+  mutable es_count : int;
+  mutable es_wns : float;
+  mutable es_tns : float;
+  mutable es_smooth_tns : float;
+  mutable es_max_neg : float;  (* running max of -slack for the WNS LSE *)
+}
+
+type fsum = { mutable fs : float }
 
 let forward ?pool t =
   let g = t.graph in
-  let design = g.Sta.Graph.design in
   let cs = g.Sta.Graph.constraints in
   let gamma = t.gamma_ in
-  let npins = Netlist.num_pins design in
+  let npins = Netlist.num_pins g.Sta.Graph.design in
+  let pool = match pool with Some p -> p | None -> Parallel.sequential_pool in
   Array.fill t.at_ 0 (2 * npins) neg_infinity;
   Array.fill t.slew_ 0 (2 * npins) 0.0;
   List.iter
@@ -248,154 +308,247 @@ let forward ?pool t =
     g.Sta.Graph.is_clock_pin;
   Array.iter
     (fun level_pins ->
-      let n = Array.length level_pins in
-      match pool with
-      | Some pool ->
-        Parallel.parallel_for pool ~grain:256 n (fun k ->
-          forward_pin t level_pins.(k))
-      | None ->
-        for k = 0 to n - 1 do
-          forward_pin t level_pins.(k)
-        done)
+      Parallel.parallel_for pool ~grain:256 (Array.length level_pins)
+        (fun k -> forward_pin t level_pins.(k)))
     g.Sta.Graph.levels;
-  (* endpoint slacks (setup/late), smoothed across transitions *)
+  (* endpoint slacks (setup/late), smoothed across transitions; global
+     statistics reduced with per-chunk partial accumulators *)
   let period = cs.Sta.Constraints.clock_period in
-  let hard_wns = ref infinity and hard_tns = ref 0.0 in
-  let smooth_tns = ref 0.0 in
-  let neg_slacks = ref [] in
-  let count = ref 0 in
-  Array.iter
-    (fun p ->
-      let sum_exp = ref 0.0 and max_neg = ref neg_infinity in
-      let hard = ref infinity in
-      List.iter
-        (fun tr ->
-          let i = idx p tr in
-          t.ep_slack_tr.(i) <- infinity;
-          t.ep_dsetup.(i) <- 0.0;
-          if t.at_.(i) > neg_infinity then begin
-            let slack =
-              match g.Sta.Graph.check_of_pin.(p) with
-              | Some ck ->
-                let setup, dsu, _ =
-                  Liberty.Lut.lookup_with_gradient
-                    (check_setup_lut ck.Sta.Graph.ck_arc tr)
-                    t.slew_.(i) cs.Sta.Constraints.clock_slew
-                in
-                t.ep_dsetup.(i) <- dsu;
-                period -. setup -. t.at_.(i)
-              | None -> period -. cs.Sta.Constraints.output_delay -. t.at_.(i)
+  let endpoints = g.Sta.Graph.endpoints in
+  let nep = Array.length endpoints in
+  let eval_endpoint acc k =
+    let p = endpoints.(k) in
+    let sum_exp = ref 0.0 and max_neg = ref neg_infinity in
+    let hard = ref infinity in
+    for ti = 0 to 1 do
+      let i = (2 * p) + ti in
+      t.ep_slack_tr.(i) <- infinity;
+      t.ep_dsetup.(i) <- 0.0;
+      if t.at_.(i) > neg_infinity then begin
+        let slack =
+          match g.Sta.Graph.check_of_pin.(p) with
+          | Some ck ->
+            let setup, dsu, _ =
+              Liberty.Lut.lookup_with_gradient
+                (check_setup_lut_i ck.Sta.Graph.ck_arc ti)
+                t.slew_.(i) cs.Sta.Constraints.clock_slew
             in
-            t.ep_slack_tr.(i) <- slack;
-            if slack < !hard then hard := slack;
-            if -.slack > !max_neg then max_neg := -.slack
-          end)
-        both;
-      if !hard < infinity then begin
-        (* smoothed min over transitions: -LSE(-slacks) *)
-        List.iter
-          (fun tr ->
-            let i = idx p tr in
-            if t.ep_slack_tr.(i) < infinity then
-              sum_exp := !sum_exp
-                         +. exp ((-.t.ep_slack_tr.(i) -. !max_neg) /. gamma))
-          both;
-        let s = -.(!max_neg +. (gamma *. log !sum_exp)) in
-        t.ep_slack.(p) <- s;
-        incr count;
-        smooth_tns := !smooth_tns +. softmin0 ~gamma s;
-        neg_slacks := -.s :: !neg_slacks;
-        if !hard < !hard_wns then hard_wns := !hard;
-        if !hard < 0.0 then hard_tns := !hard_tns +. !hard
+            t.ep_dsetup.(i) <- dsu;
+            period -. setup -. t.at_.(i)
+          | None -> period -. cs.Sta.Constraints.output_delay -. t.at_.(i)
+        in
+        t.ep_slack_tr.(i) <- slack;
+        if slack < !hard then hard := slack;
+        if -.slack > !max_neg then max_neg := -.slack
       end
-      else t.ep_slack.(p) <- infinity)
-    g.Sta.Graph.endpoints;
+    done;
+    if !hard < infinity then begin
+      (* smoothed min over transitions: -LSE(-slacks) *)
+      for ti = 0 to 1 do
+        let i = (2 * p) + ti in
+        if t.ep_slack_tr.(i) < infinity then
+          sum_exp :=
+            !sum_exp +. exp ((-.t.ep_slack_tr.(i) -. !max_neg) /. gamma)
+      done;
+      let s = -.(!max_neg +. (gamma *. log !sum_exp)) in
+      t.ep_slack.(p) <- s;
+      acc.es_count <- acc.es_count + 1;
+      acc.es_smooth_tns <- acc.es_smooth_tns +. softmin0 ~gamma s;
+      if -.s > acc.es_max_neg then acc.es_max_neg <- -.s;
+      if !hard < acc.es_wns then acc.es_wns <- !hard;
+      if !hard < 0.0 then acc.es_tns <- acc.es_tns +. !hard
+    end
+    else t.ep_slack.(p) <- infinity
+  in
+  let stats =
+    Parallel.parallel_for_reduce pool ~grain:512 nep
+      ~init:(fun () ->
+        { es_count = 0; es_wns = infinity; es_tns = 0.0;
+          es_smooth_tns = 0.0; es_max_neg = neg_infinity })
+      ~body:eval_endpoint
+      ~merge:(fun a b ->
+        a.es_count <- a.es_count + b.es_count;
+        if b.es_wns < a.es_wns then a.es_wns <- b.es_wns;
+        a.es_tns <- a.es_tns +. b.es_tns;
+        a.es_smooth_tns <- a.es_smooth_tns +. b.es_smooth_tns;
+        if b.es_max_neg > a.es_max_neg then a.es_max_neg <- b.es_max_neg;
+        a)
+  in
+  (* smoothed WNS: second streaming pass of the shifted LSE over the
+     stored per-endpoint slacks (no intermediate list) *)
   let wns_smooth =
-    if !count = 0 then 0.0
-    else -.lse ~gamma (Array.of_list !neg_slacks)
+    if stats.es_count = 0 then 0.0
+    else begin
+      let max_neg = stats.es_max_neg in
+      let sum =
+        Parallel.parallel_for_reduce pool ~grain:2048 nep
+          ~init:(fun () -> { fs = 0.0 })
+          ~body:(fun acc k ->
+            let s = t.ep_slack.(endpoints.(k)) in
+            if s < infinity then
+              acc.fs <- acc.fs +. exp ((-.s -. max_neg) /. gamma))
+          ~merge:(fun a b ->
+            a.fs <- a.fs +. b.fs;
+            a)
+      in
+      -.(max_neg +. (gamma *. log sum.fs))
+    end
   in
   t.wns_smooth_ <- wns_smooth;
-  { wns = (if !count = 0 then 0.0 else !hard_wns);
-    tns = !hard_tns;
+  { wns = (if stats.es_count = 0 then 0.0 else stats.es_wns);
+    tns = stats.es_tns;
     wns_smooth;
-    tns_smooth = !smooth_tns;
-    endpoint_count = !count }
+    tns_smooth = stats.es_smooth_tns;
+    endpoint_count = stats.es_count }
 
-(* backward kernel for one pin: scatters into fan-in state. *)
-let backward_pin t v =
-  let design = t.graph.Sta.Graph.design in
+(* backward kernel for one pin: gathers from fan-out state, so this task
+   is the only writer of the pin's adjoints (and, when the pin drives a
+   net, of that net's sink adjoints and root-load adjoint) — the reverse
+   level sweep is race-free under data-parallel dispatch. *)
+let backward_pin t u =
+  let g = t.graph in
   let gamma = t.gamma_ in
-  let pin = design.Netlist.pins.(v) in
-  (* cell arcs *)
-  let fanin = t.graph.Sta.Graph.fanin_arcs.(v) in
-  (if fanin <> [] then begin
-     let net = pin.Netlist.net in
-     let load = root_load_of t v in
-     List.iter
-       (fun tr_out ->
-         let iv = idx v tr_out in
-         if t.at_.(iv) > neg_infinity
-            && (t.g_at.(iv) <> 0.0 || t.g_slew.(iv) <> 0.0)
-         then begin
-           let at_v = t.at_.(iv) and slew_v = t.slew_.(iv) in
-           List.iter
-             (fun (ca : Sta.Graph.cell_arc) ->
-               List.iter
-                 (fun tr_in ->
-                   let iu = idx ca.Sta.Graph.ca_from tr_in in
-                   if t.at_.(iu) > neg_infinity then begin
-                     let d, dd_dslew, dd_dload =
-                       Liberty.Lut.lookup_with_gradient
-                         (delay_lut ca.Sta.Graph.ca_arc tr_out)
-                         t.slew_.(iu) load
-                     in
-                     let s, ds_dslew, ds_dload =
-                       Liberty.Lut.lookup_with_gradient
-                         (slew_lut ca.Sta.Graph.ca_arc tr_out)
-                         t.slew_.(iu) load
-                     in
-                     let wa = exp ((t.at_.(iu) +. d -. at_v) /. gamma) in
-                     let ws = exp ((s -. slew_v) /. gamma) in
-                     let g_contrib_at = wa *. t.g_at.(iv) in
-                     let g_contrib_slew = ws *. t.g_slew.(iv) in
-                     t.g_at.(iu) <- t.g_at.(iu) +. g_contrib_at;
-                     t.g_slew.(iu) <-
-                       t.g_slew.(iu)
-                       +. (dd_dslew *. g_contrib_at)
-                       +. (ds_dslew *. g_contrib_slew);
-                     if net >= 0 then
-                       t.g_root_load.(net) <-
-                         t.g_root_load.(net)
-                         +. (dd_dload *. g_contrib_at)
-                         +. (ds_dload *. g_contrib_slew)
-                   end)
-                 (compatible ca.Sta.Graph.ca_arc.Liberty.sense tr_out))
-             fanin
-         end)
-       both
-   end);
-  (* net arc *)
-  if pin.Netlist.direction = Netlist.Input && pin.Netlist.net >= 0 then
-    match
-      (t.nets.Sta.Nets.trees.(pin.Netlist.net),
-       Netlist.net_driver design pin.Netlist.net)
-    with
-    | Some _, Some u when u <> v ->
-      List.iter
-        (fun tr ->
-          let iv = idx v tr and iu = idx u tr in
-          if t.at_.(iv) > neg_infinity then begin
-            t.g_at.(iu) <- t.g_at.(iu) +. t.g_at.(iv);
-            t.g_net_delay.(v) <- t.g_net_delay.(v) +. t.g_at.(iv);
-            let slew_v = Float.max 1e-9 t.slew_.(iv) in
-            t.g_slew.(iu) <-
-              t.g_slew.(iu) +. (t.slew_.(iu) /. slew_v *. t.g_slew.(iv));
-            t.g_i2.(v) <- t.g_i2.(v) +. (t.g_slew.(iv) /. (2.0 *. slew_v))
-          end)
-        both
-    | (None | Some _), (None | Some _) -> ()
+  (* cell arcs: gather the fan-out contributions of this pin *)
+  let lo = g.Sta.Graph.fanout_off.(u) in
+  let hi = g.Sta.Graph.fanout_off.(u + 1) in
+  for k = lo to hi - 1 do
+    let a = g.Sta.Graph.fanout_arc.(k) in
+    let v = g.Sta.Graph.arc_to.(a) in
+    let mask = g.Sta.Graph.arc_mask.(a) in
+    for oi = 0 to 1 do
+      let iv = (2 * v) + oi in
+      if t.at_.(iv) > neg_infinity
+         && (t.g_at.(iv) <> 0.0 || t.g_slew.(iv) <> 0.0)
+      then begin
+        let sub = (mask lsr (2 * oi)) land 3 in
+        for ii = 0 to 1 do
+          if sub land (1 lsl ii) <> 0 then begin
+            let iu = (2 * u) + ii in
+            if t.at_.(iu) > neg_infinity then begin
+              let e = (4 * a) + (2 * oi) + ii in
+              let wa =
+                exp ((t.at_.(iu) +. t.tape_d.(e) -. t.at_.(iv)) /. gamma)
+              in
+              let ws = exp ((t.tape_s.(e) -. t.slew_.(iv)) /. gamma) in
+              let g_contrib_at = wa *. t.g_at.(iv) in
+              let g_contrib_slew = ws *. t.g_slew.(iv) in
+              t.g_at.(iu) <- t.g_at.(iu) +. g_contrib_at;
+              t.g_slew.(iu) <-
+                t.g_slew.(iu)
+                +. (t.tape_dd_ds.(e) *. g_contrib_at)
+                +. (t.tape_ds_ds.(e) *. g_contrib_slew)
+            end
+          end
+        done
+      end
+    done
+  done;
+  let design = g.Sta.Graph.design in
+  let pin = design.Netlist.pins.(u) in
+  let net = pin.Netlist.net in
+  (* net arcs: the driver gathers from its sinks and owns the per-sink
+     net-delay/impulse adjoints (each sink has exactly one driver) *)
+  (if net >= 0 && pin.Netlist.direction = Netlist.Output
+      && g.Sta.Graph.net_driver_of.(net) = u
+      && t.nets.Sta.Nets.trees.(net) <> None
+   then
+     for k = g.Sta.Graph.net_sink_off.(net)
+         to g.Sta.Graph.net_sink_off.(net + 1) - 1
+     do
+       let v = g.Sta.Graph.net_sink.(k) in
+       for ti = 0 to 1 do
+         let iv = (2 * v) + ti and iu = (2 * u) + ti in
+         if t.at_.(iv) > neg_infinity then begin
+           t.g_at.(iu) <- t.g_at.(iu) +. t.g_at.(iv);
+           t.g_net_delay.(v) <- t.g_net_delay.(v) +. t.g_at.(iv);
+           let slew_v = Float.max 1e-9 t.slew_.(iv) in
+           t.g_slew.(iu) <-
+             t.g_slew.(iu) +. (t.slew_.(iu) /. slew_v *. t.g_slew.(iv));
+           t.g_i2.(v) <- t.g_i2.(v) +. (t.g_slew.(iv) /. (2.0 *. slew_v))
+         end
+       done
+     done);
+  (* root-load adjoint: this pin's fan-in LUT queries took the load of
+     the net it drives as an argument; its own adjoints are final now
+     (gathered above), so fold the taped load partials.  Only the
+     driver's task writes its net's slot. *)
+  let lo = g.Sta.Graph.fanin_off.(u) in
+  let hi = g.Sta.Graph.fanin_off.(u + 1) in
+  if hi > lo && net >= 0 then
+    for oi = 0 to 1 do
+      let iu_out = (2 * u) + oi in
+      if t.at_.(iu_out) > neg_infinity
+         && (t.g_at.(iu_out) <> 0.0 || t.g_slew.(iu_out) <> 0.0)
+      then begin
+        let at_u = t.at_.(iu_out) and slew_u = t.slew_.(iu_out) in
+        let acc = ref 0.0 in
+        for k = lo to hi - 1 do
+          let a = g.Sta.Graph.fanin_arc.(k) in
+          let w = g.Sta.Graph.arc_from.(a) in
+          let sub = (g.Sta.Graph.arc_mask.(a) lsr (2 * oi)) land 3 in
+          for ii = 0 to 1 do
+            if sub land (1 lsl ii) <> 0 then begin
+              let iw = (2 * w) + ii in
+              if t.at_.(iw) > neg_infinity then begin
+                let e = (4 * a) + (2 * oi) + ii in
+                let wa =
+                  exp ((t.at_.(iw) +. t.tape_d.(e) -. at_u) /. gamma)
+                in
+                let ws = exp ((t.tape_s.(e) -. slew_u) /. gamma) in
+                acc :=
+                  !acc
+                  +. (t.tape_dd_dl.(e) *. wa *. t.g_at.(iu_out))
+                  +. (t.tape_ds_dl.(e) *. ws *. t.g_slew.(iu_out))
+              end
+            end
+          done
+        done;
+        t.g_root_load.(net) <- t.g_root_load.(net) +. !acc
+      end
+    done
 
-let backward t ~w_tns ~w_wns ~grad_x ~grad_y =
+(* Elmore adjoint, Steiner provenance and cell gradients for one net,
+   accumulated into [gx]/[gy] (per cell) using [ns] as scratch. *)
+let net_backward t ns ~gx ~gy net =
+  match t.nets.Sta.Nets.trees.(net) with
+  | None -> ()
+  | Some (tree, rc) ->
+    let design = t.graph.Sta.Graph.design in
+    let pins = design.Netlist.nets.(net).Netlist.net_pins in
+    let nnodes = Steiner.node_count tree in
+    let npins_net = tree.Steiner.pin_count in
+    ensure_net_scratch ns nnodes npins_net;
+    Array.fill ns.ns_node_gd 0 nnodes 0.0;
+    Array.fill ns.ns_node_gi2 0 nnodes 0.0;
+    Array.fill ns.ns_node_gx 0 nnodes 0.0;
+    Array.fill ns.ns_node_gy 0 nnodes 0.0;
+    let any = ref (t.g_root_load.(net) <> 0.0) in
+    Array.iter
+      (fun p ->
+        let node = t.nets.Sta.Nets.tree_index.(p) in
+        if t.g_net_delay.(p) <> 0.0 || t.g_i2.(p) <> 0.0 then begin
+          ns.ns_node_gd.(node) <- t.g_net_delay.(p);
+          ns.ns_node_gi2.(node) <- t.g_i2.(p);
+          any := true
+        end)
+      pins;
+    if !any then begin
+      Rc.backward ~scratch:ns.ns_rc rc ~g_delay:ns.ns_node_gd
+        ~g_impulse2:ns.ns_node_gi2 ~g_root_load:t.g_root_load.(net)
+        ~node_gx:ns.ns_node_gx ~node_gy:ns.ns_node_gy;
+      Array.fill ns.ns_pin_gx 0 npins_net 0.0;
+      Array.fill ns.ns_pin_gy 0 npins_net 0.0;
+      Steiner.accumulate_pin_gradient tree ~node_gx:ns.ns_node_gx
+        ~node_gy:ns.ns_node_gy ~pin_gx:ns.ns_pin_gx ~pin_gy:ns.ns_pin_gy;
+      Array.iteri
+        (fun k p ->
+          let cell = design.Netlist.pins.(p).Netlist.cell in
+          gx.(cell) <- gx.(cell) +. ns.ns_pin_gx.(k);
+          gy.(cell) <- gy.(cell) +. ns.ns_pin_gy.(k))
+        pins
+    end
+
+let backward ?pool t ~w_tns ~w_wns ~grad_x ~grad_y =
   let g = t.graph in
   let design = g.Sta.Graph.design in
   let gamma = t.gamma_ in
@@ -404,6 +557,7 @@ let backward t ~w_tns ~w_wns ~grad_x ~grad_y =
   let ncells = Netlist.num_cells design in
   if Array.length grad_x <> ncells || Array.length grad_y <> ncells then
     invalid_arg "Difftimer.backward: gradient size mismatch";
+  let pool = match pool with Some p -> p | None -> Parallel.sequential_pool in
   Array.fill t.g_at 0 (2 * npins) 0.0;
   Array.fill t.g_slew 0 (2 * npins) 0.0;
   Array.fill t.g_net_delay 0 npins 0.0;
@@ -419,69 +573,52 @@ let backward t ~w_tns ~w_wns ~grad_x ~grad_y =
           (w_tns *. -.softmin0_grad ~gamma s)
           +. (w_wns *. -.exp ((t.wns_smooth_ -. s) /. gamma))
         in
-        List.iter
-          (fun tr ->
-            let i = idx p tr in
-            if t.ep_slack_tr.(i) < infinity then begin
-              let w_tr = exp ((s -. t.ep_slack_tr.(i)) /. gamma) in
-              let g_tr = w_tr *. g_s in
-              (* slack = period - setup(slew) - at *)
-              t.g_at.(i) <- t.g_at.(i) -. g_tr;
-              t.g_slew.(i) <- t.g_slew.(i) -. (t.ep_dsetup.(i) *. g_tr)
-            end)
-          both
+        for ti = 0 to 1 do
+          let i = (2 * p) + ti in
+          if t.ep_slack_tr.(i) < infinity then begin
+            let w_tr = exp ((s -. t.ep_slack_tr.(i)) /. gamma) in
+            let g_tr = w_tr *. g_s in
+            (* slack = period - setup(slew) - at *)
+            t.g_at.(i) <- t.g_at.(i) -. g_tr;
+            t.g_slew.(i) <- t.g_slew.(i) -. (t.ep_dsetup.(i) *. g_tr)
+          end
+        done
       end)
     g.Sta.Graph.endpoints;
-  (* reverse level sweep *)
+  (* reverse level sweep: each pin gathers from its fan-out, so pins of
+     one level are independent and run through the worker pool *)
   let levels = g.Sta.Graph.levels in
   for l = Array.length levels - 1 downto 0 do
-    Array.iter (fun v -> backward_pin t v) levels.(l)
+    let level_pins = levels.(l) in
+    Parallel.parallel_for pool ~grain:256 (Array.length level_pins)
+      (fun k -> backward_pin t level_pins.(k))
   done;
-  (* per-net: Elmore adjoint, Steiner provenance, cell gradients *)
-  Array.iteri
-    (fun net entry ->
-      match entry with
-      | None -> ()
-      | Some (tree, rc) ->
-        let pins = design.Netlist.nets.(net).Netlist.net_pins in
-        let nnodes = Steiner.node_count tree in
-        let npins_net = tree.Steiner.pin_count in
-        ensure_scratch t nnodes npins_net;
-        let any = ref (t.g_root_load.(net) <> 0.0) in
-        for k = 0 to nnodes - 1 do
-          t.node_gd.(k) <- 0.0;
-          t.node_gi2.(k) <- 0.0;
-          t.node_gx.(k) <- 0.0;
-          t.node_gy.(k) <- 0.0
-        done;
-        Array.iter
-          (fun p ->
-            let node = t.nets.Sta.Nets.tree_index.(p) in
-            if t.g_net_delay.(p) <> 0.0 || t.g_i2.(p) <> 0.0 then begin
-              t.node_gd.(node) <- t.g_net_delay.(p);
-              t.node_gi2.(node) <- t.g_i2.(p);
-              any := true
-            end)
-          pins;
-        if !any then begin
-          let sub n = Array.sub n 0 nnodes in
-          let node_gd = sub t.node_gd and node_gi2 = sub t.node_gi2 in
-          let node_gx = sub t.node_gx and node_gy = sub t.node_gy in
-          Rc.backward rc ~g_delay:node_gd ~g_impulse2:node_gi2
-            ~g_root_load:t.g_root_load.(net) ~node_gx ~node_gy;
-          for k = 0 to npins_net - 1 do
-            t.pin_gx.(k) <- 0.0;
-            t.pin_gy.(k) <- 0.0
-          done;
-          let pin_gx = Array.sub t.pin_gx 0 npins_net in
-          let pin_gy = Array.sub t.pin_gy 0 npins_net in
-          Steiner.accumulate_pin_gradient tree ~node_gx ~node_gy ~pin_gx
-            ~pin_gy;
-          Array.iteri
-            (fun k p ->
-              let cell = design.Netlist.pins.(p).Netlist.cell in
-              grad_x.(cell) <- grad_x.(cell) +. pin_gx.(k);
-              grad_y.(cell) <- grad_y.(cell) +. pin_gy.(k))
-            pins
-        end)
-    t.nets.Sta.Nets.trees
+  (* per-net Elmore adjoint: contiguous net slices over the workers, one
+     scratch (and one per-cell partial gradient) per slice, merged in
+     slice order for determinism *)
+  let nslices = min (Parallel.domain_count pool) nnets in
+  if nslices <= 1 then begin
+    ensure_slices t 1;
+    let ns = t.slices.(0) in
+    for net = 0 to nnets - 1 do
+      net_backward t ns ~gx:grad_x ~gy:grad_y net
+    done
+  end
+  else begin
+    ensure_slices t nslices;
+    Parallel.parallel_for pool ~grain:1 nslices (fun s ->
+      let ns = t.slices.(s) in
+      Array.fill ns.ns_gx 0 ncells 0.0;
+      Array.fill ns.ns_gy 0 ncells 0.0;
+      let lo = s * nnets / nslices and hi = (s + 1) * nnets / nslices in
+      for net = lo to hi - 1 do
+        net_backward t ns ~gx:ns.ns_gx ~gy:ns.ns_gy net
+      done);
+    for s = 0 to nslices - 1 do
+      let ns = t.slices.(s) in
+      for c = 0 to ncells - 1 do
+        grad_x.(c) <- grad_x.(c) +. ns.ns_gx.(c);
+        grad_y.(c) <- grad_y.(c) +. ns.ns_gy.(c)
+      done
+    done
+  end

@@ -16,8 +16,14 @@
 
     Level kernels in the forward pass only read strictly lower levels, so
     they are dispatched data-parallel over the pins of a level (the CPU
-    stand-in for the paper's CUDA kernels); the backward pass scatters
-    into fan-in state and runs sequentially. *)
+    stand-in for the paper's CUDA kernels).  The forward pass records
+    every NLDM LUT evaluation (value and partials) in a flat tape indexed
+    by timing arc and transition pair, so each LUT is queried exactly
+    once per forward/backward round trip.  The backward pass {e gathers}:
+    each pin's adjoints are accumulated by that pin's own task from its
+    fan-out state, which makes the reverse level sweep race-free and
+    dispatchable through the same worker pool; the per-net Elmore adjoint
+    is likewise sliced across workers with per-slice scratch. *)
 
 type metrics = {
   wns : float;         (** hard min endpoint slack (may be positive). *)
@@ -45,6 +51,7 @@ val forward : ?pool:Parallel.pool -> t -> metrics
     {!nets} after moving cells). *)
 
 val backward :
+  ?pool:Parallel.pool ->
   t ->
   w_tns:float ->
   w_wns:float ->
@@ -53,8 +60,11 @@ val backward :
   unit
 (** Accumulate d[w_tns * (-TNS_g) + w_wns * (-WNS_g)]/d(cell center) into
     [grad_x]/[grad_y] (length [num_cells]).  Must follow a {!forward} on
-    the same placement.  Gradients also accrue on fixed cells; callers
-    mask them. *)
+    the same placement (the backward gather replays the forward LUT tape).
+    With [pool], the reverse level sweep and the per-net Elmore adjoint
+    run data-parallel; results match the sequential sweep up to
+    floating-point reassociation in the slice merge.  Gradients also
+    accrue on fixed cells; callers mask them. *)
 
 val at : t -> int -> Sta.transition -> float
 (** Smoothed late arrival time after {!forward} ([neg_infinity] if

@@ -122,3 +122,32 @@ let parallel_for pool ?(grain = 1024) n f =
     drain ();
     Mutex.unlock pool.mutex
   end
+
+let parallel_for_reduce pool ?(grain = 1024) n ~init ~body ~merge =
+  if n <= 0 then init ()
+  else if Array.length pool.domains = 0 || n <= grain then begin
+    let acc = init () in
+    for i = 0 to n - 1 do
+      body acc i
+    done;
+    acc
+  end
+  else begin
+    let grain = max 1 grain in
+    let chunks = (n + grain - 1) / grain in
+    let partials = Array.init chunks (fun _ -> init ()) in
+    parallel_for pool ~grain:1 chunks (fun c ->
+      let acc = partials.(c) in
+      let start = c * grain in
+      let stop = min n (start + grain) in
+      for i = start to stop - 1 do
+        body acc i
+      done);
+    (* merge in chunk order: the result is deterministic for a fixed
+       [n]/[grain] split, independent of worker scheduling *)
+    let acc = ref partials.(0) in
+    for c = 1 to chunks - 1 do
+      acc := merge !acc partials.(c)
+    done;
+    !acc
+  end

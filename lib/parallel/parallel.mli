@@ -24,6 +24,25 @@ val parallel_for : pool -> ?grain:int -> int -> (int -> unit) -> unit
     ranges smaller than [grain] run on the calling domain.  [f] must be
     safe to run concurrently on disjoint indices. *)
 
+val parallel_for_reduce :
+  pool ->
+  ?grain:int ->
+  int ->
+  init:(unit -> 'a) ->
+  body:('a -> int -> unit) ->
+  merge:('a -> 'a -> 'a) ->
+  'a
+(** [parallel_for_reduce pool n ~init ~body ~merge] folds [body] over
+    [0 .. n - 1] with per-chunk partial accumulators.  [init ()] makes a
+    fresh (typically mutable) accumulator — it must be a neutral element;
+    each chunk of at least [grain] indices folds into its own accumulator
+    via [body acc i]; after the barrier the partials are combined with
+    [merge] in {e chunk order}, so the result is deterministic for a
+    given [n] and [grain] regardless of worker scheduling.  [merge] may
+    mutate and return its first argument.  Ranges not exceeding [grain]
+    (and every range on {!sequential_pool}) fold inline into a single
+    accumulator. *)
+
 val sequential_pool : pool
 (** A pool with zero workers: [parallel_for] always runs inline.  Useful
     for tests and deterministic debugging. *)

@@ -79,22 +79,57 @@ let root_load t = t.load.(t.tree.Steiner.order.(0))
 let sink_delay t v = t.delay.(v)
 let sink_impulse2 t v = Float.max 0.0 t.impulse2.(v)
 
+type scratch = {
+  mutable sc_load : float array;
+  mutable sc_ldelay : float array;
+  mutable sc_beta : float array;
+  mutable sc_cap : float array;
+  mutable sc_res : float array;
+}
+
+let make_scratch n =
+  let n = max n 1 in
+  { sc_load = Array.make n 0.0;
+    sc_ldelay = Array.make n 0.0;
+    sc_beta = Array.make n 0.0;
+    sc_cap = Array.make n 0.0;
+    sc_res = Array.make n 0.0 }
+
+let reserve_scratch sc n =
+  if Array.length sc.sc_load < n then begin
+    let cap = max n (2 * Array.length sc.sc_load) in
+    sc.sc_load <- Array.make cap 0.0;
+    sc.sc_ldelay <- Array.make cap 0.0;
+    sc.sc_beta <- Array.make cap 0.0;
+    sc.sc_cap <- Array.make cap 0.0;
+    sc.sc_res <- Array.make cap 0.0
+  end
+  else begin
+    Array.fill sc.sc_load 0 n 0.0;
+    Array.fill sc.sc_ldelay 0 n 0.0;
+    Array.fill sc.sc_beta 0 n 0.0;
+    Array.fill sc.sc_cap 0 n 0.0;
+    Array.fill sc.sc_res 0 n 0.0
+  end
+
 (* Reverse-mode differentiation: the adjoint of each forward pass runs in
    the opposite traversal direction, in reverse pass order (Fig. 5). *)
-let backward t ~g_delay ~g_impulse2 ~g_root_load ~node_gx ~node_gy =
+let backward ?scratch t ~g_delay ~g_impulse2 ~g_root_load ~node_gx ~node_gy =
   let tree = t.tree in
   let n = Steiner.node_count tree in
-  if Array.length g_delay <> n || Array.length g_impulse2 <> n then
+  if Array.length g_delay < n || Array.length g_impulse2 < n then
     invalid_arg "Rc.backward: gradient size mismatch";
-  if Array.length node_gx <> n || Array.length node_gy <> n then
+  if Array.length node_gx < n || Array.length node_gy < n then
     invalid_arg "Rc.backward: output size mismatch";
   let order = tree.Steiner.order in
   let parent = tree.Steiner.parent in
-  let g_load = Array.make n 0.0 in
-  let g_ldelay = Array.make n 0.0 in
-  let g_beta = Array.make n 0.0 in
-  let g_cap = Array.make n 0.0 in
-  let g_res = Array.make n 0.0 in
+  let sc = match scratch with Some sc -> sc | None -> make_scratch n in
+  reserve_scratch sc n;
+  let g_load = sc.sc_load in
+  let g_ldelay = sc.sc_ldelay in
+  let g_beta = sc.sc_beta in
+  let g_cap = sc.sc_cap in
+  let g_res = sc.sc_res in
   g_load.(order.(0)) <- g_root_load;
   (* adjoint of Impulse^2 = 2 Beta - Delay^2 *)
   for v = 0 to n - 1 do

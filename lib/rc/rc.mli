@@ -49,7 +49,17 @@ val sink_delay : t -> int -> float
 val sink_impulse2 : t -> int -> float
 (** Squared impulse at node [v], clamped at 0. *)
 
+type scratch
+(** Reusable adjoint work arrays for {!backward}, so per-net backward
+    calls allocate nothing.  One scratch may be reused across trees of
+    any size (it grows on demand) but must not be shared between
+    concurrent {!backward} calls. *)
+
+val make_scratch : int -> scratch
+(** [make_scratch n] pre-sizes a scratch for trees up to [n] nodes. *)
+
 val backward :
+  ?scratch:scratch ->
   t ->
   g_delay:float array ->
   g_impulse2:float array ->
@@ -62,5 +72,9 @@ val backward :
     (callers fill sink entries, zeros elsewhere); [g_root_load] the
     gradient with respect to {!root_load} (from the driving cell's LUT
     query).  Coordinate gradients are {b accumulated} into
-    [node_gx]/[node_gy] (length [node_count]).  The contents of [g_delay]
-    and [g_impulse2] are destroyed. *)
+    [node_gx]/[node_gy].  All four arrays may be longer than
+    [node_count]; only the first [node_count] entries are read or
+    written, so callers can slice one large buffer across nets without
+    [Array.sub] copies.  The first [node_count] entries of [g_delay] and
+    [g_impulse2] are destroyed.  [scratch] (default: freshly allocated)
+    provides the five internal adjoint arrays. *)

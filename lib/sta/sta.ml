@@ -1,8 +1,8 @@
 type transition = Rise | Fall
 
 let transition_index = function Rise -> 0 | Fall -> 1
-let flip = function Rise -> Fall | Fall -> Rise
 let both_transitions = [ Rise; Fall ]
+let transitions = [| Rise; Fall |]
 
 let pp_transition ppf = function
   | Rise -> Format.pp_print_string ppf "rise"
@@ -28,12 +28,6 @@ module Constraints = struct
 end
 
 module Graph = struct
-  type cell_arc = {
-    ca_from : int;
-    ca_to : int;
-    ca_arc : Liberty.timing_arc;
-  }
-
   type check = {
     ck_data : int;
     ck_clock : int;
@@ -46,8 +40,17 @@ module Graph = struct
     constraints : Constraints.t;
     pin_level : int array;
     levels : int array array;
-    fanin_arcs : cell_arc list array;
-    fanout_arcs : cell_arc list array;
+    arc_from : int array;
+    arc_to : int array;
+    arc_table : Liberty.timing_arc array;
+    arc_mask : int array;
+    fanin_off : int array;
+    fanin_arc : int array;
+    fanout_off : int array;
+    fanout_arc : int array;
+    net_driver_of : int array;
+    net_sink_off : int array;
+    net_sink : int array;
     check_of_pin : check option array;
     pin_cap : float array;
     is_endpoint : bool array;
@@ -59,11 +62,28 @@ module Graph = struct
   }
 
   let max_level g = Array.length g.levels - 1
+  let num_arcs g = Array.length g.arc_from
+
+  (* bit (2 * tr_out + tr_in) is set when an input transition [tr_in] can
+     produce the output transition [tr_out] through the arc. *)
+  let mask_of_sense = function
+    | Liberty.Positive_unate -> 0b1001
+    | Liberty.Negative_unate -> 0b0110
+    | Liberty.Non_unate -> 0b1111
+
+  let arc_admits g a ~tr_out ~tr_in =
+    g.arc_mask.(a)
+    land (1 lsl ((2 * transition_index tr_out) + transition_index tr_in))
+    <> 0
 
   let build design lib constraints =
     let npins = Netlist.num_pins design in
-    let fanin_arcs = Array.make npins [] in
-    let fanout_arcs = Array.make npins [] in
+    let rev_arcs = ref [] in
+    let narcs = ref 0 in
+    let add_arc u v arc =
+      rev_arcs := (u, v, arc) :: !rev_arcs;
+      incr narcs
+    in
     let check_of_pin = Array.make npins None in
     let pin_cap = Array.make npins 0.0 in
     let is_clock_pin = Array.make npins false in
@@ -104,9 +124,7 @@ module Graph = struct
             (fun (arc : Liberty.timing_arc) ->
               let u = resolve arc.Liberty.arc_from
               and v = resolve arc.Liberty.arc_to in
-              let ca = { ca_from = u; ca_to = v; ca_arc = arc } in
-              fanin_arcs.(v) <- ca :: fanin_arcs.(v);
-              fanout_arcs.(u) <- ca :: fanout_arcs.(u))
+              add_arc u v arc)
             lc.Liberty.lc_arcs;
           Array.iter
             (fun (ck : Liberty.check_arc) ->
@@ -124,6 +142,73 @@ module Graph = struct
               then pin_cap.(p) <- constraints.Constraints.output_load)
             c.Netlist.cell_pins)
       design.Netlist.cells;
+    (* Flatten the collected cell arcs to CSR: one id per arc, fan-in and
+       fan-out adjacency as offset + arc-id arrays (stable counting sort,
+       so arc ids appear in insertion order within each pin's range). *)
+    let narcs = !narcs in
+    let arcs = Array.of_list (List.rev !rev_arcs) in
+    let arc_from = Array.map (fun (u, _, _) -> u) arcs in
+    let arc_to = Array.map (fun (_, v, _) -> v) arcs in
+    let arc_table = Array.map (fun (_, _, arc) -> arc) arcs in
+    let arc_mask =
+      Array.map
+        (fun (_, _, (arc : Liberty.timing_arc)) ->
+          mask_of_sense arc.Liberty.sense)
+        arcs
+    in
+    let csr_by key =
+      let off = Array.make (npins + 1) 0 in
+      for a = 0 to narcs - 1 do
+        off.(key.(a) + 1) <- off.(key.(a) + 1) + 1
+      done;
+      for p = 1 to npins do
+        off.(p) <- off.(p) + off.(p - 1)
+      done;
+      let ids = Array.make narcs 0 in
+      let cursor = Array.copy off in
+      for a = 0 to narcs - 1 do
+        let p = key.(a) in
+        ids.(cursor.(p)) <- a;
+        cursor.(p) <- cursor.(p) + 1
+      done;
+      (off, ids)
+    in
+    let fanin_off, fanin_arc = csr_by arc_to in
+    let fanout_off, fanout_arc = csr_by arc_from in
+    (* Net connectivity, flattened once: the driving pin of each net and
+       the sink (input-direction) pins in CSR form. *)
+    let nnets = Netlist.num_nets design in
+    let net_driver_of = Array.make nnets (-1) in
+    let net_sink_off = Array.make (nnets + 1) 0 in
+    Array.iter
+      (fun (net : Netlist.net) ->
+        let n = net.Netlist.net_id in
+        (match Netlist.net_driver design n with
+         | Some u -> net_driver_of.(n) <- u
+         | None -> ());
+        Array.iter
+          (fun p ->
+            if design.Netlist.pins.(p).Netlist.direction = Netlist.Input then
+              net_sink_off.(n + 1) <- net_sink_off.(n + 1) + 1)
+          net.Netlist.net_pins)
+      design.Netlist.nets;
+    for n = 1 to nnets do
+      net_sink_off.(n) <- net_sink_off.(n) + net_sink_off.(n - 1)
+    done;
+    let net_sink = Array.make net_sink_off.(nnets) 0 in
+    let sink_cursor = Array.copy net_sink_off in
+    Array.iter
+      (fun (net : Netlist.net) ->
+        let n = net.Netlist.net_id in
+        Array.iter
+          (fun p ->
+            if design.Netlist.pins.(p).Netlist.direction = Netlist.Input
+            then begin
+              net_sink.(sink_cursor.(n)) <- p;
+              sink_cursor.(n) <- sink_cursor.(n) + 1
+            end)
+          net.Netlist.net_pins)
+      design.Netlist.nets;
     (* Longest-path levelisation over net arcs + cell arcs. *)
     let successors = Array.make npins [] in
     let indegree = Array.make npins 0 in
@@ -133,15 +218,14 @@ module Graph = struct
     in
     Array.iter
       (fun (net : Netlist.net) ->
-        match Netlist.net_driver design net.Netlist.net_id with
-        | None -> ()
-        | Some u ->
+        let u = net_driver_of.(net.Netlist.net_id) in
+        if u >= 0 then
           Array.iter
             (fun p -> if p <> u then add_edge u p)
             net.Netlist.net_pins)
       design.Netlist.nets;
-    for v = 0 to npins - 1 do
-      List.iter (fun ca -> add_edge ca.ca_from ca.ca_to) fanin_arcs.(v)
+    for a = 0 to narcs - 1 do
+      add_edge arc_from.(a) arc_to.(a)
     done;
     let pin_level = Array.make npins 0 in
     let queue = Queue.create () in
@@ -192,7 +276,10 @@ module Graph = struct
       Array.of_seq
         (Seq.filter (fun p -> is_endpoint.(p)) (Seq.init npins Fun.id))
     in
-    { design; lib; constraints; pin_level; levels; fanin_arcs; fanout_arcs;
+    { design; lib; constraints; pin_level; levels;
+      arc_from; arc_to; arc_table; arc_mask;
+      fanin_off; fanin_arc; fanout_off; fanout_arc;
+      net_driver_of; net_sink_off; net_sink;
       check_of_pin; pin_cap; is_endpoint; is_start; is_clock_pin;
       primary_inputs = !primary_inputs;
       primary_outputs = !primary_outputs;
@@ -312,19 +399,13 @@ module Timer = struct
   let slew_late t p tr = t.sl_l.(idx p tr)
   let rat_late t p tr = t.rat_l.(idx p tr)
 
-  let delay_lut (arc : Liberty.timing_arc) = function
-    | Rise -> arc.Liberty.cell_rise
-    | Fall -> arc.Liberty.cell_fall
+  (* LUT selection keyed by transition index (0 = rise, 1 = fall) *)
+  let delay_lut_i (arc : Liberty.timing_arc) oi =
+    if oi = 0 then arc.Liberty.cell_rise else arc.Liberty.cell_fall
 
-  let slew_lut (arc : Liberty.timing_arc) = function
-    | Rise -> arc.Liberty.rise_transition
-    | Fall -> arc.Liberty.fall_transition
-
-  let compatible_inputs sense tr_out =
-    match sense with
-    | Liberty.Positive_unate -> [ tr_out ]
-    | Liberty.Negative_unate -> [ flip tr_out ]
-    | Liberty.Non_unate -> both_transitions
+  let slew_lut_i (arc : Liberty.timing_arc) oi =
+    if oi = 0 then arc.Liberty.rise_transition
+    else arc.Liberty.fall_transition
 
   let tree_of t pin =
     let design = t.graph.Graph.design in
@@ -335,20 +416,19 @@ module Timer = struct
     match tree_of t pin with None -> 0.0 | Some (_, rc) -> Rc.root_load rc
 
   let propagate_net_arc t v =
-    let design = t.graph.Graph.design in
-    let pin = design.Netlist.pins.(v) in
-    if pin.Netlist.direction = Netlist.Input && pin.Netlist.net >= 0 then
-      match
-        (t.nets.Nets.trees.(pin.Netlist.net),
-         Netlist.net_driver design pin.Netlist.net)
-      with
-      | Some (_, rc), Some u when u <> v ->
-        let node = t.nets.Nets.tree_index.(v) in
-        let d = Rc.sink_delay rc node in
-        let i2 = Rc.sink_impulse2 rc node in
-        List.iter
-          (fun tr ->
-            let iu = idx u tr and iv = idx v tr in
+    let g = t.graph in
+    let pin = g.Graph.design.Netlist.pins.(v) in
+    let net = pin.Netlist.net in
+    if pin.Netlist.direction = Netlist.Input && net >= 0 then begin
+      let u = g.Graph.net_driver_of.(net) in
+      if u >= 0 && u <> v then
+        match t.nets.Nets.trees.(net) with
+        | Some (_, rc) ->
+          let node = t.nets.Nets.tree_index.(v) in
+          let d = Rc.sink_delay rc node in
+          let i2 = Rc.sink_impulse2 rc node in
+          for ti = 0 to 1 do
+            let iu = (2 * u) + ti and iv = (2 * v) + ti in
             if t.at_l.(iu) > neg_infinity then begin
               t.at_l.(iv) <- t.at_l.(iu) +. d;
               t.sl_l.(iv) <- sqrt ((t.sl_l.(iu) *. t.sl_l.(iu)) +. i2)
@@ -356,56 +436,53 @@ module Timer = struct
             if t.at_e.(iu) < infinity then begin
               t.at_e.(iv) <- t.at_e.(iu) +. d;
               t.sl_e.(iv) <- sqrt ((t.sl_e.(iu) *. t.sl_e.(iu)) +. i2)
-            end)
-          both_transitions
-      | (None | Some _), (None | Some _) -> ()
+            end
+          done
+        | None -> ()
+    end
 
   let propagate_cell_arcs t v =
-    let fanin = t.graph.Graph.fanin_arcs.(v) in
-    if fanin <> [] then begin
+    let g = t.graph in
+    let lo = g.Graph.fanin_off.(v) and hi = g.Graph.fanin_off.(v + 1) in
+    if hi > lo then begin
       let load = root_load_of t v in
-      List.iter
-        (fun (ca : Graph.cell_arc) ->
-          let u = ca.Graph.ca_from in
-          List.iter
-            (fun tr_out ->
-              let iv = idx v tr_out in
-              List.iter
-                (fun tr_in ->
-                  let iu = idx u tr_in in
-                  if t.at_l.(iu) > neg_infinity then begin
-                    let d =
-                      Liberty.Lut.lookup
-                        (delay_lut ca.Graph.ca_arc tr_out)
-                        t.sl_l.(iu) load
-                    in
-                    let s =
-                      Liberty.Lut.lookup
-                        (slew_lut ca.Graph.ca_arc tr_out)
-                        t.sl_l.(iu) load
-                    in
-                    if t.at_l.(iu) +. d > t.at_l.(iv) then
-                      t.at_l.(iv) <- t.at_l.(iu) +. d;
-                    if s > t.sl_l.(iv) then t.sl_l.(iv) <- s
-                  end;
-                  if t.at_e.(iu) < infinity then begin
-                    let d =
-                      Liberty.Lut.lookup
-                        (delay_lut ca.Graph.ca_arc tr_out)
-                        t.sl_e.(iu) load
-                    in
-                    let s =
-                      Liberty.Lut.lookup
-                        (slew_lut ca.Graph.ca_arc tr_out)
-                        t.sl_e.(iu) load
-                    in
-                    if t.at_e.(iu) +. d < t.at_e.(iv) then
-                      t.at_e.(iv) <- t.at_e.(iu) +. d;
-                    if s < t.sl_e.(iv) then t.sl_e.(iv) <- s
-                  end)
-                (compatible_inputs ca.Graph.ca_arc.Liberty.sense tr_out))
-            both_transitions)
-        fanin
+      for k = lo to hi - 1 do
+        let a = g.Graph.fanin_arc.(k) in
+        let u = g.Graph.arc_from.(a) in
+        let arc = g.Graph.arc_table.(a) in
+        let mask = g.Graph.arc_mask.(a) in
+        for oi = 0 to 1 do
+          let iv = (2 * v) + oi in
+          let sub = (mask lsr (2 * oi)) land 3 in
+          for ii = 0 to 1 do
+            if sub land (1 lsl ii) <> 0 then begin
+              let iu = (2 * u) + ii in
+              if t.at_l.(iu) > neg_infinity then begin
+                let d =
+                  Liberty.Lut.lookup (delay_lut_i arc oi) t.sl_l.(iu) load
+                in
+                let s =
+                  Liberty.Lut.lookup (slew_lut_i arc oi) t.sl_l.(iu) load
+                in
+                if t.at_l.(iu) +. d > t.at_l.(iv) then
+                  t.at_l.(iv) <- t.at_l.(iu) +. d;
+                if s > t.sl_l.(iv) then t.sl_l.(iv) <- s
+              end;
+              if t.at_e.(iu) < infinity then begin
+                let d =
+                  Liberty.Lut.lookup (delay_lut_i arc oi) t.sl_e.(iu) load
+                in
+                let s =
+                  Liberty.Lut.lookup (slew_lut_i arc oi) t.sl_e.(iu) load
+                in
+                if t.at_e.(iu) +. d < t.at_e.(iv) then
+                  t.at_e.(iv) <- t.at_e.(iu) +. d;
+                if s < t.sl_e.(iv) then t.sl_e.(iv) <- s
+              end
+            end
+          done
+        done
+      done
     end
 
   let check_lut (ck : Liberty.check_arc) ~setup = function
@@ -467,53 +544,59 @@ module Timer = struct
 
   (* Late RAT back-propagation for per-pin slack reporting. *)
   let propagate_rat t =
-    let design = t.graph.Graph.design in
-    let levels = t.graph.Graph.levels in
+    let g = t.graph in
+    let design = g.Graph.design in
+    let levels = g.Graph.levels in
     for l = Array.length levels - 1 downto 0 do
       Array.iter
         (fun v ->
           let pin = design.Netlist.pins.(v) in
+          let net = pin.Netlist.net in
           (* push through the net arc into the driver *)
-          (if pin.Netlist.direction = Netlist.Input && pin.Netlist.net >= 0
-           then
-             match
-               (t.nets.Nets.trees.(pin.Netlist.net),
-                Netlist.net_driver design pin.Netlist.net)
-             with
-             | Some (_, rc), Some u when u <> v ->
-               let d = Rc.sink_delay rc t.nets.Nets.tree_index.(v) in
-               List.iter
-                 (fun tr ->
-                   let iv = idx v tr and iu = idx u tr in
-                   if t.rat_l.(iv) < infinity then
+          (if pin.Netlist.direction = Netlist.Input && net >= 0 then
+             let u = g.Graph.net_driver_of.(net) in
+             if u >= 0 && u <> v then
+               match t.nets.Nets.trees.(net) with
+               | Some (_, rc) ->
+                 let d = Rc.sink_delay rc t.nets.Nets.tree_index.(v) in
+                 for ti = 0 to 1 do
+                   let iv = (2 * v) + ti and iu = (2 * u) + ti in
+                   if t.rat_l.(iv) < infinity then begin
                      let cand = t.rat_l.(iv) -. d in
-                     if cand < t.rat_l.(iu) then t.rat_l.(iu) <- cand)
-                 both_transitions
-             | (None | Some _), (None | Some _) -> ());
+                     if cand < t.rat_l.(iu) then t.rat_l.(iu) <- cand
+                   end
+                 done
+               | None -> ());
           (* push through cell arcs into the arc inputs *)
-          let load = root_load_of t v in
-          List.iter
-            (fun (ca : Graph.cell_arc) ->
-              let u = ca.Graph.ca_from in
-              List.iter
-                (fun tr_out ->
-                  let iv = idx v tr_out in
-                  if t.rat_l.(iv) < infinity then
-                    List.iter
-                      (fun tr_in ->
-                        let iu = idx u tr_in in
-                        if t.at_l.(iu) > neg_infinity then begin
-                          let d =
-                            Liberty.Lut.lookup
-                              (delay_lut ca.Graph.ca_arc tr_out)
-                              t.sl_l.(iu) load
-                          in
-                          let cand = t.rat_l.(iv) -. d in
-                          if cand < t.rat_l.(iu) then t.rat_l.(iu) <- cand
-                        end)
-                      (compatible_inputs ca.Graph.ca_arc.Liberty.sense tr_out))
-                both_transitions)
-            t.graph.Graph.fanin_arcs.(v))
+          let lo = g.Graph.fanin_off.(v) and hi = g.Graph.fanin_off.(v + 1) in
+          if hi > lo then begin
+            let load = root_load_of t v in
+            for k = lo to hi - 1 do
+              let a = g.Graph.fanin_arc.(k) in
+              let u = g.Graph.arc_from.(a) in
+              let arc = g.Graph.arc_table.(a) in
+              let mask = g.Graph.arc_mask.(a) in
+              for oi = 0 to 1 do
+                let iv = (2 * v) + oi in
+                if t.rat_l.(iv) < infinity then begin
+                  let sub = (mask lsr (2 * oi)) land 3 in
+                  for ii = 0 to 1 do
+                    if sub land (1 lsl ii) <> 0 then begin
+                      let iu = (2 * u) + ii in
+                      if t.at_l.(iu) > neg_infinity then begin
+                        let d =
+                          Liberty.Lut.lookup (delay_lut_i arc oi)
+                            t.sl_l.(iu) load
+                        in
+                        let cand = t.rat_l.(iv) -. d in
+                        if cand < t.rat_l.(iu) then t.rat_l.(iu) <- cand
+                      end
+                    end
+                  done
+                end
+              done
+            done
+          end)
         levels.(l)
     done
 
@@ -645,19 +728,19 @@ module Timer = struct
           let acc = step :: acc in
           if guard <= 0 then acc
           else begin
+            let g = t.graph in
             let pin = design.Netlist.pins.(v) in
+            let net = pin.Netlist.net in
             (* net arc predecessor *)
             let via_net =
-              if pin.Netlist.direction = Netlist.Input && pin.Netlist.net >= 0
-              then
-                match
-                  (t.nets.Nets.trees.(pin.Netlist.net),
-                   Netlist.net_driver design pin.Netlist.net)
-                with
-                | Some _, Some u
-                  when u <> v && t.at_l.(idx u tr) > neg_infinity ->
+              if pin.Netlist.direction = Netlist.Input && net >= 0
+                 && t.nets.Nets.trees.(net) <> None
+              then begin
+                let u = g.Graph.net_driver_of.(net) in
+                if u >= 0 && u <> v && t.at_l.(idx u tr) > neg_infinity then
                   Some (u, tr)
-                | (None | Some _), (None | Some _) -> None
+                else None
+              end
               else None
             in
             match via_net with
@@ -665,28 +748,33 @@ module Timer = struct
             | None ->
               (* cell arc predecessor: the contribution realising AT *)
               let load = root_load_of t v in
+              let oi = transition_index tr in
               let best = ref None and best_err = ref infinity in
-              List.iter
-                (fun (ca : Graph.cell_arc) ->
-                  List.iter
-                    (fun tr_in ->
-                      let iu = idx ca.Graph.ca_from tr_in in
-                      if t.at_l.(iu) > neg_infinity then begin
-                        let d =
-                          Liberty.Lut.lookup
-                            (delay_lut ca.Graph.ca_arc tr)
-                            t.sl_l.(iu) load
-                        in
-                        let err =
-                          Float.abs (t.at_l.(iu) +. d -. t.at_l.(idx v tr))
-                        in
-                        if err < !best_err then begin
-                          best_err := err;
-                          best := Some (ca.Graph.ca_from, tr_in)
-                        end
-                      end)
-                    (compatible_inputs ca.Graph.ca_arc.Liberty.sense tr))
-                t.graph.Graph.fanin_arcs.(v);
+              for k = g.Graph.fanin_off.(v) to g.Graph.fanin_off.(v + 1) - 1
+              do
+                let a = g.Graph.fanin_arc.(k) in
+                let u = g.Graph.arc_from.(a) in
+                let arc = g.Graph.arc_table.(a) in
+                let sub = (g.Graph.arc_mask.(a) lsr (2 * oi)) land 3 in
+                for ii = 0 to 1 do
+                  if sub land (1 lsl ii) <> 0 then begin
+                    let iu = (2 * u) + ii in
+                    if t.at_l.(iu) > neg_infinity then begin
+                      let d =
+                        Liberty.Lut.lookup (delay_lut_i arc oi)
+                          t.sl_l.(iu) load
+                      in
+                      let err =
+                        Float.abs (t.at_l.(iu) +. d -. t.at_l.(idx v tr))
+                      in
+                      if err < !best_err then begin
+                        best_err := err;
+                        best := Some (u, transitions.(ii))
+                      end
+                    end
+                  end
+                done
+              done;
               (match !best with
                | Some (u, tr_in) -> walk acc u tr_in (guard - 1)
                | None -> acc)
@@ -851,17 +939,21 @@ module Incremental = struct
             dirty_endpoints := v :: !dirty_endpoints;
           if changed then begin
             (* fan-outs: net sinks when v drives a net, plus cell arcs *)
+            let g = t.graph in
             let pin = design.Netlist.pins.(v) in
-            (if pin.Netlist.direction = Netlist.Output
-                && pin.Netlist.net >= 0
+            let net = pin.Netlist.net in
+            (if pin.Netlist.direction = Netlist.Output && net >= 0
+                && g.Graph.net_driver_of.(net) = v
              then
-               match Netlist.net_driver design pin.Netlist.net with
-               | Some u when u = v ->
-                 List.iter mark (Netlist.net_sinks design pin.Netlist.net)
-               | Some _ | None -> ());
-            List.iter
-              (fun (ca : Graph.cell_arc) -> mark ca.Graph.ca_to)
-              t.graph.Graph.fanout_arcs.(v)
+               for k = g.Graph.net_sink_off.(net)
+                   to g.Graph.net_sink_off.(net + 1) - 1
+               do
+                 mark g.Graph.net_sink.(k)
+               done);
+            for k = g.Graph.fanout_off.(v) to g.Graph.fanout_off.(v + 1) - 1
+            do
+              mark g.Graph.arc_to.(g.Graph.fanout_arc.(k))
+            done
           end)
         (List.rev buckets.(l));
       buckets.(l) <- []

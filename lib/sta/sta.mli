@@ -40,12 +40,6 @@ end
     per-pin data.  Built once per design; placement moves do not change
     it (paper §3.3 step 1). *)
 module Graph : sig
-  type cell_arc = {
-    ca_from : int;  (** design pin id. *)
-    ca_to : int;
-    ca_arc : Liberty.timing_arc;
-  }
-
   type check = {
     ck_data : int;
     ck_clock : int;
@@ -58,8 +52,26 @@ module Graph : sig
     constraints : Constraints.t;
     pin_level : int array;
     levels : int array array;     (** [levels.(l)] = pins at level [l]. *)
-    fanin_arcs : cell_arc list array;   (** per output pin. *)
-    fanout_arcs : cell_arc list array;  (** per input pin. *)
+    (* Cell arcs, flattened to CSR.  Arc [a] runs from input pin
+       [arc_from.(a)] to output pin [arc_to.(a)] with tables
+       [arc_table.(a)]; [arc_mask.(a)] has bit
+       [2 * tr_out + tr_in] set when input transition [tr_in] can drive
+       output transition [tr_out] (from the arc's unateness).  The arc
+       ids into pin [v] are [fanin_arc.(fanin_off.(v)) ..
+       fanin_arc.(fanin_off.(v + 1) - 1)]; [fanout_off]/[fanout_arc]
+       index the same arcs by source pin. *)
+    arc_from : int array;
+    arc_to : int array;
+    arc_table : Liberty.timing_arc array;
+    arc_mask : int array;
+    fanin_off : int array;        (** length [npins + 1]. *)
+    fanin_arc : int array;
+    fanout_off : int array;
+    fanout_arc : int array;
+    (* Net connectivity, flattened once at build time. *)
+    net_driver_of : int array;    (** per net; [-1] when undriven. *)
+    net_sink_off : int array;     (** length [nnets + 1]. *)
+    net_sink : int array;         (** input-direction pins, CSR by net. *)
     check_of_pin : check option array;  (** per data pin. *)
     pin_cap : float array;        (** sink capacitance per pin. *)
     is_endpoint : bool array;
@@ -75,6 +87,13 @@ module Graph : sig
       references a pin missing from its library cell. *)
 
   val max_level : t -> int
+
+  val num_arcs : t -> int
+
+  val arc_admits : t -> int -> tr_out:transition -> tr_in:transition -> bool
+  (** [arc_admits g a ~tr_out ~tr_in] tests arc [a]'s compatibility mask:
+      whether [tr_in] at [arc_from.(a)] contributes to [tr_out] at
+      [arc_to.(a)]. *)
 end
 
 (** Per-net Steiner trees plus RC state, shared by the exact and the

@@ -391,9 +391,9 @@ let update_coordinates t ~xs ~ys =
 
 let accumulate_pin_gradient t ~node_gx ~node_gy ~pin_gx ~pin_gy =
   let n = node_count t in
-  if Array.length node_gx <> n || Array.length node_gy <> n then
+  if Array.length node_gx < n || Array.length node_gy < n then
     invalid_arg "Steiner.accumulate_pin_gradient: node size mismatch";
-  if Array.length pin_gx <> t.pin_count || Array.length pin_gy <> t.pin_count
+  if Array.length pin_gx < t.pin_count || Array.length pin_gy < t.pin_count
   then invalid_arg "Steiner.accumulate_pin_gradient: pin size mismatch";
   for v = 0 to n - 1 do
     pin_gx.(t.x_source.(v)) <- pin_gx.(t.x_source.(v)) +. node_gx.(v);

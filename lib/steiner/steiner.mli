@@ -62,7 +62,9 @@ val accumulate_pin_gradient :
 (** Fold per-node gradients into per-pin gradients: each pin receives its
     own gradient plus the gradients of every Steiner point whose x (resp.
     y) it determines.  [pin_gx]/[pin_gy] are {b accumulated into} (callers
-    zero them). *)
+    zero them).  All four arrays may be longer than needed
+    ([node_count] / [pin_count] entries are used), so callers can reuse
+    one large buffer across nets without [Array.sub] copies. *)
 
 val mst_length : xs:float array -> ys:float array -> float
 (** Length of the rectilinear minimum spanning tree over the pins only

@@ -280,7 +280,84 @@ let test_chain_smoothed_equals_exact () =
   Alcotest.(check (float 1e-9)) "wns equal" exact.Sta.Timer.setup_wns
     m.Difftimer.wns
 
+(* mid-size finite-difference check: exercises multi-fan-in LSE paths,
+   the forward LUT tape and the gather backward on a design big enough
+   to have deep shared logic cones *)
+let test_gradient_matches_fd_midsize () =
+  let design, graph = small_design ~cells:600 ~period:480.0 21 in
+  let dt = Difftimer.create ~gamma:20.0 graph in
+  let nets = Difftimer.nets dt in
+  let w_tns = 1.0 and w_wns = 0.5 in
+  let objective () =
+    Sta.Nets.refresh nets;
+    let m = Difftimer.forward dt in
+    (w_tns *. -.m.Difftimer.tns_smooth) +. (w_wns *. -.m.Difftimer.wns_smooth)
+  in
+  ignore (objective ());
+  let ncells = Netlist.num_cells design in
+  let gx = Array.make ncells 0.0 and gy = Array.make ncells 0.0 in
+  Difftimer.backward dt ~w_tns ~w_wns ~grad_x:gx ~grad_y:gy;
+  let rng = Workload.Rng.create 77 in
+  let h = 1e-4 in
+  for _ = 1 to 20 do
+    let c = design.Netlist.cells.(Workload.Rng.int rng ncells) in
+    if not c.Netlist.fixed then begin
+      let x0 = c.Netlist.x in
+      c.Netlist.x <- x0 +. h;
+      let fp = objective () in
+      c.Netlist.x <- x0 -. h;
+      let fm = objective () in
+      c.Netlist.x <- x0;
+      let fd = (fp -. fm) /. (2.0 *. h) in
+      let analytic = gx.(c.Netlist.cell_id) in
+      if Float.abs (fd -. analytic) > 1e-4 *. Float.max 1.0 (Float.abs fd)
+      then
+        Alcotest.failf "mid-size gradient mismatch on %s: %g vs fd %g"
+          c.Netlist.cell_name analytic fd
+    end
+  done
+
+(* the gather backward makes the reverse sweep deterministic; only the
+   per-net slice merge can reassociate, so pooled gradients must match
+   the sequential ones to ~1 ulp *)
+let test_parallel_backward_matches_sequential () =
+  let design, graph = small_design ~cells:600 ~period:480.0 31 in
+  let dt = Difftimer.create ~gamma:20.0 graph in
+  Sta.Nets.rebuild (Difftimer.nets dt);
+  let _ = Difftimer.forward dt in
+  let ncells = Netlist.num_cells design in
+  let run ?pool () =
+    let gx = Array.make ncells 0.0 and gy = Array.make ncells 0.0 in
+    Difftimer.backward ?pool dt ~w_tns:0.8 ~w_wns:0.4 ~grad_x:gx ~grad_y:gy;
+    (gx, gy)
+  in
+  let gx_seq, gy_seq = run () in
+  let nonzero = Array.exists (fun v -> v <> 0.0) gx_seq in
+  Alcotest.(check bool) "sequential gradient nonzero" true nonzero;
+  List.iter
+    (fun domains ->
+      let pool = Parallel.create ~domains () in
+      let gx_par, gy_par =
+        Fun.protect ~finally:(fun () -> Parallel.shutdown pool) (run ~pool)
+      in
+      let close a b =
+        Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs a)
+      in
+      for c = 0 to ncells - 1 do
+        if not (close gx_seq.(c) gx_par.(c)) then
+          Alcotest.failf "%d-domain grad_x mismatch at cell %d: %.17g vs %.17g"
+            domains c gx_seq.(c) gx_par.(c);
+        if not (close gy_seq.(c) gy_par.(c)) then
+          Alcotest.failf "%d-domain grad_y mismatch at cell %d: %.17g vs %.17g"
+            domains c gy_seq.(c) gy_par.(c)
+      done)
+    [ 2; 4 ]
+
 let suite =
   suite
   @ [ Alcotest.test_case "chain: smoothed = exact (single fan-in)" `Quick
-        test_chain_smoothed_equals_exact ]
+        test_chain_smoothed_equals_exact;
+      Alcotest.test_case "gradient matches FD (mid-size)" `Quick
+        test_gradient_matches_fd_midsize;
+      Alcotest.test_case "parallel backward = sequential" `Quick
+        test_parallel_backward_matches_sequential ]

@@ -63,10 +63,76 @@ let test_repeated_use () =
         Alcotest.(check int) "spot check" (1234 * round) out.(1234)
       done)
 
+type isum = { mutable total : int; mutable count : int }
+
+let reduce_sum pool ~grain n =
+  let acc =
+    Parallel.parallel_for_reduce pool ~grain n
+      ~init:(fun () -> { total = 0; count = 0 })
+      ~body:(fun acc i ->
+        acc.total <- acc.total + i;
+        acc.count <- acc.count + 1)
+      ~merge:(fun a b ->
+        a.total <- a.total + b.total;
+        a.count <- a.count + b.count;
+        a)
+  in
+  (acc.total, acc.count)
+
+let test_reduce_sequential () =
+  let n = 10_000 in
+  let total, count = reduce_sum Parallel.sequential_pool ~grain:64 n in
+  Alcotest.(check int) "total" (n * (n - 1) / 2) total;
+  Alcotest.(check int) "count" n count;
+  let total0, count0 = reduce_sum Parallel.sequential_pool ~grain:64 0 in
+  Alcotest.(check int) "empty total" 0 total0;
+  Alcotest.(check int) "empty count" 0 count0
+
+let test_reduce_pool () =
+  let pool = Parallel.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun (n, grain) ->
+          let total, count = reduce_sum pool ~grain n in
+          Alcotest.(check int)
+            (Printf.sprintf "total n=%d grain=%d" n grain)
+            (n * (n - 1) / 2)
+            total;
+          Alcotest.(check int)
+            (Printf.sprintf "count n=%d grain=%d" n grain)
+            n count)
+        [ (50_000, 128); (1_000, 1_024); (1_025, 1_024); (3, 1) ])
+
+let test_reduce_merge_order () =
+  (* merge must run in chunk order: concatenating per-chunk minima of the
+     index ranges must come out sorted *)
+  let pool = Parallel.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.shutdown pool)
+    (fun () ->
+      let firsts =
+        Parallel.parallel_for_reduce pool ~grain:100 1_000
+          ~init:(fun () -> ref [])
+          ~body:(fun acc i ->
+            match !acc with [] -> acc := [ i ] | _ -> ())
+          ~merge:(fun a b ->
+            a := !a @ !b;
+            a)
+      in
+      Alcotest.(check (list int)) "chunk order"
+        [ 0; 100; 200; 300; 400; 500; 600; 700; 800; 900 ]
+        !firsts)
+
 let suite =
   [ Alcotest.test_case "sequential pool covers range" `Quick test_sequential_covers;
     Alcotest.test_case "pool covers exactly once" `Quick test_pool_covers_exactly_once;
     Alcotest.test_case "pool atomic sum" `Quick test_pool_sum;
     Alcotest.test_case "empty and sub-grain ranges" `Quick test_empty_and_small;
     Alcotest.test_case "domain count" `Quick test_domain_count;
-    Alcotest.test_case "repeated parallel_for calls" `Quick test_repeated_use ]
+    Alcotest.test_case "repeated parallel_for calls" `Quick test_repeated_use;
+    Alcotest.test_case "reduce: sequential + empty" `Quick test_reduce_sequential;
+    Alcotest.test_case "reduce: pooled sums" `Quick test_reduce_pool;
+    Alcotest.test_case "reduce: merge in chunk order" `Quick
+      test_reduce_merge_order ]

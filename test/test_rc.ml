@@ -140,12 +140,23 @@ let test_backward_size_checks () =
   let tree = Steiner.build ~xs:[| 0.0; 1.0 |] ~ys:[| 0.0; 1.0 |] () in
   let rc = Rc.create ~r_unit ~c_unit ~pin_caps:[| 0.0; 1.0 |] tree in
   Rc.evaluate rc;
-  match
-    Rc.backward rc ~g_delay:(Array.make 5 0.0) ~g_impulse2:(Array.make 2 0.0)
-      ~g_root_load:0.0 ~node_gx:(Array.make 2 0.0) ~node_gy:(Array.make 2 0.0)
-  with
+  let n = Steiner.node_count tree in
+  (* undersized buffers must still be rejected *)
+  (match
+     Rc.backward rc
+       ~g_delay:(Array.make (n - 1) 0.0)
+       ~g_impulse2:(Array.make n 0.0) ~g_root_load:0.0
+       ~node_gx:(Array.make n 0.0) ~node_gy:(Array.make n 0.0)
+   with
   | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "expected size check"
+  | _ -> Alcotest.fail "expected size check");
+  (* oversized shared buffers are accepted (scratch reuse across nets) *)
+  Rc.backward rc
+    ~g_delay:(Array.make (n + 7) 0.0)
+    ~g_impulse2:(Array.make (n + 3) 0.0)
+    ~g_root_load:0.0
+    ~node_gx:(Array.make (n + 1) 0.0)
+    ~node_gy:(Array.make (n + 5) 0.0)
 
 let test_create_size_check () =
   let tree = Steiner.build ~xs:[| 0.0; 1.0 |] ~ys:[| 0.0; 1.0 |] () in

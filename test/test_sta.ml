@@ -55,16 +55,29 @@ let test_graph_structure () =
   Alcotest.(check int) "endpoints" 2 (Array.length g.Sta.Graph.endpoints);
   Alcotest.(check int) "primary inputs" 1 (List.length g.Sta.Graph.primary_inputs);
   Alcotest.(check int) "primary outputs" 1 (List.length g.Sta.Graph.primary_outputs);
-  (* arc levels strictly increase *)
-  Array.iteri
-    (fun v arcs ->
-      List.iter
-        (fun (ca : Sta.Graph.cell_arc) ->
-          if g.Sta.Graph.pin_level.(ca.Sta.Graph.ca_from)
-             >= g.Sta.Graph.pin_level.(v)
-          then Alcotest.fail "level not increasing along cell arc")
-        arcs)
-    g.Sta.Graph.fanin_arcs;
+  (* arc levels strictly increase; CSR fan-in/fan-out views agree with
+     the flat arc arrays *)
+  let narcs = Sta.Graph.num_arcs g in
+  for a = 0 to narcs - 1 do
+    if g.Sta.Graph.pin_level.(g.Sta.Graph.arc_from.(a))
+       >= g.Sta.Graph.pin_level.(g.Sta.Graph.arc_to.(a))
+    then Alcotest.fail "level not increasing along cell arc"
+  done;
+  Alcotest.(check int) "fanin CSR covers all arcs" narcs
+    g.Sta.Graph.fanin_off.(Netlist.num_pins d);
+  Alcotest.(check int) "fanout CSR covers all arcs" narcs
+    g.Sta.Graph.fanout_off.(Netlist.num_pins d);
+  for v = 0 to Netlist.num_pins d - 1 do
+    for k = g.Sta.Graph.fanin_off.(v) to g.Sta.Graph.fanin_off.(v + 1) - 1 do
+      if g.Sta.Graph.arc_to.(g.Sta.Graph.fanin_arc.(k)) <> v then
+        Alcotest.fail "fanin CSR arc does not end at its pin"
+    done;
+    for k = g.Sta.Graph.fanout_off.(v) to g.Sta.Graph.fanout_off.(v + 1) - 1
+    do
+      if g.Sta.Graph.arc_from.(g.Sta.Graph.fanout_arc.(k)) <> v then
+        Alcotest.fail "fanout CSR arc does not start at its pin"
+    done
+  done;
   (* net sinks are above their drivers *)
   Array.iter
     (fun (net : Netlist.net) ->
