@@ -1,4 +1,4 @@
-.PHONY: all test bench bench-full clean
+.PHONY: all test bench bench-full bench-placer clean
 
 all:
 	dune build
@@ -14,6 +14,11 @@ bench:
 # Same benchmark with the full iteration count (slower, less noisy).
 bench-full:
 	dune exec bench/main.exe -- difftimer
+
+# Per-kernel timing of one full placement iteration at 1/2/4 worker
+# domains; writes BENCH_placeriter.json at the repo root.
+bench-placer:
+	dune exec bench/main.exe -- placer-iter
 
 clean:
 	dune clean

@@ -4,10 +4,25 @@
 
    Usage:  dune exec bench/main.exe [-- <target> ...]
    Targets: table1 table2 table3 figure8 kernels ablation-gamma
-            ablation-reuse gradcheck all (default: all)
-   Options: --scale <f>  benchmark scale factor (default 0.01) *)
+            ablation-reuse ablation-extensions gradcheck difftimer
+            placer-iter all (default: all)
+   Options: --scale <f>       benchmark scale factor (default 0.01)
+            --quick           fewer iterations for difftimer
+            --out <f>         difftimer JSON path (default BENCH_difftimer.json)
+            --smoke           tiny placer-iter run for CI
+            --placer-out <f>  placer-iter JSON path
+                              (default BENCH_placeriter.json)
+            --domains <n>     worker domains for every placement run
+                              (default 1; results are bit-identical
+                              across domain counts) *)
 
 let scale = ref 0.01
+
+(* worker pool shared by every placement run (None = sequential); set
+   from --domains in the driver.  Pooled runs are bit-identical to
+   sequential ones, so the tables are reproducible at any domain
+   count. *)
+let pool : Parallel.pool option ref = ref None
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -33,7 +48,7 @@ type outcome = {
 let run_mode ?(config = Core.default_config) mode spec =
   let design, graph = build_bench spec in
   let cfg = { config with Core.mode } in
-  let result = Core.run cfg graph in
+  let result = Core.run ?pool:!pool cfg graph in
   ignore (Legalize.legalize design);
   let report, hpwl = Core.score graph in
   { o_wns = report.Sta.Timer.setup_wns;
@@ -210,7 +225,10 @@ let figure8 () =
       [ "iter"; "HPWL[16]"; "ovf[16]"; "WNS[16]"; "TNS[16]";
         "HPWL[ours]"; "ovf[ours]"; "WNS[ours]"; "TNS[ours]" ]
   in
-  let cell v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v in
+  let cell = function
+    | None -> "-"
+    | Some v -> Printf.sprintf "%.1f" v
+  in
   let rec zip a b =
     match a, b with
     | [], [] -> ()
@@ -650,6 +668,173 @@ let bench_difftimer () =
   close_out oc;
   Printf.printf "\nWrote %s\n" !bench_out
 
+(* ---- full placement iteration benchmark ---- *)
+
+let placer_smoke = ref false
+let placer_out = ref "BENCH_placeriter.json"
+
+(* Seed (pre-pool) per-kernel timings, microseconds per call, measured on
+   this machine at the base revision with the same 5000-cell workload
+   spec (seed 17, 16 in/out, depth 10, clock 520 ps): mean of two runs.
+   The seed iteration amortises the Steiner rebuild over the paper's
+   10-iteration reuse period. *)
+let placer_seed_reference =
+  [ ("wirelength", 2697.0); ("density_update", 2958.0);
+    ("density_gradient", 876.0); ("steiner_rebuild", 37130.0);
+    ("nets_refresh", 2216.0); ("diff_forward", 10007.0);
+    ("diff_backward", 6407.0) ]
+
+let placer_iter () =
+  section "Full placement iteration: per-kernel split over worker domains";
+  let cells = if !placer_smoke then 400 else 5000 in
+  let iters = if !placer_smoke then 4 else 20 in
+  let steiner_period = Core.default_timing.Core.steiner_period in
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = cells; sp_seed = 17; sp_inputs = 16;
+      sp_outputs = 16; sp_depth = 10; sp_clock_period = 520.0 }
+  in
+  let design, graph = build_bench spec in
+  let wl = Wirelength.create design in
+  let dens = Density.create design in
+  let dt = Difftimer.create ~gamma:20.0 graph in
+  let nets = Difftimer.nets dt in
+  Sta.Nets.rebuild nets;
+  ignore (Difftimer.forward dt);
+  let ncells = Netlist.num_cells design in
+  let gx = Array.make ncells 0.0 and gy = Array.make ncells 0.0 in
+  let time_us f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e6
+  in
+  let measure pool =
+    [ ("wirelength",
+       time_us (fun () ->
+         Array.fill gx 0 ncells 0.0;
+         Array.fill gy 0 ncells 0.0;
+         ignore (Wirelength.evaluate wl ?pool ~grad_x:gx ~grad_y:gy ())));
+      ("density_update", time_us (fun () -> Density.update ?pool dens));
+      ("density_gradient",
+       time_us (fun () ->
+         Array.fill gx 0 ncells 0.0;
+         Array.fill gy 0 ncells 0.0;
+         Density.gradient ?pool dens ~scale:1.0 ~grad_x:gx ~grad_y:gy));
+      ("steiner_rebuild", time_us (fun () -> Sta.Nets.rebuild ?pool nets));
+      ("nets_refresh", time_us (fun () -> Sta.Nets.refresh ?pool nets));
+      ("diff_forward", time_us (fun () -> ignore (Difftimer.forward ?pool dt)));
+      ("diff_backward",
+       time_us (fun () ->
+         Array.fill gx 0 ncells 0.0;
+         Array.fill gy 0 ncells 0.0;
+         Difftimer.backward ?pool dt ~w_tns:1.0 ~w_wns:1.0 ~grad_x:gx
+           ~grad_y:gy)) ]
+  in
+  (* one GP iteration = every per-iteration kernel, with the Steiner
+     rebuild amortised over its reuse period (paper §3.6) *)
+  let iteration_us kernels =
+    List.fold_left
+      (fun acc (name, us) ->
+        if name = "steiner_rebuild" then
+          acc +. (us /. float_of_int steiner_period)
+        else acc +. us)
+      0.0 kernels
+  in
+  let seed_iter_us = iteration_us placer_seed_reference in
+  let domain_counts = if !placer_smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let results =
+    List.map
+      (fun domains ->
+        let kernels =
+          if domains <= 1 then measure None
+          else begin
+            let pool = Parallel.create ~domains () in
+            Fun.protect
+              ~finally:(fun () -> Parallel.shutdown pool)
+              (fun () -> measure (Some pool))
+          end
+        in
+        Printf.printf "  [done] domains=%d\n%!" domains;
+        (domains, kernels, iteration_us kernels))
+      domain_counts
+  in
+  let _, _, base_iter_us = List.hd results in
+  let t =
+    Report.Table.create
+      [ "domains"; "wl(us)"; "dens(us)"; "dgrad(us)"; "steiner(us)";
+        "refresh(us)"; "fwd(us)"; "bwd(us)"; "iter(us)"; "vs 1 dom";
+        "vs seed" ]
+  in
+  List.iter
+    (fun (domains, kernels, iter_us) ->
+      let k name = List.assoc name kernels in
+      Report.Table.add_row t
+        [ string_of_int domains;
+          Printf.sprintf "%.0f" (k "wirelength");
+          Printf.sprintf "%.0f" (k "density_update");
+          Printf.sprintf "%.0f" (k "density_gradient");
+          Printf.sprintf "%.0f" (k "steiner_rebuild");
+          Printf.sprintf "%.0f" (k "nets_refresh");
+          Printf.sprintf "%.0f" (k "diff_forward");
+          Printf.sprintf "%.0f" (k "diff_backward");
+          Printf.sprintf "%.0f" iter_us;
+          Printf.sprintf "%.2fx" (base_iter_us /. iter_us);
+          (if !placer_smoke then "-"
+           else Printf.sprintf "%.2fx" (seed_iter_us /. iter_us)) ])
+    results;
+  print_newline ();
+  print_string (Report.Table.render t);
+  let cores = Domain.recommended_domain_count () in
+  if cores <= 1 then
+    Printf.printf
+      "\n  note: this machine exposes %d core(s); the domain rows measure \
+       dispatch\n  overhead, not parallel speedup.  Pooled results are \
+       bit-identical to\n  sequential ones by construction (see the \
+       determinism tests).\n"
+      cores;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"bench\": \"placer-iter\",\n  \"mode\": \"%s\",\n  \"iters\": %d,\n\
+       \  \"cores\": %d,\n  \"steiner_period\": %d,\n  \"workload\": { \
+        \"cells\": %d, \"seed\": 17, \"inputs\": 16, \"outputs\": 16, \
+        \"depth\": 10, \"clock_period_ps\": 520.0, \"gamma_ps\": 20.0 },\n"
+       (if !placer_smoke then "smoke" else "full")
+       iters cores steiner_period cells);
+  if not !placer_smoke then
+    Buffer.add_string buf
+      (Printf.sprintf "  \"seed_iteration_us\": %.1f,\n" seed_iter_us);
+  Buffer.add_string buf "  \"domains\": [\n";
+  List.iteri
+    (fun i (domains, kernels, iter_us) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"domains\": %d, \"iteration_us\": %.1f, \
+                         \"speedup_vs_1_domain\": %.3f"
+           domains iter_us (base_iter_us /. iter_us));
+      if not !placer_smoke then
+        Buffer.add_string buf
+          (Printf.sprintf ", \"speedup_vs_seed\": %.3f"
+             (seed_iter_us /. iter_us));
+      Buffer.add_string buf ",\n      \"kernels_us\": { ";
+      Buffer.add_string buf
+        (String.concat ", "
+           (List.map
+              (fun (name, us) -> Printf.sprintf "\"%s\": %.1f" name us)
+              kernels));
+      Buffer.add_string buf
+        (Printf.sprintf " } }%s\n"
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out !placer_out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nWrote %s\n" !placer_out
+
 (* ---- driver ---- *)
 
 let all_targets =
@@ -657,7 +842,7 @@ let all_targets =
     ("figure8", figure8); ("kernels", kernels);
     ("ablation-gamma", ablation_gamma); ("ablation-reuse", ablation_reuse);
     ("ablation-extensions", ablation_extensions); ("gradcheck", gradcheck);
-    ("difftimer", bench_difftimer) ]
+    ("difftimer", bench_difftimer); ("placer-iter", placer_iter) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -671,6 +856,16 @@ let () =
       parse acc rest
     | "--out" :: v :: rest ->
       bench_out := v;
+      parse acc rest
+    | "--smoke" :: rest ->
+      placer_smoke := true;
+      parse acc rest
+    | "--domains" :: v :: rest ->
+      let domains = int_of_string v in
+      if domains > 1 then pool := Some (Parallel.create ~domains ());
+      parse acc rest
+    | "--placer-out" :: v :: rest ->
+      placer_out := v;
       parse acc rest
     | x :: rest -> parse (x :: acc) rest
   in
@@ -690,4 +885,5 @@ let () =
         Printf.eprintf "unknown target %S; known: %s all\n" name
           (String.concat " " (List.map fst all_targets));
         exit 1)
-    targets
+    targets;
+  match !pool with Some p -> Parallel.shutdown p | None -> ()

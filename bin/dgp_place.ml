@@ -63,8 +63,10 @@ let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
 let domains =
-  let doc = "Worker domains for the level-parallel timing kernels (1 = \
-             sequential)." in
+  let doc = "Worker domains for the per-iteration kernels (wirelength, \
+             density, Steiner/RC, STA and the differentiable timer; 1 = \
+             sequential).  Results are bit-identical across domain \
+             counts." in
   Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
 
 let run lib_file design_file bench cells seed clock mode iterations t1 t2
@@ -125,8 +127,12 @@ let run lib_file design_file bench cells seed clock mode iterations t1 t2
            [ string_of_int p.Core.tp_iteration;
              Printf.sprintf "%.6e" p.Core.tp_hpwl;
              Printf.sprintf "%.6f" p.Core.tp_overflow;
-             Printf.sprintf "%.3f" p.Core.tp_wns;
-             Printf.sprintf "%.3f" p.Core.tp_tns;
+             (match p.Core.tp_wns with
+              | Some v -> Printf.sprintf "%.3f" v
+              | None -> "-");
+             (match p.Core.tp_tns with
+              | Some v -> Printf.sprintf "%.3f" v
+              | None -> "-");
              Printf.sprintf "%.6e" p.Core.tp_lambda ])
        result.Core.res_trace;
      Out_channel.with_open_text path (fun oc ->

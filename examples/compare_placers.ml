@@ -1,10 +1,28 @@
 (* Run the three placers of the paper's Table 3 on one design and print a
    side-by-side comparison.
 
-     dune exec examples/compare_placers.exe *)
+     dune exec examples/compare_placers.exe [-- --domains N]
+
+   Every run is bit-identical regardless of the domain count. *)
+
+let parse_domains () =
+  let domains = ref 1 in
+  let rec scan = function
+    | "--domains" :: v :: rest ->
+      domains := int_of_string v;
+      scan rest
+    | _ :: rest -> scan rest
+    | [] -> ()
+  in
+  scan (List.tl (Array.to_list Sys.argv));
+  !domains
 
 let () =
   let lib = Liberty.Synthetic.default () in
+  let domains = parse_domains () in
+  let pool =
+    if domains > 1 then Some (Parallel.create ~domains ()) else None
+  in
   let spec =
     { Workload.default_spec with
       Workload.sp_cells = 2000; sp_clock_period = 950.0 }
@@ -18,7 +36,7 @@ let () =
     let design, constraints = Workload.generate lib spec in
     let graph = Sta.Graph.build design lib constraints in
     let config = { Core.default_config with Core.mode } in
-    let result = Core.run config graph in
+    let result = Core.run ?pool config graph in
     ignore (Legalize.legalize design);
     let report, hpwl = Core.score graph in
     Report.Table.add_row table
@@ -48,4 +66,5 @@ let () =
   let wi, ti = improvement dp ours in
   Printf.printf "\nours vs wirelength-only: WNS %+.1f%%, TNS %+.1f%%\n" wi ti;
   let wi, ti = improvement nw ours in
-  Printf.printf "ours vs net weighting:   WNS %+.1f%%, TNS %+.1f%%\n" wi ti
+  Printf.printf "ours vs net weighting:   WNS %+.1f%%, TNS %+.1f%%\n" wi ti;
+  match pool with Some p -> Parallel.shutdown p | None -> ()

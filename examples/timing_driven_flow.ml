@@ -7,10 +7,30 @@
    misses timing after wirelength-driven placement, recovered by the
    differentiable timing objective without a wirelength penalty.
 
-     dune exec examples/timing_driven_flow.exe *)
+     dune exec examples/timing_driven_flow.exe [-- --domains N]
+
+   With --domains N > 1 every per-iteration kernel runs through a worker
+   pool; the resulting placement is bit-identical to the sequential
+   one. *)
+
+let parse_domains () =
+  let domains = ref 1 in
+  let rec scan = function
+    | "--domains" :: v :: rest ->
+      domains := int_of_string v;
+      scan rest
+    | _ :: rest -> scan rest
+    | [] -> ()
+  in
+  scan (List.tl (Array.to_list Sys.argv));
+  !domains
 
 let () =
   let lib = Liberty.Synthetic.default () in
+  let domains = parse_domains () in
+  let pool =
+    if domains > 1 then Some (Parallel.create ~domains ()) else None
+  in
   (* pick a scaled superblue benchmark and round-trip it through the
      on-disk format, as an external user would *)
   let spec =
@@ -35,7 +55,7 @@ let () =
   (* stage 1: wirelength-driven placement to convergence (the flow every
      placer shares) *)
   let wl_cfg = { Core.default_config with Core.mode = Core.Wirelength_only } in
-  let r1 = Core.run wl_cfg graph in
+  let r1 = Core.run ?pool wl_cfg graph in
   let timer = Sta.Timer.create graph in
   let before = Sta.Timer.run timer in
   Printf.printf
@@ -48,7 +68,7 @@ let () =
     { Core.default_config with
       Core.mode = Core.Differentiable_timing Core.default_timing }
   in
-  let r2 = Core.run t_cfg graph in
+  let r2 = Core.run ?pool t_cfg graph in
   ignore (Legalize.legalize design);
   let dp = Detailed.refine design in
   Format.printf "\ndetailed placement:@.%a@." Detailed.pp_stats dp;
@@ -72,4 +92,5 @@ let () =
           ep.Sta.Timer.ep_setup_slack)
     after.Sta.Timer.endpoint_slacks;
   Sys.remove design_path;
-  Sys.rmdir dir
+  Sys.rmdir dir;
+  match pool with Some p -> Parallel.shutdown p | None -> ()

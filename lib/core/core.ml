@@ -65,8 +65,8 @@ type trace_point = {
   tp_iteration : int;
   tp_hpwl : float;
   tp_overflow : float;
-  tp_wns : float;
-  tp_tns : float;
+  tp_wns : float option;
+  tp_tns : float option;
   tp_lambda : float;
 }
 
@@ -197,11 +197,14 @@ let run ?pool config graph =
       (Some (Difftimer.create ~gamma:cfg.gamma graph), cfg)
     | Wirelength_only | Net_weighting _ -> (None, default_timing)
   in
+  (* Modes that own a timer reuse it for trace points (the net-weighting
+     engine's exact timer, the differentiable timer's own metrics); only
+     wirelength-only needs a dedicated trace timer. *)
   let trace_timer =
     if config.trace_timing_period > 0
        && (match config.mode with
            | Differentiable_timing _ -> false
-           | Wirelength_only | Net_weighting _ -> netweight = None)
+           | Wirelength_only | Net_weighting _ -> Option.is_none netweight)
     then Some (Sta.Timer.create graph)
     else None
   in
@@ -213,6 +216,14 @@ let run ?pool config graph =
   let prev_tns_smooth = ref neg_infinity in
   let tgx = Array.make ncells 0.0 and tgy = Array.make ncells 0.0 in
   let trace = ref [] in
+  (* Last measured timing, carried forward between measurements so trace
+     points between STA calls repeat the previous value instead of
+     degenerating to NaN; [None] until the first measurement. *)
+  let last_wns = ref None and last_tns = ref None in
+  let record (report : Sta.Timer.report) =
+    last_wns := Some report.Sta.Timer.setup_wns;
+    last_tns := Some report.Sta.Timer.setup_tns
+  in
   let final_iter = ref 0 in
   let stop = ref false in
   let iter = ref 0 in
@@ -221,13 +232,13 @@ let run ?pool config graph =
     Array.fill gx 0 ncells 0.0;
     Array.fill gy 0 ncells 0.0;
     (* wirelength term (weighted when net weighting is active) *)
-    ignore (Wirelength.evaluate wl ~weighted:true ~grad_x:gx ~grad_y:gy ());
+    ignore (Wirelength.evaluate wl ?pool ~weighted:true ~grad_x:gx ~grad_y:gy ());
     (* density term: compute separately to calibrate lambda *)
-    Density.update dens;
+    Density.update ?pool dens;
     let overflow = Density.overflow dens in
     Array.fill dgx 0 ncells 0.0;
     Array.fill dgy 0 ncells 0.0;
-    Density.gradient dens ~scale:1.0 ~grad_x:dgx ~grad_y:dgy;
+    Density.gradient ?pool dens ~scale:1.0 ~grad_x:dgx ~grad_y:dgy;
     if i = 0 then begin
       let wl_norm = l1_norm mask gx +. l1_norm mask gy in
       let d_norm = Float.max 1e-12 (l1_norm mask dgx +. l1_norm mask dgy) in
@@ -238,14 +249,9 @@ let run ?pool config graph =
       gy.(k) <- gy.(k) +. (!lambda *. dgy.(k))
     done;
     (* timing terms *)
-    let wns = ref Float.nan and tns = ref Float.nan in
     (match netweight with
      | Some nw ->
-       if Netweight.should_update nw i then begin
-         let report = Netweight.update nw in
-         wns := report.Sta.Timer.setup_wns;
-         tns := report.Sta.Timer.setup_tns
-       end
+       if Netweight.should_update nw i then record (Netweight.update ?pool nw)
      | None -> ());
     (match difftimer with
      | Some dt ->
@@ -259,8 +265,8 @@ let run ?pool config graph =
         | Some t0 ->
           let nets = Difftimer.nets dt in
           if (i - t0) mod max 1 timing_cfg.steiner_period = 0 then
-            Sta.Nets.rebuild nets
-          else Sta.Nets.refresh nets;
+            Sta.Nets.rebuild ?pool nets
+          else Sta.Nets.refresh ?pool nets;
           let m = Difftimer.forward ?pool dt in
           Array.fill tgx 0 ncells 0.0;
           Array.fill tgy 0 ncells 0.0;
@@ -285,17 +291,23 @@ let run ?pool config graph =
             w_wns := !w_wns *. timing_cfg.growth
           end;
           prev_tns_smooth := m.Difftimer.tns_smooth;
-          wns := m.Difftimer.wns;
-          tns := m.Difftimer.tns
+          last_wns := Some m.Difftimer.wns;
+          last_tns := Some m.Difftimer.tns
         | None -> ())
      | None -> ());
-    (match trace_timer with
-     | Some timer when config.trace_timing_period > 0
-                       && i mod config.trace_timing_period = 0 ->
-       let report = Sta.Timer.run timer in
-       wns := report.Sta.Timer.setup_wns;
-       tns := report.Sta.Timer.setup_tns
-     | Some _ | None -> ());
+    if config.trace_timing_period > 0 && i mod config.trace_timing_period = 0
+    then begin
+      match trace_timer, netweight with
+      | Some timer, _ -> record (Sta.Timer.run ?pool timer)
+      | None, Some nw when not (Netweight.should_update nw i) ->
+        (* Net-weighting mode owns an exact timer already: reuse it for
+           trace samples that fall between weight updates. *)
+        record
+          (Sta.Timer.run ?pool
+             ~rebuild_trees:(Netweight.config nw).Netweight.rebuild_trees
+             (Netweight.timer nw))
+      | None, _ -> ()
+    end;
     (* update *)
     Optim.step opt_x ~lr:!lr ~params:xs ~grads:gx ~mask ();
     Optim.step opt_y ~lr:!lr ~params:ys ~grads:gy ~mask ();
@@ -305,11 +317,16 @@ let run ?pool config graph =
     let hpwl = Netlist.total_hpwl design in
     trace :=
       { tp_iteration = i; tp_hpwl = hpwl; tp_overflow = overflow;
-        tp_wns = !wns; tp_tns = !tns; tp_lambda = !lambda }
+        tp_wns = !last_wns; tp_tns = !last_tns; tp_lambda = !lambda }
       :: !trace;
-    if config.verbose && i mod 50 = 0 then
-      Format.eprintf "[core] it %4d  hpwl %.3e  ovf %.3f  wns %.1f  tns %.1f@."
-        i hpwl overflow !wns !tns;
+    if config.verbose && i mod 50 = 0 then begin
+      let fmt = function
+        | Some v -> Printf.sprintf "%.1f" v
+        | None -> "-"
+      in
+      Format.eprintf "[core] it %4d  hpwl %.3e  ovf %.3f  wns %s  tns %s@."
+        i hpwl overflow (fmt !last_wns) (fmt !last_tns)
+    end;
     final_iter := i + 1;
     if overflow <= config.stop_overflow && i >= config.min_iterations then
       stop := true;

@@ -69,9 +69,12 @@ type config = {
           (standard analytical-placement warm start); [`Keep]: use the
           positions already in the design. *)
   trace_timing_period : int;
-      (** for modes without their own timer: run exact STA for the trace
-          every k iterations (0 = never).  Powers Figure 8's baseline
-          curves. *)
+      (** run exact STA for the trace every k iterations (0 = never).
+          Wirelength-only mode uses a dedicated timer; net-weighting
+          mode reuses its own exact timer (avoiding a second STA when a
+          weight update already measured this iteration); differentiable
+          timing traces from its own metrics.  Powers Figure 8's
+          baseline curves. *)
   verbose : bool;
 }
 
@@ -81,8 +84,10 @@ type trace_point = {
   tp_iteration : int;
   tp_hpwl : float;
   tp_overflow : float;
-  tp_wns : float;  (** nan when not evaluated at this iteration. *)
-  tp_tns : float;
+  tp_wns : float option;
+      (** last measured WNS, carried forward between STA calls; [None]
+          only before the first measurement. *)
+  tp_tns : float option;
   tp_lambda : float;
 }
 
@@ -98,7 +103,12 @@ type result = {
 
 val run : ?pool:Parallel.pool -> config -> Sta.Graph.t -> result
 (** Optimise the placement in place (the design inside [graph] is
-    mutated).  Returns final metrics and the per-iteration trace. *)
+    mutated).  Returns final metrics and the per-iteration trace.
+    [pool] parallelises every per-iteration kernel — wirelength,
+    density, Steiner/RC maintenance, STA and the differentiable timer —
+    and pooled runs are bit-identical to sequential ones (all parallel
+    reductions split work independently of the pool and merge partials
+    in a fixed order). *)
 
 val score : Sta.Graph.t -> Sta.Timer.report * float
 (** Convenience: exact STA report and HPWL of the current placement

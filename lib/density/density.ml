@@ -94,20 +94,34 @@ let create ?bins ?(target_density = 1.0) design =
 
 let bins t = t.n
 
-let update t =
+let update ?pool t =
   let n = t.n in
-  Array.fill t.movable_area 0 (n * n) 0.0;
-  Array.iter
-    (fun (c : Netlist.cell) ->
-      if not c.Netlist.fixed then
-        splat t.movable_area n t.design.Netlist.region t.bin_w t.bin_h
-          (cell_rect c))
-    t.design.Netlist.cells;
+  let cells = t.design.Netlist.cells in
+  let ncells = Array.length cells in
+  (* splat cells into per-chunk grids merged in chunk order; the chunk
+     split depends only on the cell count, so pooled splats reproduce the
+     sequential ones bit for bit *)
+  let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
+  let grain = max 512 ((ncells + 15) / 16) in
+  let grid =
+    Parallel.parallel_for_reduce p ~grain ncells
+      ~init:(fun () -> Array.make (n * n) 0.0)
+      ~body:(fun acc i ->
+        let c = cells.(i) in
+        if not c.Netlist.fixed then
+          splat acc n t.design.Netlist.region t.bin_w t.bin_h (cell_rect c))
+      ~merge:(fun a b ->
+        for k = 0 to (n * n) - 1 do
+          a.(k) <- a.(k) +. b.(k)
+        done;
+        a)
+  in
+  Array.blit grid 0 t.movable_area 0 (n * n);
   for b = 0 to (n * n) - 1 do
     t.rho.(b) <- (t.movable_area.(b) +. t.fixed_area.(b)) /. t.bin_area
   done;
   (* spectral Poisson solve: coefficients of rho in the cosine basis *)
-  let a = Transform.Grid.dct2 n t.rho in
+  let a = Transform.Grid.dct2 ?pool n t.rho in
   let scale k = if k = 0 then 1.0 /. float_of_int n else 2.0 /. float_of_int n in
   let w k = pi *. float_of_int k /. float_of_int n in
   for u = 0 to n - 1 do
@@ -121,7 +135,7 @@ let update t =
       end
     done
   done;
-  let psi = Transform.Grid.cos_cos_synth n t.coeff in
+  let psi = Transform.Grid.cos_cos_synth ?pool n t.coeff in
   Array.blit psi 0 t.psi 0 (n * n);
   (* E_x = sum c_uv w_u sin(w_u x) cos(w_v y): rows carry the x index *)
   for u = 0 to n - 1 do
@@ -129,14 +143,14 @@ let update t =
       t.scratch.((u * n) + v) <- t.coeff.((u * n) + v) *. w u
     done
   done;
-  let ex = Transform.Grid.sin_cos_synth n t.scratch in
+  let ex = Transform.Grid.sin_cos_synth ?pool n t.scratch in
   Array.blit ex 0 t.field_x 0 (n * n);
   for u = 0 to n - 1 do
     for v = 0 to n - 1 do
       t.scratch.((u * n) + v) <- t.coeff.((u * n) + v) *. w v
     done
   done;
-  let ey = Transform.Grid.cos_sin_synth n t.scratch in
+  let ey = Transform.Grid.cos_sin_synth ?pool n t.scratch in
   Array.blit ey 0 t.field_y 0 (n * n)
 
 let penalty t =
@@ -173,22 +187,25 @@ let interp t field bx by =
   +. (g ix (iy + 1) *. (1.0 -. tx) *. ty)
   +. (g (ix + 1) (iy + 1) *. tx *. ty)
 
-let gradient t ~scale ~grad_x ~grad_y =
+let gradient ?pool t ~scale ~grad_x ~grad_y =
   let region = t.design.Netlist.region in
   let ncells = Netlist.num_cells t.design in
   if Array.length grad_x <> ncells || Array.length grad_y <> ncells then
     invalid_arg "Density.gradient: size mismatch";
-  Array.iter
-    (fun (c : Netlist.cell) ->
-      if not c.Netlist.fixed then begin
-        let q = c.Netlist.width *. c.Netlist.height /. t.bin_area in
-        let bx = (c.Netlist.x -. region.Geometry.Rect.lx) /. t.bin_w in
-        let by = (c.Netlist.y -. region.Geometry.Rect.ly) /. t.bin_h in
-        let ex = interp t t.field_x bx by in
-        let ey = interp t t.field_y bx by in
-        (* d(energy)/dx = -q * E_x, converted from bin to micron units *)
-        let i = c.Netlist.cell_id in
-        grad_x.(i) <- grad_x.(i) -. (scale *. q *. ex /. t.bin_w);
-        grad_y.(i) <- grad_y.(i) -. (scale *. q *. ey /. t.bin_h)
-      end)
-    t.design.Netlist.cells
+  let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
+  let cells = t.design.Netlist.cells in
+  (* each task writes only its own cell's gradient slot: race-free and
+     bit-identical under the pool *)
+  Parallel.parallel_for p ~grain:512 (Array.length cells) (fun k ->
+    let c = cells.(k) in
+    if not c.Netlist.fixed then begin
+      let q = c.Netlist.width *. c.Netlist.height /. t.bin_area in
+      let bx = (c.Netlist.x -. region.Geometry.Rect.lx) /. t.bin_w in
+      let by = (c.Netlist.y -. region.Geometry.Rect.ly) /. t.bin_h in
+      let ex = interp t t.field_x bx by in
+      let ey = interp t t.field_y bx by in
+      (* d(energy)/dx = -q * E_x, converted from bin to micron units *)
+      let i = c.Netlist.cell_id in
+      grad_x.(i) <- grad_x.(i) -. (scale *. q *. ex /. t.bin_w);
+      grad_y.(i) <- grad_y.(i) -. (scale *. q *. ey /. t.bin_h)
+    end)

@@ -21,10 +21,14 @@ val create : ?bins:int -> ?target_density:float -> Netlist.t -> t
 
 val bins : t -> int
 
-val update : t -> unit
+val update : ?pool:Parallel.pool -> t -> unit
 (** Re-splat densities from current cell positions and solve for the
     potential and field.  Call once per placement iteration, before
-    {!penalty}, {!overflow} or {!gradient}. *)
+    {!penalty}, {!overflow} or {!gradient}.  With [pool], cells splat
+    into per-chunk grids merged in chunk order and the DCT Poisson solve
+    parallelises over rows/columns; the chunk split depends only on the
+    cell count, so pooled results are bit-identical to sequential
+    ones. *)
 
 val penalty : t -> float
 (** Electrostatic energy [0.5 * sum rho * psi] (after {!update}). *)
@@ -36,7 +40,10 @@ val overflow : t -> float
     criterion on density overflow for all placers). *)
 
 val gradient :
+  ?pool:Parallel.pool ->
   t -> scale:float -> grad_x:float array -> grad_y:float array -> unit
 (** Accumulate [scale * d(penalty)/d(cell center)] for every movable
     cell into [grad_x]/[grad_y] (length [num_cells]).  The field is
-    bilinearly interpolated between bin centers for smoothness. *)
+    bilinearly interpolated between bin centers for smoothness.  Each
+    cell's task writes only its own slot, so pooled evaluation is
+    race-free and bit-identical to sequential. *)

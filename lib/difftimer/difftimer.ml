@@ -596,7 +596,10 @@ let backward ?pool t ~w_tns ~w_wns ~grad_x ~grad_y =
   (* per-net Elmore adjoint: contiguous net slices over the workers, one
      scratch (and one per-cell partial gradient) per slice, merged in
      slice order for determinism *)
-  let nslices = min (Parallel.domain_count pool) nnets in
+  (* slice count is a pure function of the net count — never of the pool
+     — so the slice partials and their in-order merge give bit-identical
+     gradients at every domain count *)
+  let nslices = if nnets = 0 then 1 else min 16 ((nnets + 255) / 256) in
   if nslices <= 1 then begin
     ensure_slices t 1;
     let ns = t.slices.(0) in

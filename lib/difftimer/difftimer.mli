@@ -62,9 +62,10 @@ val backward :
     [grad_x]/[grad_y] (length [num_cells]).  Must follow a {!forward} on
     the same placement (the backward gather replays the forward LUT tape).
     With [pool], the reverse level sweep and the per-net Elmore adjoint
-    run data-parallel; results match the sequential sweep up to
-    floating-point reassociation in the slice merge.  Gradients also
-    accrue on fixed cells; callers mask them. *)
+    run data-parallel; the Elmore slice split depends only on the net
+    count and partials merge in slice order, so pooled gradients are
+    bit-identical to sequential ones.  Gradients also accrue on fixed
+    cells; callers mask them. *)
 
 val at : t -> int -> Sta.transition -> float
 (** Smoothed late arrival time after {!forward} ([neg_infinity] if

@@ -27,8 +27,10 @@ let config t = t.cfg
 let timer t = t.timer_
 let should_update t iter = iter mod max 1 t.cfg.period = 0
 
-let update t =
-  let report = Sta.Timer.run ~rebuild_trees:t.cfg.rebuild_trees t.timer_ in
+let update ?pool t =
+  let report =
+    Sta.Timer.run ~rebuild_trees:t.cfg.rebuild_trees ?pool t.timer_
+  in
   let wns = report.Sta.Timer.setup_wns in
   let denom = Float.max 1.0 (Float.abs (Float.min wns 0.0)) in
   Array.iter

@@ -125,29 +125,40 @@ let parallel_for pool ?(grain = 1024) n f =
 
 let parallel_for_reduce pool ?(grain = 1024) n ~init ~body ~merge =
   if n <= 0 then init ()
-  else if Array.length pool.domains = 0 || n <= grain then begin
-    let acc = init () in
-    for i = 0 to n - 1 do
-      body acc i
-    done;
-    acc
-  end
   else begin
     let grain = max 1 grain in
     let chunks = (n + grain - 1) / grain in
-    let partials = Array.init chunks (fun _ -> init ()) in
-    parallel_for pool ~grain:1 chunks (fun c ->
-      let acc = partials.(c) in
-      let start = c * grain in
-      let stop = min n (start + grain) in
-      for i = start to stop - 1 do
+    if chunks = 1 then begin
+      let acc = init () in
+      for i = 0 to n - 1 do
         body acc i
-      done);
-    (* merge in chunk order: the result is deterministic for a fixed
-       [n]/[grain] split, independent of worker scheduling *)
-    let acc = ref partials.(0) in
-    for c = 1 to chunks - 1 do
-      acc := merge !acc partials.(c)
-    done;
-    !acc
+      done;
+      acc
+    end
+    else begin
+      (* The chunk split depends only on [n] and [grain] — never on the
+         pool — and partials are merged in chunk order, so the result is
+         bit-identical for any domain count (including the sequential
+         pool).  This is what lets a pooled placement iteration reproduce
+         the sequential one exactly. *)
+      let partials = Array.init chunks (fun _ -> init ()) in
+      let fold_chunk c =
+        let acc = partials.(c) in
+        let start = c * grain in
+        let stop = min n (start + grain) in
+        for i = start to stop - 1 do
+          body acc i
+        done
+      in
+      if Array.length pool.domains = 0 then
+        for c = 0 to chunks - 1 do
+          fold_chunk c
+        done
+      else parallel_for pool ~grain:1 chunks fold_chunk;
+      let acc = ref partials.(0) in
+      for c = 1 to chunks - 1 do
+        acc := merge !acc partials.(c)
+      done;
+      !acc
+    end
   end

@@ -37,11 +37,13 @@ val parallel_for_reduce :
     fresh (typically mutable) accumulator — it must be a neutral element;
     each chunk of at least [grain] indices folds into its own accumulator
     via [body acc i]; after the barrier the partials are combined with
-    [merge] in {e chunk order}, so the result is deterministic for a
-    given [n] and [grain] regardless of worker scheduling.  [merge] may
-    mutate and return its first argument.  Ranges not exceeding [grain]
-    (and every range on {!sequential_pool}) fold inline into a single
-    accumulator. *)
+    [merge] in {e chunk order}.  The chunk split depends only on [n] and
+    [grain] — never on the pool or on worker scheduling — so the result
+    is {e bit-identical} across domain counts: the sequential pool folds
+    the same per-chunk partials inline and merges them in the same order.
+    [merge] may mutate and return its first argument.  Ranges not
+    exceeding [grain] fold inline into a single accumulator (a one-chunk
+    split). *)
 
 val sequential_pool : pool
 (** A pool with zero workers: [parallel_for] always runs inline.  Useful

@@ -327,24 +327,26 @@ module Nets = struct
     in
     { graph; trees; tree_index }
 
-  let rebuild ?exact_limit t =
-    Array.iteri
-      (fun n _ -> t.trees.(n) <- build_tree ?exact_limit t.graph n)
-      t.trees
+  (* Steiner construction and RC evaluation are per-net: every task
+     touches only [trees.(n)] and freshly allocated tree/RC state, so
+     net-parallel dispatch is race-free and bit-identical. *)
+  let rebuild ?exact_limit ?pool t =
+    let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
+    Parallel.parallel_for p ~grain:32 (Array.length t.trees) (fun n ->
+      t.trees.(n) <- build_tree ?exact_limit t.graph n)
 
-  let refresh t =
+  let refresh ?pool t =
     let design = t.graph.Graph.design in
-    Array.iteri
-      (fun n entry ->
-        match entry with
-        | None -> ()
-        | Some (tree, rc) ->
-          let pins = design.Netlist.nets.(n).Netlist.net_pins in
-          let xs = Array.map (fun p -> Netlist.pin_x design p) pins in
-          let ys = Array.map (fun p -> Netlist.pin_y design p) pins in
-          Steiner.update_coordinates tree ~xs ~ys;
-          Rc.evaluate rc)
-      t.trees
+    let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
+    Parallel.parallel_for p ~grain:64 (Array.length t.trees) (fun n ->
+      match t.trees.(n) with
+      | None -> ()
+      | Some (tree, rc) ->
+        let pins = design.Netlist.nets.(n).Netlist.net_pins in
+        let xs = Array.map (fun p -> Netlist.pin_x design p) pins in
+        let ys = Array.map (fun p -> Netlist.pin_y design p) pins in
+        Steiner.update_coordinates tree ~xs ~ys;
+        Rc.evaluate rc)
 
   let total_tree_length t =
     Array.fold_left
@@ -600,10 +602,11 @@ module Timer = struct
         levels.(l)
     done
 
-  let run ?(rebuild_trees = true) t =
+  let run ?(rebuild_trees = true) ?pool t =
     let g = t.graph in
     let cs = g.Graph.constraints in
-    if rebuild_trees then Nets.rebuild t.nets else Nets.refresh t.nets;
+    if rebuild_trees then Nets.rebuild ?pool t.nets
+    else Nets.refresh ?pool t.nets;
     Array.fill t.at_l 0 (Array.length t.at_l) neg_infinity;
     Array.fill t.at_e 0 (Array.length t.at_e) infinity;
     Array.fill t.sl_l 0 (Array.length t.sl_l) 0.0;

@@ -162,36 +162,42 @@ end
 module Grid = struct
   type kernel = float array -> float array
 
-  let apply_rows kernel n grid =
+  (* Each row/column task only writes its own stripe of [out] (disjoint
+     indices, fresh per-task scratch), so pooled dispatch is trivially
+     bit-identical to the sequential loop. *)
+  let apply_rows ?pool kernel n grid =
     if Array.length grid <> n * n then
       invalid_arg "Transform.Grid: size mismatch";
+    let pool = match pool with Some p -> p | None -> Parallel.sequential_pool in
     let out = Array.make (n * n) 0.0 in
-    let row = Array.make n 0.0 in
-    for r = 0 to n - 1 do
-      Array.blit grid (r * n) row 0 n;
+    Parallel.parallel_for pool ~grain:8 n (fun r ->
+      let row = Array.sub grid (r * n) n in
       let t = kernel row in
-      Array.blit t 0 out (r * n) n
-    done;
+      Array.blit t 0 out (r * n) n);
     out
 
-  let apply_cols kernel n grid =
+  let apply_cols ?pool kernel n grid =
     if Array.length grid <> n * n then
       invalid_arg "Transform.Grid: size mismatch";
+    let pool = match pool with Some p -> p | None -> Parallel.sequential_pool in
     let out = Array.make (n * n) 0.0 in
-    let col = Array.make n 0.0 in
-    for c = 0 to n - 1 do
-      for r = 0 to n - 1 do
-        col.(r) <- grid.((r * n) + c)
-      done;
+    Parallel.parallel_for pool ~grain:8 n (fun c ->
+      let col = Array.init n (fun r -> grid.((r * n) + c)) in
       let t = kernel col in
       for r = 0 to n - 1 do
         out.((r * n) + c) <- t.(r)
-      done
-    done;
+      done);
     out
 
-  let dct2 n grid = apply_cols Dct.dct n (apply_rows Dct.dct n grid)
-  let cos_cos_synth n c = apply_cols Dct.cos_synth n (apply_rows Dct.cos_synth n c)
-  let sin_cos_synth n c = apply_cols Dct.sin_synth n (apply_rows Dct.cos_synth n c)
-  let cos_sin_synth n c = apply_cols Dct.cos_synth n (apply_rows Dct.sin_synth n c)
+  let dct2 ?pool n grid =
+    apply_cols ?pool Dct.dct n (apply_rows ?pool Dct.dct n grid)
+
+  let cos_cos_synth ?pool n c =
+    apply_cols ?pool Dct.cos_synth n (apply_rows ?pool Dct.cos_synth n c)
+
+  let sin_cos_synth ?pool n c =
+    apply_cols ?pool Dct.sin_synth n (apply_rows ?pool Dct.cos_synth n c)
+
+  let cos_sin_synth ?pool n c =
+    apply_cols ?pool Dct.cos_synth n (apply_rows ?pool Dct.sin_synth n c)
 end

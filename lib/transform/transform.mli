@@ -44,15 +44,18 @@ end
 module Grid : sig
   type kernel = float array -> float array
 
-  val apply_rows : kernel -> int -> float array -> float array
-  val apply_cols : kernel -> int -> float array -> float array
+  val apply_rows : ?pool:Parallel.pool -> kernel -> int -> float array -> float array
+  val apply_cols : ?pool:Parallel.pool -> kernel -> int -> float array -> float array
+  (** With [pool], rows (resp. columns) are dispatched through the worker
+      pool; each task writes a disjoint stripe with fresh scratch, so
+      pooled results are bit-identical to sequential ones. *)
 
-  val dct2 : int -> float array -> float array
+  val dct2 : ?pool:Parallel.pool -> int -> float array -> float array
   (** 2D analysis: DCT along rows then along columns. *)
 
-  val cos_cos_synth : int -> float array -> float array
-  val sin_cos_synth : int -> float array -> float array
+  val cos_cos_synth : ?pool:Parallel.pool -> int -> float array -> float array
+  val sin_cos_synth : ?pool:Parallel.pool -> int -> float array -> float array
   (** [sin] along the row axis, [cos] along the column axis. *)
 
-  val cos_sin_synth : int -> float array -> float array
+  val cos_sin_synth : ?pool:Parallel.pool -> int -> float array -> float array
 end

@@ -1,8 +1,42 @@
+(* Per-worker slice state.  Each slice owns its pin-coordinate /
+   exponential scratch (bounds-grown, so the module is safe under the
+   pool and under post-create net edits) and, when more than one slice is
+   live, its own gradient accumulators merged in slice order. *)
+type slice = {
+  mutable sc_coords : float array;  (* pin coordinates of the current net *)
+  mutable sc_ep : float array;      (* memoized max-shifted exponentials *)
+  mutable sc_em : float array;
+  sl_gx : float array;              (* per-slice gradient accumulators *)
+  sl_gy : float array;
+  mutable sl_total : float;
+}
+
 type t = {
   design : Netlist.t;
   mutable gamma_ : float;
-  coords : float array;  (* scratch: pin coordinates of the current net *)
+  mutable slices : slice array;
 }
+
+(* The net range is cut into slices as a pure function of the net count —
+   never of the pool — so the slice partials and their in-order merge are
+   identical at every domain count (bit-identical pooled runs). *)
+let net_slices nnets = if nnets <= 0 then 1 else min 16 ((nnets + 511) / 512)
+
+let make_slice ncells cap =
+  { sc_coords = Array.make cap 0.0;
+    sc_ep = Array.make cap 0.0;
+    sc_em = Array.make cap 0.0;
+    sl_gx = Array.make ncells 0.0;
+    sl_gy = Array.make ncells 0.0;
+    sl_total = 0.0 }
+
+let ensure_coords sl n =
+  if Array.length sl.sc_coords < n then begin
+    let cap = max n (2 * Array.length sl.sc_coords) in
+    sl.sc_coords <- Array.make cap 0.0;
+    sl.sc_ep <- Array.make cap 0.0;
+    sl.sc_em <- Array.make cap 0.0
+  end
 
 let create ?(gamma = 4.0) design =
   let max_degree =
@@ -10,7 +44,10 @@ let create ?(gamma = 4.0) design =
       (fun acc (net : Netlist.net) -> max acc (Array.length net.Netlist.net_pins))
       1 design.Netlist.nets
   in
-  { design; gamma_ = gamma; coords = Array.make max_degree 0.0 }
+  let ncells = Netlist.num_cells design in
+  let nslices = net_slices (Netlist.num_nets design) in
+  { design; gamma_ = gamma;
+    slices = Array.init nslices (fun _ -> make_slice ncells max_degree) }
 
 let gamma t = t.gamma_
 let set_gamma t g = t.gamma_ <- g
@@ -23,11 +60,12 @@ let hpwl t = Netlist.total_hpwl t.design
      S+ = sum x_i e_i / sum e_i,   e_i = exp ((x_i - M) / g)
    and its partial derivative is
      dS+/dx_i = e_i (1 + (x_i - S+) / g) / sum e_i,
-   symmetrically for the min-like part with negated exponents. *)
-let axis_wa t (pins : int array) coord_of weight out =
+   symmetrically for the min-like part with negated exponents.  The
+   exponentials are computed once and replayed for the gradient pass. *)
+let axis_wa t sl (pins : int array) coord_of weight out =
   let n = Array.length pins in
   let g = t.gamma_ in
-  let xs = t.coords in
+  let xs = sl.sc_coords and eps = sl.sc_ep and ems = sl.sc_em in
   let lo = ref infinity and hi = ref neg_infinity in
   for k = 0 to n - 1 do
     let v = coord_of pins.(k) in
@@ -40,6 +78,8 @@ let axis_wa t (pins : int array) coord_of weight out =
   for k = 0 to n - 1 do
     let ep = exp ((xs.(k) -. !hi) /. g) in
     let em = exp ((!lo -. xs.(k)) /. g) in
+    eps.(k) <- ep;
+    ems.(k) <- em;
     sum_ep := !sum_ep +. ep;
     sum_xep := !sum_xep +. (xs.(k) *. ep);
     sum_em := !sum_em +. em;
@@ -48,8 +88,7 @@ let axis_wa t (pins : int array) coord_of weight out =
   let s_plus = !sum_xep /. !sum_ep in
   let s_minus = !sum_xem /. !sum_em in
   for k = 0 to n - 1 do
-    let ep = exp ((xs.(k) -. !hi) /. g) in
-    let em = exp ((!lo -. xs.(k)) /. g) in
+    let ep = eps.(k) and em = ems.(k) in
     let d_plus = ep *. (1.0 +. ((xs.(k) -. s_plus) /. g)) /. !sum_ep in
     let d_minus = em *. (1.0 -. ((xs.(k) -. s_minus) /. g)) /. !sum_em in
     let cell = t.design.Netlist.pins.(pins.(k)).Netlist.cell in
@@ -57,23 +96,58 @@ let axis_wa t (pins : int array) coord_of weight out =
   done;
   s_plus -. s_minus
 
-let evaluate t ?(weighted = true) ~grad_x ~grad_y () =
+let eval_net t sl ~weighted gx gy (net : Netlist.net) =
+  let pins = net.Netlist.net_pins in
+  if Array.length pins < 2 then 0.0
+  else begin
+    ensure_coords sl (Array.length pins);
+    let w = if weighted then net.Netlist.weight else 1.0 in
+    let wx = axis_wa t sl pins (fun p -> Netlist.pin_x t.design p) w gx in
+    let wy = axis_wa t sl pins (fun p -> Netlist.pin_y t.design p) w gy in
+    w *. (wx +. wy)
+  end
+
+let evaluate t ?pool ?(weighted = true) ~grad_x ~grad_y () =
   let ncells = Netlist.num_cells t.design in
   if Array.length grad_x <> ncells || Array.length grad_y <> ncells then
     invalid_arg "Wirelength.evaluate: gradient size mismatch";
-  let total = ref 0.0 in
-  Array.iter
-    (fun (net : Netlist.net) ->
-      let pins = net.Netlist.net_pins in
-      if Array.length pins >= 2 then begin
-        let w = if weighted then net.Netlist.weight else 1.0 in
-        let wx =
-          axis_wa t pins (fun p -> Netlist.pin_x t.design p) w grad_x
-        in
-        let wy =
-          axis_wa t pins (fun p -> Netlist.pin_y t.design p) w grad_y
-        in
-        total := !total +. (w *. (wx +. wy))
-      end)
-    t.design.Netlist.nets;
-  !total
+  let nets = t.design.Netlist.nets in
+  let nnets = Array.length nets in
+  let nslices = net_slices nnets in
+  if Array.length t.slices < nslices then
+    t.slices <-
+      Array.init nslices (fun s ->
+        if s < Array.length t.slices then t.slices.(s)
+        else make_slice ncells 1);
+  if nslices = 1 then begin
+    let sl = t.slices.(0) in
+    let total = ref 0.0 in
+    for i = 0 to nnets - 1 do
+      total := !total +. eval_net t sl ~weighted grad_x grad_y nets.(i)
+    done;
+    !total
+  end
+  else begin
+    let pool = match pool with Some p -> p | None -> Parallel.sequential_pool in
+    Parallel.parallel_for pool ~grain:1 nslices (fun s ->
+      let sl = t.slices.(s) in
+      Array.fill sl.sl_gx 0 ncells 0.0;
+      Array.fill sl.sl_gy 0 ncells 0.0;
+      sl.sl_total <- 0.0;
+      let lo = s * nnets / nslices and hi = (s + 1) * nnets / nslices in
+      for i = lo to hi - 1 do
+        sl.sl_total <-
+          sl.sl_total +. eval_net t sl ~weighted sl.sl_gx sl.sl_gy nets.(i)
+      done);
+    (* merge in slice order: deterministic at every domain count *)
+    let total = ref 0.0 in
+    for s = 0 to nslices - 1 do
+      let sl = t.slices.(s) in
+      total := !total +. sl.sl_total;
+      for c = 0 to ncells - 1 do
+        grad_x.(c) <- grad_x.(c) +. sl.sl_gx.(c);
+        grad_y.(c) <- grad_y.(c) +. sl.sl_gy.(c)
+      done
+    done;
+    !total
+  end

@@ -15,19 +15,29 @@ type t
 
 val create : ?gamma:float -> Netlist.t -> t
 (** [gamma] is the smoothing width in microns (default 4.0; smaller is
-    sharper).  Buffers are sized for the design once. *)
+    sharper).  Scratch buffers are per worker slice and bounds-grown on
+    demand, so the instance stays safe if nets gain pins after
+    creation. *)
 
 val gamma : t -> float
 val set_gamma : t -> float -> unit
 
 val evaluate :
-  t -> ?weighted:bool -> grad_x:float array -> grad_y:float array -> unit ->
+  t ->
+  ?pool:Parallel.pool ->
+  ?weighted:bool ->
+  grad_x:float array ->
+  grad_y:float array ->
+  unit ->
   float
 (** Smooth weighted wirelength of the design at its current positions.
     Gradients with respect to {e cell centers} are {b accumulated} into
     [grad_x]/[grad_y] (length [num_cells]; gradients also accrue on fixed
     cells — callers mask them).  [weighted] (default true) applies net
-    weights. *)
+    weights.  With [pool], nets are processed in parallel slices, each
+    with its own coordinate scratch and gradient accumulator; the slice
+    split depends only on the net count and partials merge in slice
+    order, so pooled results are bit-identical to sequential ones. *)
 
 val hpwl : t -> float
 (** Exact (non-smooth, unweighted) HPWL for reporting. *)

@@ -152,6 +152,85 @@ let test_gradient_zero_when_uniform () =
   let max_g = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 gx in
   Alcotest.(check bool) "negligible field" true (max_g < 1e-6)
 
+let with_pool domains f =
+  let pool = Parallel.create ~domains () in
+  Fun.protect ~finally:(fun () -> Parallel.shutdown pool) (fun () -> f pool)
+
+let bits = Int64.bits_of_float
+
+let test_pooled_bit_identity () =
+  let d = design_with_cells 300 in
+  let rng = Workload.Rng.create 29 in
+  spread d rng;
+  let n = Netlist.num_cells d in
+  let dens1 = Density.create ~bins:32 d in
+  Density.update dens1;
+  let gx1 = Array.make n 0.0 and gy1 = Array.make n 0.0 in
+  Density.gradient dens1 ~scale:1.3 ~grad_x:gx1 ~grad_y:gy1;
+  let dens4 = Density.create ~bins:32 d in
+  let gx4 = Array.make n 0.0 and gy4 = Array.make n 0.0 in
+  with_pool 4 (fun pool ->
+    Density.update ~pool dens4;
+    Density.gradient ~pool dens4 ~scale:1.3 ~grad_x:gx4 ~grad_y:gy4);
+  Alcotest.(check bool) "overflow bit-identical" true
+    (bits (Density.overflow dens1) = bits (Density.overflow dens4));
+  Alcotest.(check bool) "penalty bit-identical" true
+    (bits (Density.penalty dens1) = bits (Density.penalty dens4));
+  for i = 0 to n - 1 do
+    if bits gx1.(i) <> bits gx4.(i) || bits gy1.(i) <> bits gy4.(i) then
+      Alcotest.failf "pooled gradient differs at cell %d" i
+  done
+
+let test_gradient_matches_fd_pooled () =
+  (* the analytic gradient interpolates the spectral field, so it agrees
+     with finite differences of the potential energy only up to the
+     bilinear-interpolation error: compare loosely but on every probe *)
+  let d = design_with_cells 200 in
+  let rng = Workload.Rng.create 37 in
+  spread d rng;
+  let n = Netlist.num_cells d in
+  let dens = Density.create ~bins:32 d in
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  with_pool 4 (fun pool ->
+    let energy () =
+      Density.update ~pool dens;
+      Density.penalty dens
+    in
+    ignore (energy ());
+    Array.fill gx 0 n 0.0;
+    Array.fill gy 0 n 0.0;
+    Density.gradient ~pool dens ~scale:1.0 ~grad_x:gx ~grad_y:gy;
+    let h = 0.05 in
+    let dot = ref 0.0 and nfd = ref 0.0 and na = ref 0.0 in
+    let checked = ref 0 in
+    for _ = 1 to 25 do
+      let c = d.Netlist.cells.(Workload.Rng.int rng n) in
+      let x0 = c.Netlist.x in
+      c.Netlist.x <- x0 +. h;
+      let fp = energy () in
+      c.Netlist.x <- x0 -. h;
+      let fm = energy () in
+      c.Netlist.x <- x0;
+      ignore (energy ());
+      let fd = (fp -. fm) /. (2.0 *. h) in
+      let a = gx.(c.Netlist.cell_id) in
+      if Float.abs fd > 1e-3 then begin
+        incr checked;
+        dot := !dot +. (fd *. a);
+        nfd := !nfd +. (fd *. fd);
+        na := !na +. (a *. a)
+      end
+    done;
+    Alcotest.(check bool) "checked some probes" true (!checked > 5);
+    let cosine = !dot /. Float.max 1e-30 (sqrt (!nfd *. !na)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "gradient aligned with FD (cosine %.3f)" cosine)
+      true (cosine > 0.8);
+    let ratio = sqrt (!na /. Float.max 1e-30 !nfd) in
+    Alcotest.(check bool)
+      (Printf.sprintf "gradient magnitude near FD (ratio %.3f)" ratio)
+      true (ratio > 0.5 && ratio < 2.0))
+
 let suite =
   [ Alcotest.test_case "bins sizing" `Quick test_bins_sizing;
     Alcotest.test_case "overflow extremes" `Quick test_overflow_extremes;
@@ -163,4 +242,7 @@ let suite =
     Alcotest.test_case "fixed cells reduce capacity" `Quick
       test_fixed_cells_reduce_capacity;
     Alcotest.test_case "uniform density has no field" `Quick
-      test_gradient_zero_when_uniform ]
+      test_gradient_zero_when_uniform;
+    Alcotest.test_case "pooled bit identity" `Quick test_pooled_bit_identity;
+    Alcotest.test_case "gradient matches fd under pool" `Quick
+      test_gradient_matches_fd_pooled ]

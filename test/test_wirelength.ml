@@ -121,6 +121,102 @@ let test_size_check () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected size check"
 
+let with_pool domains f =
+  let pool = Parallel.create ~domains () in
+  Fun.protect ~finally:(fun () -> Parallel.shutdown pool) (fun () -> f pool)
+
+let bits = Int64.bits_of_float
+
+let test_pooled_bit_identity () =
+  (* big enough that the net range really splits into several slices *)
+  let spec =
+    { Workload.default_spec with Workload.sp_cells = 2500; sp_seed = 21 }
+  in
+  let design, _ = Workload.generate lib spec in
+  let rng = Workload.Rng.create 47 in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      net.Netlist.weight <- 1.0 +. Workload.Rng.float rng 3.0)
+    design.Netlist.nets;
+  let wl = Wirelength.create ~gamma:2.0 design in
+  let n = Netlist.num_cells design in
+  let gx1 = Array.make n 0.0 and gy1 = Array.make n 0.0 in
+  let v1 = Wirelength.evaluate wl ~weighted:true ~grad_x:gx1 ~grad_y:gy1 () in
+  let gx4 = Array.make n 0.0 and gy4 = Array.make n 0.0 in
+  let v4 =
+    with_pool 4 (fun pool ->
+      Wirelength.evaluate wl ~pool ~weighted:true ~grad_x:gx4 ~grad_y:gy4 ())
+  in
+  Alcotest.(check bool) "value bit-identical" true (bits v1 = bits v4);
+  for i = 0 to n - 1 do
+    if bits gx1.(i) <> bits gx4.(i) || bits gy1.(i) <> bits gy4.(i) then
+      Alcotest.failf "gradient differs at cell %d" i
+  done;
+  Netlist.reset_weights design
+
+let test_weighted_gradient_matches_fd_pooled () =
+  let spec =
+    { Workload.default_spec with Workload.sp_cells = 1500; sp_seed = 22 }
+  in
+  let design, _ = Workload.generate lib spec in
+  let rng = Workload.Rng.create 53 in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      net.Netlist.weight <- 0.5 +. Workload.Rng.float rng 4.0)
+    design.Netlist.nets;
+  let wl = Wirelength.create ~gamma:3.0 design in
+  let n = Netlist.num_cells design in
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  with_pool 3 (fun pool ->
+    let value () =
+      Array.fill gx 0 n 0.0;
+      Array.fill gy 0 n 0.0;
+      Wirelength.evaluate wl ~pool ~weighted:true ~grad_x:gx ~grad_y:gy ()
+    in
+    let _ = value () in
+    let agx = Array.copy gx in
+    let h = 1e-5 in
+    for _ = 1 to 12 do
+      let c = design.Netlist.cells.(Workload.Rng.int rng n) in
+      let x0 = c.Netlist.x in
+      c.Netlist.x <- x0 +. h;
+      let fp = value () in
+      c.Netlist.x <- x0 -. h;
+      let fm = value () in
+      c.Netlist.x <- x0;
+      let fd = (fp -. fm) /. (2.0 *. h) in
+      if Float.abs (fd -. agx.(c.Netlist.cell_id))
+         > 1e-4 *. Float.max 1.0 (Float.abs fd)
+      then Alcotest.failf "pooled weighted x gradient mismatch at %s"
+          c.Netlist.cell_name
+    done);
+  Netlist.reset_weights design
+
+let test_scratch_grows_for_larger_nets () =
+  (* grafting a net wider than anything seen at create time forces the
+     per-slice scratch to grow in place of reading out of bounds *)
+  let design = sample_design 7 in
+  let wl = Wirelength.create ~gamma:2.0 design in
+  let n = Netlist.num_cells design in
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  let _ = Wirelength.evaluate wl ~grad_x:gx ~grad_y:gy () in
+  design.Netlist.nets.(0).Netlist.net_pins <-
+    Array.init (Array.length design.Netlist.pins) Fun.id;
+  Array.fill gx 0 n 0.0;
+  Array.fill gy 0 n 0.0;
+  let grown = Wirelength.evaluate wl ~grad_x:gx ~grad_y:gy () in
+  Alcotest.(check bool) "finite after growth" true (Float.is_finite grown);
+  (* a fresh engine sized for the mutated design agrees bit for bit *)
+  let wl2 = Wirelength.create ~gamma:2.0 design in
+  let gx2 = Array.make n 0.0 and gy2 = Array.make n 0.0 in
+  let fresh = Wirelength.evaluate wl2 ~grad_x:gx2 ~grad_y:gy2 () in
+  Alcotest.(check bool) "value matches fresh engine" true
+    (bits grown = bits fresh);
+  for i = 0 to n - 1 do
+    if bits gx.(i) <> bits gx2.(i) || bits gy.(i) <> bits gy2.(i) then
+      Alcotest.failf "post-growth gradient differs at cell %d" i
+  done
+
 let suite =
   [ Alcotest.test_case "wa below hpwl" `Quick test_wa_below_hpwl;
     Alcotest.test_case "wa converges to hpwl" `Quick test_wa_converges_to_hpwl;
@@ -128,4 +224,9 @@ let suite =
     Alcotest.test_case "weight scaling" `Quick test_weight_scaling;
     Alcotest.test_case "two-pin gradient signs" `Quick test_two_pin_gradient_signs;
     Alcotest.test_case "gradient matches fd" `Quick test_gradient_matches_fd;
-    Alcotest.test_case "size check" `Quick test_size_check ]
+    Alcotest.test_case "size check" `Quick test_size_check;
+    Alcotest.test_case "pooled bit identity" `Quick test_pooled_bit_identity;
+    Alcotest.test_case "weighted fd under pool" `Quick
+      test_weighted_gradient_matches_fd_pooled;
+    Alcotest.test_case "scratch grows for larger nets" `Quick
+      test_scratch_grows_for_larger_nets ]
