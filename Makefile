@@ -1,4 +1,4 @@
-.PHONY: all test bench bench-full bench-placer clean
+.PHONY: all test bench bench-full bench-placer bench-paths bench-all clean
 
 all:
 	dune build
@@ -19,6 +19,14 @@ bench-full:
 # domains; writes BENCH_placeriter.json at the repo root.
 bench-placer:
 	dune exec bench/main.exe -- placer-iter
+
+# Top-K path enumeration throughput vs K at 1/2/4 worker domains;
+# writes BENCH_paths.json at the repo root.
+bench-paths:
+	dune exec bench/main.exe -- paths
+
+# Every JSON-emitting benchmark in one go.
+bench-all: bench bench-placer bench-paths
 
 clean:
 	dune clean

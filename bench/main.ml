@@ -5,13 +5,14 @@
    Usage:  dune exec bench/main.exe [-- <target> ...]
    Targets: table1 table2 table3 figure8 kernels ablation-gamma
             ablation-reuse ablation-extensions gradcheck difftimer
-            placer-iter all (default: all)
+            placer-iter paths all (default: all)
    Options: --scale <f>       benchmark scale factor (default 0.01)
             --quick           fewer iterations for difftimer
             --out <f>         difftimer JSON path (default BENCH_difftimer.json)
-            --smoke           tiny placer-iter run for CI
+            --smoke           tiny placer-iter/paths run for CI
             --placer-out <f>  placer-iter JSON path
                               (default BENCH_placeriter.json)
+            --paths-out <f>   paths JSON path (default BENCH_paths.json)
             --domains <n>     worker domains for every placement run
                               (default 1; results are bit-identical
                               across domain counts) *)
@@ -61,6 +62,7 @@ let run_mode ?(config = Core.default_config) mode spec =
 let modes =
   [ ("DREAMPlace[16]", Core.Wirelength_only);
     ("NetWeight[24]", Core.Net_weighting Netweight.default_config);
+    ("PathWeight[paths]", Core.Path_weighting Paths.Weight.default_config);
     ("Ours", Core.Differentiable_timing Core.default_timing) ]
 
 (* ---- Table 1: the ML/placement analogy (expository) ---- *)
@@ -112,7 +114,7 @@ let neg v = Float.min 0.0 v
 let table3 () =
   section
     (Printf.sprintf
-       "Table 3: WNS / TNS / HPWL / runtime, three placers at scale %g"
+       "Table 3: WNS / TNS / HPWL / runtime, four placers at scale %g"
        !scale);
   Printf.printf
     "(identical density-overflow stop criterion for all placers; scoring by \
@@ -835,6 +837,121 @@ let placer_iter () =
   close_out oc;
   Printf.printf "\nWrote %s\n" !placer_out
 
+(* ---- top-K path enumeration benchmark ---- *)
+
+let paths_out = ref "BENCH_paths.json"
+
+let bench_paths () =
+  section "Top-K path enumeration (lib/paths): throughput vs K over domains";
+  let cells = if !placer_smoke then 400 else 5000 in
+  let iters = if !placer_smoke then 4 else 16 in
+  let ks = if !placer_smoke then [ 1; 4; 16 ] else [ 1; 8; 32; 128 ] in
+  let domain_counts = if !placer_smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = cells; sp_seed = 17; sp_inputs = 16;
+      sp_outputs = 16; sp_depth = 10; sp_clock_period = 520.0 }
+  in
+  let _, graph = build_bench spec in
+  let timer = Sta.Timer.create graph in
+  ignore (Sta.Timer.run timer);
+  let nend = Array.length graph.Sta.Graph.endpoints in
+  let time_us f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e6
+  in
+  let t =
+    Report.Table.create
+      [ "domains"; "analyze(us)"; "K"; "enumerate(us)"; "paths"; "paths/s" ]
+  in
+  let measure pool =
+    let analyze_us = time_us (fun () -> Paths.analyze ?pool timer) in
+    let view = Paths.analyze ?pool timer in
+    let per_k =
+      List.map
+        (fun k ->
+          let enum_us = time_us (fun () -> Paths.enumerate ?pool ~k view) in
+          let npaths = List.length (Paths.enumerate ?pool ~k view) in
+          let rate =
+            if enum_us > 0.0 then float_of_int npaths /. (enum_us *. 1e-6)
+            else 0.0
+          in
+          (k, enum_us, npaths, rate))
+        ks
+    in
+    (analyze_us, per_k)
+  in
+  let results =
+    List.map
+      (fun domains ->
+        let analyze_us, per_k =
+          if domains <= 1 then measure None
+          else begin
+            let pool = Parallel.create ~domains () in
+            Fun.protect
+              ~finally:(fun () -> Parallel.shutdown pool)
+              (fun () -> measure (Some pool))
+          end
+        in
+        Printf.printf "  [done] domains=%d\n%!" domains;
+        List.iteri
+          (fun i (k, enum_us, npaths, rate) ->
+            Report.Table.add_row t
+              [ (if i = 0 then string_of_int domains else "");
+                (if i = 0 then Printf.sprintf "%.0f" analyze_us else "");
+                string_of_int k;
+                Printf.sprintf "%.0f" enum_us;
+                string_of_int npaths;
+                Printf.sprintf "%.0f" rate ])
+          per_k;
+        (domains, analyze_us, per_k))
+      domain_counts
+  in
+  print_newline ();
+  print_string (Report.Table.render t);
+  let view = Paths.analyze timer in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"bench\": \"paths\",\n  \"mode\": \"%s\",\n  \"iters\": %d,\n\
+       \  \"cores\": %d,\n  \"workload\": { \"cells\": %d, \"seed\": 17, \
+        \"inputs\": 16, \"outputs\": 16, \"depth\": 10, \"clock_period_ps\": \
+        520.0 },\n  \"endpoints\": %d,\n  \"timing_edges\": %d,\n\
+       \  \"domains\": [\n"
+       (if !placer_smoke then "smoke" else "full")
+       iters
+       (Domain.recommended_domain_count ())
+       cells nend (Paths.num_edges view));
+  List.iteri
+    (fun i (domains, analyze_us, per_k) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"domains\": %d, \"analyze_us\": %.1f,\n      \"ks\": [\n"
+           domains analyze_us);
+      List.iteri
+        (fun j (k, enum_us, npaths, rate) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "        { \"k\": %d, \"enumerate_us\": %.1f, \"paths\": %d, \
+                \"paths_per_s\": %.0f }%s\n"
+               k enum_us npaths rate
+               (if j = List.length per_k - 1 then "" else ",")))
+        per_k;
+      Buffer.add_string buf
+        (Printf.sprintf "      ] }%s\n"
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out !paths_out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nWrote %s\n" !paths_out
+
 (* ---- driver ---- *)
 
 let all_targets =
@@ -842,7 +959,8 @@ let all_targets =
     ("figure8", figure8); ("kernels", kernels);
     ("ablation-gamma", ablation_gamma); ("ablation-reuse", ablation_reuse);
     ("ablation-extensions", ablation_extensions); ("gradcheck", gradcheck);
-    ("difftimer", bench_difftimer); ("placer-iter", placer_iter) ]
+    ("difftimer", bench_difftimer); ("placer-iter", placer_iter);
+    ("paths", bench_paths) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -866,6 +984,9 @@ let () =
       parse acc rest
     | "--placer-out" :: v :: rest ->
       placer_out := v;
+      parse acc rest
+    | "--paths-out" :: v :: rest ->
+      paths_out := v;
       parse acc rest
     | x :: rest -> parse (x :: acc) rest
   in

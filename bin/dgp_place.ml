@@ -8,20 +8,27 @@ let mode_conv =
   let parse = function
     | "wl" | "wirelength" -> Ok Core.Wirelength_only
     | "netweight" | "nw" -> Ok (Core.Net_weighting Netweight.default_config)
+    | "pathweight" | "pw" ->
+      Ok (Core.Path_weighting Paths.Weight.default_config)
     | "timing" | "ours" ->
       Ok (Core.Differentiable_timing Core.default_timing)
-    | s -> Error (`Msg (Printf.sprintf "unknown mode %S (wl|netweight|timing)" s))
+    | s ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown mode %S (wl|netweight|pathweight|timing)" s))
   in
   let print ppf = function
     | Core.Wirelength_only -> Format.pp_print_string ppf "wl"
     | Core.Net_weighting _ -> Format.pp_print_string ppf "netweight"
+    | Core.Path_weighting _ -> Format.pp_print_string ppf "pathweight"
     | Core.Differentiable_timing _ -> Format.pp_print_string ppf "timing"
   in
   Arg.conv (parse, print)
 
 let mode =
   let doc = "Placement mode: wl (DREAMPlace baseline), netweight \
-             (net-weighting baseline [24]) or timing (this paper)." in
+             (net-weighting baseline [24]), pathweight (top-K \
+             critical-path weighting) or timing (this paper)." in
   Arg.(value & opt mode_conv (Core.Differentiable_timing Core.default_timing)
        & info [ "mode"; "m" ] ~docv:"MODE" ~doc)
 
@@ -54,6 +61,10 @@ let svg_file =
              critical path overlaid." in
   Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
 
+let svg_paths =
+  let doc = "Number of worst paths to overlay on the SVG plot." in
+  Arg.(value & opt int 1 & info [ "svg-paths" ] ~docv:"K" ~doc)
+
 let trace_file =
   let doc = "Write the per-iteration trace to $(docv) as CSV." in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
@@ -70,7 +81,7 @@ let domains =
   Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
 
 let run lib_file design_file bench cells seed clock mode iterations t1 t2
-    gamma no_legalize out_file svg_file trace_file verbose domains =
+    gamma no_legalize out_file svg_file svg_paths trace_file verbose domains =
   let lib = Dgp_common.load_library lib_file in
   let design, constraints =
     Dgp_common.load_design lib ~design_file ~bench ~cells ~seed
@@ -84,7 +95,8 @@ let run lib_file design_file bench cells seed clock mode iterations t1 t2
     match mode with
     | Core.Differentiable_timing tc ->
       Core.Differentiable_timing { tc with Core.t1; t2; gamma }
-    | (Core.Wirelength_only | Core.Net_weighting _) as m -> m
+    | (Core.Wirelength_only | Core.Net_weighting _ | Core.Path_weighting _)
+      as m -> m
   in
   let config =
     { Core.default_config with
@@ -108,12 +120,16 @@ let run lib_file design_file bench cells seed clock mode iterations t1 t2
    | Some path ->
      let timer = Sta.Timer.create graph in
      let _ = Sta.Timer.run timer in
+     let view = Paths.analyze timer in
+     let top = Paths.enumerate ~k:(max 1 svg_paths) view in
      let options =
        { Viz.Svg.default_options with
-         Viz.Svg.highlight_path = Sta.Timer.critical_path timer }
+         Viz.Svg.highlight_paths =
+           List.map (fun p -> p.Paths.pt_steps) top }
      in
      Viz.Svg.save ~options path design;
-     Printf.printf "placement plot written to %s\n" path
+     Printf.printf "placement plot written to %s (%d paths overlaid)\n" path
+       (List.length top)
    | None -> ());
   (match trace_file with
    | Some path ->
@@ -153,6 +169,7 @@ let cmd =
       const run $ Dgp_common.lib_file $ Dgp_common.design_file
       $ Dgp_common.bench_name $ Dgp_common.cells $ Dgp_common.seed
       $ Dgp_common.clock_period $ mode $ iterations $ t1 $ t2 $ gamma
-      $ no_legalize $ out_file $ svg_file $ trace_file $ verbose $ domains)
+      $ no_legalize $ out_file $ svg_file $ svg_paths $ trace_file $ verbose
+      $ domains)
 
 let () = exit (Cmd.eval cmd)

@@ -7,7 +7,11 @@ let top =
   let doc = "Number of critical endpoints to list." in
   Arg.(value & opt int 10 & info [ "top"; "n" ] ~docv:"N" ~doc)
 
-let run lib_file design_file bench cells seed clock top =
+let paths =
+  let doc = "Number of worst paths to list (top-K path enumeration)." in
+  Arg.(value & opt int 1 & info [ "paths" ] ~docv:"K" ~doc)
+
+let run lib_file design_file bench cells seed clock top paths =
   let lib = Dgp_common.load_library lib_file in
   let design, constraints =
     Dgp_common.load_design lib ~design_file ~bench ~cells ~seed
@@ -32,8 +36,53 @@ let run lib_file design_file bench cells seed clock top =
             Printf.sprintf "%.1f" (Sta.Timer.at_late timer ep.Sta.Timer.ep_pin Sta.Fall) ])
     report.Sta.Timer.endpoint_slacks;
   print_string (Report.Table.render table);
-  Printf.printf "\nworst path:\n";
-  Format.printf "%a@." (Sta.Timer.pp_path graph) (Sta.Timer.critical_path timer)
+  let view = Paths.analyze timer in
+  if paths <= 1 then begin
+    (* single-path listing, identical to the historical output (the
+       engine's top-1 path bit-matches Sta.Timer.critical_path) *)
+    let steps =
+      match Paths.enumerate ~k:1 view with
+      | [] -> []
+      | p :: _ -> p.Paths.pt_steps
+    in
+    Printf.printf "\nworst path:\n";
+    Format.printf "%a@." (Sta.Timer.pp_path graph) steps
+  end
+  else begin
+    let worst = Paths.enumerate ~k:paths view in
+    Printf.printf "\n%d worst paths:\n" (List.length worst);
+    let table =
+      Report.Table.create
+        [ "#"; "endpoint"; "slack"; "arrival"; "stages"; "startpoint" ]
+    in
+    List.iteri
+      (fun i (p : Paths.path) ->
+        let name pin = design.Netlist.pins.(pin).Netlist.pin_name in
+        let arrival =
+          match List.rev p.Paths.pt_steps with
+          | last :: _ -> Printf.sprintf "%.1f" last.Sta.Timer.ps_at
+          | [] -> "-"
+        in
+        let startpoint =
+          match p.Paths.pt_steps with
+          | first :: _ -> name first.Sta.Timer.ps_pin
+          | [] -> "-"
+        in
+        Report.Table.add_row table
+          [ string_of_int (i + 1);
+            name p.Paths.pt_endpoint;
+            Printf.sprintf "%.1f" p.Paths.pt_slack;
+            arrival;
+            string_of_int (List.length p.Paths.pt_steps);
+            startpoint ])
+      worst;
+    print_string (Report.Table.render table);
+    List.iteri
+      (fun i (p : Paths.path) ->
+        Printf.printf "\npath #%d (slack %.1f ps):\n" (i + 1) p.Paths.pt_slack;
+        Format.printf "%a@." (Sta.Timer.pp_path graph) p.Paths.pt_steps)
+      worst
+  end
 
 let cmd =
   let doc = "exact static timing analysis" in
@@ -42,6 +91,6 @@ let cmd =
     Term.(
       const run $ Dgp_common.lib_file $ Dgp_common.design_file
       $ Dgp_common.bench_name $ Dgp_common.cells $ Dgp_common.seed
-      $ Dgp_common.clock_period $ top)
+      $ Dgp_common.clock_period $ top $ paths)
 
 let () = exit (Cmd.eval cmd)

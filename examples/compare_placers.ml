@@ -1,25 +1,30 @@
-(* Run the three placers of the paper's Table 3 on one design and print a
-   side-by-side comparison.
+(* Run the four placers of the evaluation harness on one design and
+   print a side-by-side comparison (the paper's Table 3 plus the
+   path-weighting baseline).
 
-     dune exec examples/compare_placers.exe [-- --domains N]
+     dune exec examples/compare_placers.exe [-- --domains N] [-- --csv FILE]
 
    Every run is bit-identical regardless of the domain count. *)
 
-let parse_domains () =
+let parse_args () =
   let domains = ref 1 in
+  let csv = ref None in
   let rec scan = function
     | "--domains" :: v :: rest ->
       domains := int_of_string v;
+      scan rest
+    | "--csv" :: v :: rest ->
+      csv := Some v;
       scan rest
     | _ :: rest -> scan rest
     | [] -> ()
   in
   scan (List.tl (Array.to_list Sys.argv));
-  !domains
+  (!domains, !csv)
 
 let () =
   let lib = Liberty.Synthetic.default () in
-  let domains = parse_domains () in
+  let domains, csv = parse_args () in
   let pool =
     if domains > 1 then Some (Parallel.create ~domains ()) else None
   in
@@ -47,11 +52,15 @@ let () =
         Printf.sprintf "%.2f" result.Core.res_runtime ];
     (report.Sta.Timer.setup_wns, report.Sta.Timer.setup_tns)
   in
-  Printf.printf "placing %d cells three ways...\n%!" spec.Workload.sp_cells;
+  Printf.printf "placing %d cells four ways...\n%!" spec.Workload.sp_cells;
   let dp = evaluate "DREAMPlace [16]" Core.Wirelength_only in
   let nw =
     evaluate "Net weighting [24]"
       (Core.Net_weighting Netweight.default_config)
+  in
+  let pw =
+    evaluate "Path weighting [paths]"
+      (Core.Path_weighting Paths.Weight.default_config)
   in
   let ours =
     evaluate "Ours (differentiable)"
@@ -67,4 +76,15 @@ let () =
   Printf.printf "\nours vs wirelength-only: WNS %+.1f%%, TNS %+.1f%%\n" wi ti;
   let wi, ti = improvement nw ours in
   Printf.printf "ours vs net weighting:   WNS %+.1f%%, TNS %+.1f%%\n" wi ti;
+  let wi, ti = improvement pw ours in
+  Printf.printf "ours vs path weighting:  WNS %+.1f%%, TNS %+.1f%%\n" wi ti;
+  let wi, ti = improvement dp pw in
+  Printf.printf "path weighting vs wirelength-only: WNS %+.1f%%, TNS %+.1f%%\n"
+    wi ti;
+  (match csv with
+   | Some path ->
+     Out_channel.with_open_text path (fun oc ->
+       Out_channel.output_string oc (Report.Table.render_csv table));
+     Printf.printf "\ncomparison written to %s\n" path
+   | None -> ());
   match pool with Some p -> Parallel.shutdown p | None -> ()

@@ -63,7 +63,20 @@ let () =
     r1.Core.res_iterations r1.Core.res_hpwl before.Sta.Timer.setup_wns
     before.Sta.Timer.setup_tns;
 
-  (* stage 2: timing-driven placement from scratch on the same netlist *)
+  (* stage 2: the path-weighting baseline from scratch on the same
+     netlist — exact STA + top-K worst-path net weighting *)
+  let pw_cfg =
+    { Core.default_config with
+      Core.mode = Core.Path_weighting Paths.Weight.default_config }
+  in
+  let rpw = Core.run ?pool pw_cfg graph in
+  let pw_report = Sta.Timer.run timer in
+  Printf.printf
+    "path-weighted GP: %d iters, HPWL %.3e, WNS %.1f ps, TNS %.1f ps\n%!"
+    rpw.Core.res_iterations rpw.Core.res_hpwl pw_report.Sta.Timer.setup_wns
+    pw_report.Sta.Timer.setup_tns;
+
+  (* stage 3: timing-driven placement from scratch on the same netlist *)
   let t_cfg =
     { Core.default_config with
       Core.mode = Core.Differentiable_timing Core.default_timing }
@@ -91,6 +104,18 @@ let () =
           design.Netlist.pins.(ep.Sta.Timer.ep_pin).Netlist.pin_name
           ep.Sta.Timer.ep_setup_slack)
     after.Sta.Timer.endpoint_slacks;
+
+  (* and the three worst paths, via the top-K enumeration engine *)
+  let view = Paths.analyze ?pool timer in
+  let worst = Paths.enumerate ?pool ~k:3 view in
+  Printf.printf "\n%d worst paths:\n" (List.length worst);
+  List.iteri
+    (fun i (p : Paths.path) ->
+      Printf.printf "  #%d  %-12s slack %8.1f ps  (%d stages)\n" (i + 1)
+        design.Netlist.pins.(p.Paths.pt_endpoint).Netlist.pin_name
+        p.Paths.pt_slack
+        (List.length p.Paths.pt_steps))
+    worst;
   Sys.remove design_path;
   Sys.rmdir dir;
   match pool with Some p -> Parallel.shutdown p | None -> ()

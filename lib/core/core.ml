@@ -24,6 +24,7 @@ let default_timing =
 type mode =
   | Wirelength_only
   | Net_weighting of Netweight.config
+  | Path_weighting of Paths.Weight.config
   | Differentiable_timing of timing_config
 
 type config = {
@@ -189,22 +190,26 @@ let run ?pool config graph =
   let netweight =
     match config.mode with
     | Net_weighting cfg -> Some (Netweight.create ~config:cfg graph)
-    | Wirelength_only | Differentiable_timing _ -> None
+    | Wirelength_only | Path_weighting _ | Differentiable_timing _ -> None
+  in
+  let pathweight =
+    match config.mode with
+    | Path_weighting cfg -> Some (Paths.Weight.create ~config:cfg graph)
+    | Wirelength_only | Net_weighting _ | Differentiable_timing _ -> None
   in
   let difftimer, timing_cfg =
     match config.mode with
     | Differentiable_timing cfg ->
       (Some (Difftimer.create ~gamma:cfg.gamma graph), cfg)
-    | Wirelength_only | Net_weighting _ -> (None, default_timing)
+    | Wirelength_only | Net_weighting _ | Path_weighting _ ->
+      (None, default_timing)
   in
-  (* Modes that own a timer reuse it for trace points (the net-weighting
-     engine's exact timer, the differentiable timer's own metrics); only
-     wirelength-only needs a dedicated trace timer. *)
+  (* Modes that own a timer reuse it for trace points (the net- and
+     path-weighting engines' exact timers, the differentiable timer's
+     own metrics); only wirelength-only needs a dedicated trace timer. *)
   let trace_timer =
     if config.trace_timing_period > 0
-       && (match config.mode with
-           | Differentiable_timing _ -> false
-           | Wirelength_only | Net_weighting _ -> Option.is_none netweight)
+       && (match config.mode with Wirelength_only -> true | _ -> false)
     then Some (Sta.Timer.create graph)
     else None
   in
@@ -253,6 +258,11 @@ let run ?pool config graph =
      | Some nw ->
        if Netweight.should_update nw i then record (Netweight.update ?pool nw)
      | None -> ());
+    (match pathweight with
+     | Some pw ->
+       if Paths.Weight.should_update pw i then
+         record (Paths.Weight.update ?pool pw)
+     | None -> ());
     (match difftimer with
      | Some dt ->
        if !timing_active_at = None && overflow < timing_cfg.activation_overflow
@@ -297,16 +307,21 @@ let run ?pool config graph =
      | None -> ());
     if config.trace_timing_period > 0 && i mod config.trace_timing_period = 0
     then begin
-      match trace_timer, netweight with
-      | Some timer, _ -> record (Sta.Timer.run ?pool timer)
-      | None, Some nw when not (Netweight.should_update nw i) ->
+      match trace_timer, netweight, pathweight with
+      | Some timer, _, _ -> record (Sta.Timer.run ?pool timer)
+      | None, Some nw, _ when not (Netweight.should_update nw i) ->
         (* Net-weighting mode owns an exact timer already: reuse it for
            trace samples that fall between weight updates. *)
         record
           (Sta.Timer.run ?pool
              ~rebuild_trees:(Netweight.config nw).Netweight.rebuild_trees
              (Netweight.timer nw))
-      | None, _ -> ()
+      | None, _, Some pw when not (Paths.Weight.should_update pw i) ->
+        record
+          (Sta.Timer.run ?pool
+             ~rebuild_trees:(Paths.Weight.config pw).Paths.Weight.rebuild_trees
+             (Paths.Weight.timer pw))
+      | None, _, _ -> ()
     end;
     (* update *)
     Optim.step opt_x ~lr:!lr ~params:xs ~grads:gx ~mask ();

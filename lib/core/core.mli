@@ -13,6 +13,10 @@
     - {!Wirelength_only}: the plain DREAMPlace-style baseline [16];
     - {!Net_weighting}: the state-of-the-art net-weighting baseline [24]
       (exact STA + per-net weight escalation);
+    - {!Path_weighting}: the critical-path-extraction successor line
+      (Shi et al., arXiv 2503.11674) — exact STA plus top-K worst-path
+      enumeration ({!Paths}), escalating the weights of nets on
+      violating paths;
     - {!Differentiable_timing}: this paper — gradients of the smoothed
       TNS/WNS flow through the differentiable STA engine into cell
       coordinates, activated once cells have spread (the paper starts
@@ -47,6 +51,7 @@ val default_timing : timing_config
 type mode =
   | Wirelength_only
   | Net_weighting of Netweight.config
+  | Path_weighting of Paths.Weight.config
   | Differentiable_timing of timing_config
 
 type config = {
@@ -70,11 +75,11 @@ type config = {
           positions already in the design. *)
   trace_timing_period : int;
       (** run exact STA for the trace every k iterations (0 = never).
-          Wirelength-only mode uses a dedicated timer; net-weighting
-          mode reuses its own exact timer (avoiding a second STA when a
-          weight update already measured this iteration); differentiable
-          timing traces from its own metrics.  Powers Figure 8's
-          baseline curves. *)
+          Wirelength-only mode uses a dedicated timer; net- and
+          path-weighting modes reuse their own exact timer (avoiding a
+          second STA when a weight update already measured this
+          iteration); differentiable timing traces from its own
+          metrics.  Powers Figure 8's baseline curves. *)
   verbose : bool;
 }
 

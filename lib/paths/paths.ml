@@ -1,0 +1,433 @@
+(* Top-K worst-slack path enumeration over the exact timer.
+
+   Timing nodes are (pin, transition) pairs at index
+   [2 * pin + transition_index].  [analyze] flattens the timer state
+   into an in-edge CSR over these nodes plus one back-pointer per node
+   (the in-edge realising its arrival time, with critical_path's exact
+   tie-breaks), so the back-pointer walk from any node reproduces
+   Sta.Timer.critical_path bitwise.  Enumeration is per-endpoint
+   deviation-based branch-and-bound: a candidate fixes a suffix of the
+   path and lets the prefix follow back-pointers; its priority is the
+   exact slack of the completed path (arrival times are exact max-prefix
+   arrivals), so a min-heap pops paths in slack order and a slack limit
+   prunes exactly. *)
+
+let tr_of ti = if ti = 0 then Sta.Rise else Sta.Fall
+
+type t = {
+  timer : Sta.Timer.t;
+  graph : Sta.Graph.t;
+  (* in-edge CSR over timing nodes: edge [e] enters node [v] from
+     [tin_src.(e)] with delay [tin_delay.(e)]; exactly one of
+     [tin_net]/[tin_arc] is >= 0, identifying a net arc or a cell arc. *)
+  tin_off : int array;
+  tin_src : int array;
+  tin_delay : float array;
+  tin_net : int array;
+  tin_arc : int array;
+  pred : int array;  (* per node: in-edge realising its arrival, or -1 *)
+}
+
+type path = {
+  pt_endpoint : int;
+  pt_rank : int;
+  pt_slack : float;
+  pt_steps : Sta.Timer.path_step list;
+  pt_nets : int list;
+  pt_arcs : int list;
+}
+
+let num_edges t = Array.length t.tin_src
+
+let analyze ?pool timer =
+  let nets = Sta.Timer.nets timer in
+  let g = nets.Sta.Nets.graph in
+  let design = g.Sta.Graph.design in
+  let npins = Netlist.num_pins design in
+  let nnodes = 2 * npins in
+  let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
+  let at v ti = Sta.Timer.at_late timer v (tr_of ti) in
+  let slew v ti = Sta.Timer.slew_late timer v (tr_of ti) in
+  (* pass 1: in-degree of every node (no LUT evaluations needed) *)
+  let counts = Array.make nnodes 0 in
+  Parallel.parallel_for p ~grain:512 nnodes (fun node ->
+      let v = node / 2 and oi = node land 1 in
+      let pin = design.Netlist.pins.(v) in
+      let net = pin.Netlist.net in
+      let c = ref 0 in
+      if
+        pin.Netlist.direction = Netlist.Input
+        && net >= 0
+        && nets.Sta.Nets.trees.(net) <> None
+      then begin
+        let u = g.Sta.Graph.net_driver_of.(net) in
+        if u >= 0 && u <> v && at u oi > neg_infinity then incr c
+      end;
+      for k = g.Sta.Graph.fanin_off.(v) to g.Sta.Graph.fanin_off.(v + 1) - 1 do
+        let a = g.Sta.Graph.fanin_arc.(k) in
+        let u = g.Sta.Graph.arc_from.(a) in
+        let sub = (g.Sta.Graph.arc_mask.(a) lsr (2 * oi)) land 3 in
+        for ii = 0 to 1 do
+          if sub land (1 lsl ii) <> 0 && at u ii > neg_infinity then incr c
+        done
+      done;
+      counts.(node) <- !c);
+  let tin_off = Array.make (nnodes + 1) 0 in
+  for i = 0 to nnodes - 1 do
+    tin_off.(i + 1) <- tin_off.(i) + counts.(i)
+  done;
+  let nedges = tin_off.(nnodes) in
+  let tin_src = Array.make nedges 0 in
+  let tin_delay = Array.make nedges 0.0 in
+  let tin_net = Array.make nedges (-1) in
+  let tin_arc = Array.make nedges (-1) in
+  let pred = Array.make nnodes (-1) in
+  (* pass 2: fill each node's edge slice and pick its back-pointer.  The
+     net edge comes first and wins outright when present (the timer's
+     retrace tries it first); otherwise the cell contribution minimising
+     |at(u) + d - at(v)| wins, first strict minimum in (arc, transition)
+     order — the same selection critical_path makes. *)
+  Parallel.parallel_for p ~grain:256 nnodes (fun node ->
+      let v = node / 2 and oi = node land 1 in
+      let pin = design.Netlist.pins.(v) in
+      let net = pin.Netlist.net in
+      let cursor = ref tin_off.(node) in
+      let has_net_edge = ref false in
+      (if pin.Netlist.direction = Netlist.Input && net >= 0 then
+         match nets.Sta.Nets.trees.(net) with
+         | Some (_, rc) ->
+           let u = g.Sta.Graph.net_driver_of.(net) in
+           if u >= 0 && u <> v && at u oi > neg_infinity then begin
+             tin_src.(!cursor) <- (2 * u) + oi;
+             tin_delay.(!cursor) <- Rc.sink_delay rc nets.Sta.Nets.tree_index.(v);
+             tin_net.(!cursor) <- net;
+             has_net_edge := true;
+             incr cursor
+           end
+         | None -> ());
+      let lo = g.Sta.Graph.fanin_off.(v) and hi = g.Sta.Graph.fanin_off.(v + 1) in
+      if hi > lo then begin
+        (* cell-arc delay is looked up against the output net's root
+           load, as in propagation and retrace *)
+        let load =
+          if net >= 0 then
+            match nets.Sta.Nets.trees.(net) with
+            | Some (_, rc) -> Rc.root_load rc
+            | None -> 0.0
+          else 0.0
+        in
+        for k = lo to hi - 1 do
+          let a = g.Sta.Graph.fanin_arc.(k) in
+          let u = g.Sta.Graph.arc_from.(a) in
+          let arc = g.Sta.Graph.arc_table.(a) in
+          let sub = (g.Sta.Graph.arc_mask.(a) lsr (2 * oi)) land 3 in
+          for ii = 0 to 1 do
+            if sub land (1 lsl ii) <> 0 && at u ii > neg_infinity then begin
+              let lut =
+                if oi = 0 then arc.Liberty.cell_rise else arc.Liberty.cell_fall
+              in
+              tin_src.(!cursor) <- (2 * u) + ii;
+              tin_delay.(!cursor) <- Liberty.Lut.lookup lut (slew u ii) load;
+              tin_arc.(!cursor) <- a;
+              incr cursor
+            end
+          done
+        done
+      end;
+      if !has_net_edge then pred.(node) <- tin_off.(node)
+      else begin
+        let best = ref (-1) and best_err = ref infinity in
+        let av = at v oi in
+        for e = tin_off.(node) to !cursor - 1 do
+          let u = tin_src.(e) in
+          let err = Float.abs (at (u / 2) (u land 1) +. tin_delay.(e) -. av) in
+          if err < !best_err then begin
+            best_err := err;
+            best := e
+          end
+        done;
+        pred.(node) <- !best
+      end);
+  { timer; graph = g; tin_off; tin_src; tin_delay; tin_net; tin_arc; pred }
+
+(* A candidate path: the suffix [c_suffix] (list of (in-edge, node)
+   pairs, path order) is fixed; the prefix follows back-pointers from
+   [c_head].  [c_dsuf] is the accumulated delay from [c_head] to the
+   endpoint, [c_rat] the endpoint's required time, so
+   [c_slack = c_rat - (at(c_head) + c_dsuf)] is the exact slack of the
+   completed path.  [c_seq] is the insertion sequence number, used as a
+   deterministic tie-break (it also makes Rise win slack ties at the
+   endpoint, matching critical_path's start-transition choice). *)
+type cand = {
+  c_head : int;
+  c_dsuf : float;
+  c_rat : float;
+  c_slack : float;
+  c_seq : int;
+  c_suffix : (int * int) list;
+}
+
+(* binary min-heap on (slack, seq) *)
+module Pq = struct
+  type t = { mutable a : cand array; mutable n : int }
+
+  let dummy =
+    { c_head = -1; c_dsuf = 0.0; c_rat = 0.0; c_slack = 0.0; c_seq = -1;
+      c_suffix = [] }
+
+  let create () = { a = Array.make 64 dummy; n = 0 }
+
+  let less x y =
+    let c = Float.compare x.c_slack y.c_slack in
+    c < 0 || (c = 0 && x.c_seq < y.c_seq)
+
+  let push h c =
+    if h.n = Array.length h.a then begin
+      let a' = Array.make (2 * h.n) dummy in
+      Array.blit h.a 0 a' 0 h.n;
+      h.a <- a'
+    end;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    h.a.(!i) <- c;
+    while !i > 0 && less h.a.(!i) h.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      h.a.(h.n) <- dummy;
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < h.n && less h.a.(l) h.a.(!m) then m := l;
+        if r < h.n && less h.a.(r) h.a.(!m) then m := r;
+        if !m = !i then continue_ := false
+        else begin
+          let tmp = h.a.(!m) in
+          h.a.(!m) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !m
+        end
+      done;
+      Some top
+    end
+end
+
+let materialize t ep rank c =
+  let tm = t.timer in
+  let rec walk acc node =
+    let e = t.pred.(node) in
+    if e < 0 then (-1, node) :: acc
+    else walk ((e, node) :: acc) t.tin_src.(e)
+  in
+  let seq = walk c.c_suffix c.c_head in
+  let steps =
+    List.map
+      (fun (_, node) ->
+        let pin = node / 2 and tr = tr_of (node land 1) in
+        { Sta.Timer.ps_pin = pin; ps_transition = tr;
+          ps_at = Sta.Timer.at_late tm pin tr;
+          ps_slew = Sta.Timer.slew_late tm pin tr })
+      seq
+  in
+  let nets =
+    List.filter_map
+      (fun (e, _) -> if e >= 0 && t.tin_net.(e) >= 0 then Some t.tin_net.(e) else None)
+      seq
+  in
+  let arcs =
+    List.filter_map
+      (fun (e, _) -> if e >= 0 && t.tin_arc.(e) >= 0 then Some t.tin_arc.(e) else None)
+      seq
+  in
+  { pt_endpoint = ep; pt_rank = rank; pt_slack = c.c_slack; pt_steps = steps;
+    pt_nets = nets; pt_arcs = arcs }
+
+let enumerate_endpoint ?(slack_limit = infinity) ~k t ep =
+  if k <= 0 then []
+  else begin
+    let tm = t.timer in
+    let heap = Pq.create () in
+    let seq = ref 0 in
+    let push c =
+      Pq.push heap c;
+      incr seq
+    in
+    for ti = 0 to 1 do
+      let a = Sta.Timer.at_late tm ep (tr_of ti) in
+      let r = Sta.Timer.rat_late tm ep (tr_of ti) in
+      let slack = r -. a in
+      if a > neg_infinity && r < infinity && slack < slack_limit then
+        push
+          { c_head = (2 * ep) + ti; c_dsuf = 0.0; c_rat = r; c_slack = slack;
+            c_seq = !seq; c_suffix = [] }
+    done;
+    (* Expand a popped candidate: walk its backbone (head, then
+       back-pointers) and branch on every non-back-pointer in-edge.  A
+       child's true slack is >= its parent's in exact arithmetic (the
+       forward max guarantees at(u) >= at(src) + d edge-wise); the
+       Float.max clamp removes the ulp-level noise the re-associated
+       delay sums can introduce, so popped slacks are monotone. *)
+    let expand c =
+      let rec go node seg dseg =
+        let p = t.pred.(node) in
+        for e = t.tin_off.(node) to t.tin_off.(node + 1) - 1 do
+          if e <> p then begin
+            let w = t.tin_src.(e) in
+            let dsuf = t.tin_delay.(e) +. dseg +. c.c_dsuf in
+            let aw = Sta.Timer.at_late tm (w / 2) (tr_of (w land 1)) in
+            let slack = Float.max c.c_slack (c.c_rat -. (aw +. dsuf)) in
+            if slack < slack_limit then
+              push
+                { c_head = w; c_dsuf = dsuf; c_rat = c.c_rat; c_slack = slack;
+                  c_seq = !seq; c_suffix = (e, node) :: seg }
+          end
+        done;
+        if p >= 0 then go t.tin_src.(p) ((p, node) :: seg) (dseg +. t.tin_delay.(p))
+      in
+      go c.c_head c.c_suffix 0.0
+    in
+    let results = ref [] in
+    let rank = ref 0 in
+    let running = ref true in
+    while !running && !rank < k do
+      match Pq.pop heap with
+      | None -> running := false
+      | Some c ->
+        results := materialize t ep !rank c :: !results;
+        incr rank;
+        if !rank < k then expand c
+    done;
+    List.rev !results
+  end
+
+let enumerate ?pool ?slack_limit ~k t =
+  if k <= 0 then []
+  else begin
+    let eps = t.graph.Sta.Graph.endpoints in
+    let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
+    let acc =
+      Parallel.parallel_for_reduce p ~grain:8 (Array.length eps)
+        ~init:(fun () -> ref [])
+        ~body:(fun acc i ->
+          (* tag each path with its endpoint's position so ranking ties
+             resolve exactly like critical_path's endpoint scan *)
+          List.iter
+            (fun pt -> acc := (i, pt) :: !acc)
+            (enumerate_endpoint ?slack_limit ~k t eps.(i)))
+        ~merge:(fun a b ->
+          a := List.rev_append !b !a;
+          a)
+    in
+    let compare_tagged (ia, a) (ib, b) =
+      let c = Float.compare a.pt_slack b.pt_slack in
+      if c <> 0 then c
+      else
+        let c = compare ia ib in
+        if c <> 0 then c else compare a.pt_rank b.pt_rank
+    in
+    let sorted = List.sort compare_tagged !acc in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | (_, x) :: rest -> x :: take (n - 1) rest
+    in
+    take k sorted
+  end
+
+let severity paths =
+  let worst = List.fold_left (fun acc p -> Float.min acc p.pt_slack) 0.0 paths in
+  let denom = Float.max 1.0 (-.worst) in
+  fun p ->
+    if p.pt_slack >= 0.0 then 0.0 else Float.min 1.0 (-.p.pt_slack /. denom)
+
+let net_criticality t paths =
+  let counts = Array.make (Netlist.num_nets t.graph.Sta.Graph.design) 0.0 in
+  let sev = severity paths in
+  List.iter
+    (fun p ->
+      let w = sev p in
+      if w > 0.0 then
+        List.iter (fun n -> counts.(n) <- counts.(n) +. w) p.pt_nets)
+    paths;
+  counts
+
+let arc_criticality t paths =
+  let counts = Array.make (Sta.Graph.num_arcs t.graph) 0.0 in
+  let sev = severity paths in
+  List.iter
+    (fun p ->
+      let w = sev p in
+      if w > 0.0 then
+        List.iter (fun a -> counts.(a) <- counts.(a) +. w) p.pt_arcs)
+    paths;
+  counts
+
+module Weight = struct
+  type config = {
+    k : int;
+    alpha : float;
+    beta : float;
+    max_weight : float;
+    period : int;
+    rebuild_trees : bool;
+  }
+
+  let default_config =
+    { k = 32; alpha = 0.15; beta = 0.5; max_weight = 16.0; period = 3;
+      rebuild_trees = true }
+
+  type engine = {
+    cfg : config;
+    timer_ : Sta.Timer.t;
+    design : Netlist.t;
+    momentum : float array;
+  }
+
+  type t = engine
+
+  let create ?(config = default_config) graph =
+    { cfg = config;
+      timer_ = Sta.Timer.create graph;
+      design = graph.Sta.Graph.design;
+      momentum = Array.make (Netlist.num_nets graph.Sta.Graph.design) 0.0 }
+
+  let config t = t.cfg
+  let timer t = t.timer_
+  let should_update t iteration = iteration mod max 1 t.cfg.period = 0
+
+  let update ?pool t =
+    let report = Sta.Timer.run ~rebuild_trees:t.cfg.rebuild_trees ?pool t.timer_ in
+    let view = analyze ?pool t.timer_ in
+    (* only violating paths drive weights: slack_limit 0 prunes exactly *)
+    let paths = enumerate ?pool ~slack_limit:0.0 ~k:t.cfg.k view in
+    let crit = net_criticality view paths in
+    let maxc = Array.fold_left Float.max 0.0 crit in
+    Array.iter
+      (fun (net : Netlist.net) ->
+        let n = net.Netlist.net_id in
+        let c = if maxc > 0.0 then crit.(n) /. maxc else 0.0 in
+        t.momentum.(n) <-
+          (t.cfg.beta *. t.momentum.(n)) +. ((1.0 -. t.cfg.beta) *. c);
+        if t.momentum.(n) > 0.0 then
+          net.Netlist.weight <-
+            Float.min t.cfg.max_weight
+              (net.Netlist.weight *. (1.0 +. (t.cfg.alpha *. t.momentum.(n)))))
+      t.design.Netlist.nets;
+    report
+
+  let reset t =
+    Netlist.reset_weights t.design;
+    Array.fill t.momentum 0 (Array.length t.momentum) 0.0
+end

@@ -1,0 +1,109 @@
+(** Top-K worst-slack path enumeration over the exact timer.
+
+    The engine flattens the timer's post-{!Sta.Timer.run} state into an
+    in-edge CSR over timing nodes (a node is a [(pin, transition)] pair,
+    stored at [2 * pin + transition_index]) with one back-pointer per
+    node: the in-edge whose [at(source) + delay] realises the node's
+    arrival time, selected with exactly the tie-breaks of
+    {!Sta.Timer.critical_path}.  The back-pointer tree is the "worst
+    path" tree; the K worst paths per endpoint are then enumerated by
+    deviation-based branch-and-bound (Yen/Eppstein adapted to the
+    max-plus DAG).  Because the timer's arrival times are exact
+    max-prefix arrivals, every candidate's priority {e is} its final
+    path slack, so the best-first search pops paths in slack order and
+    pruning against a slack limit is exact — no candidate is ever
+    expanded and later discarded.
+
+    Determinism: per-endpoint enumeration never looks outside its own
+    endpoint, the endpoint fan-out goes through
+    {!Parallel.parallel_for_reduce} (chunk-order merge), and the global
+    ranking is a total order, so pooled runs are bit-identical to
+    sequential ones. *)
+
+type t
+(** A path-search view of one timer.  Valid for the placement at which
+    it was built; rebuild after the next {!Sta.Timer.run}. *)
+
+val analyze : ?pool:Parallel.pool -> Sta.Timer.t -> t
+(** Build the in-edge CSR and arrival back-pointers from the timer's
+    current state (one sweep over the CSR arc structure, node-parallel
+    under [pool]).  The timer must have been {!Sta.Timer.run} first. *)
+
+val num_edges : t -> int
+(** Number of flattened timing in-edges (net + cell, both transitions). *)
+
+(** One enumerated path, startpoint first.  [pt_rank] is the path's
+    0-based rank within its endpoint's enumeration; [pt_nets] and
+    [pt_arcs] list the net ids and cell-arc ids traversed, in path
+    order. *)
+type path = {
+  pt_endpoint : int;
+  pt_rank : int;
+  pt_slack : float;
+  pt_steps : Sta.Timer.path_step list;
+  pt_nets : int list;
+  pt_arcs : int list;
+}
+
+val enumerate_endpoint : ?slack_limit:float -> k:int -> t -> int -> path list
+(** The [k] worst-slack paths ending at one endpoint pin, worst first;
+    fewer when the endpoint has fewer distinct paths (none when it is
+    unreachable).  Slacks are non-decreasing in rank, and the rank-0
+    path is bit-identical to [Sta.Timer.critical_path ~endpoint].  With
+    [slack_limit], only paths with slack strictly below the limit are
+    returned (exact pruning, e.g. [0.0] for violating paths only). *)
+
+val enumerate :
+  ?pool:Parallel.pool -> ?slack_limit:float -> k:int -> t -> path list
+(** The [k] globally worst paths across all endpoints, worst first.
+    Endpoints enumerate in parallel under [pool]; results are merged
+    under the total order (slack, endpoint position, rank), so the
+    output is bit-identical across domain counts and the first path
+    matches [Sta.Timer.critical_path]'s default endpoint choice. *)
+
+val net_criticality : t -> path list -> float array
+(** Per-net criticality accumulated over a path list: each path adds
+    its severity — [0] when its slack is non-negative, otherwise
+    [min 1 (-slack / max 1 (-worst slack))] — to every net it crosses.
+    Indexed by net id. *)
+
+val arc_criticality : t -> path list -> float array
+(** Same accumulation over the cell arcs of each path, indexed by the
+    timing graph's arc id. *)
+
+(** Path-criticality net weighting (the critical-path extraction scheme
+    of Shi et al., arXiv 2503.11674): between placement iterations, run
+    the exact timer, enumerate the K worst violating paths, and escalate
+    the weights of the nets on them with momentum smoothing.  Mirrors
+    {!Netweight}'s cadence machinery so [Core] can drive both the same
+    way. *)
+module Weight : sig
+  type config = {
+    k : int;             (** paths enumerated per update. *)
+    alpha : float;       (** weight escalation rate. *)
+    beta : float;        (** momentum on per-net criticality. *)
+    max_weight : float;  (** weight ceiling. *)
+    period : int;        (** iterations between updates. *)
+    rebuild_trees : bool;
+    (** rebuild Steiner topologies at each update (vs refresh). *)
+  }
+
+  val default_config : config
+
+  type t
+
+  val create : ?config:config -> Sta.Graph.t -> t
+  val config : t -> config
+
+  val timer : t -> Sta.Timer.t
+  (** The engine's exact timer (reusable for trace sampling). *)
+
+  val should_update : t -> int -> bool
+
+  val update : ?pool:Parallel.pool -> t -> Sta.Timer.report
+  (** Run the timer, enumerate the K worst violating paths, update net
+      weights in place, and return the timing report. *)
+
+  val reset : t -> unit
+  (** Restore unit weights and clear momentum. *)
+end

@@ -4,11 +4,16 @@ module Svg = struct
     draw_nets : bool;
     max_net_degree : int;
     highlight_path : Sta.Timer.path_step list;
+    highlight_paths : Sta.Timer.path_step list list;
   }
 
   let default_options =
     { width_px = 800; draw_nets = false; max_net_degree = 8;
-      highlight_path = [] }
+      highlight_path = []; highlight_paths = [] }
+
+  (* worst path red, runners-up fading towards yellow *)
+  let path_colors =
+    [| "#cc2222"; "#d85a22"; "#e08b2b"; "#e6ad3a"; "#d9c155" |]
 
   let render ?(options = default_options) (design : Netlist.t) =
     let region = design.Netlist.region in
@@ -71,23 +76,34 @@ module Svg = struct
                        (sy (Netlist.pin_y design s))))
                 (Netlist.net_sinks design net.Netlist.net_id))
         design.Netlist.nets;
-    (* critical path overlay *)
-    (match options.highlight_path with
-     | [] -> ()
-     | steps ->
-       let points =
-         List.map
-           (fun (s : Sta.Timer.path_step) ->
-             Printf.sprintf "%.2f,%.2f"
-               (sx (Netlist.pin_x design s.Sta.Timer.ps_pin))
-               (sy (Netlist.pin_y design s.Sta.Timer.ps_pin)))
-           steps
-       in
-       Buffer.add_string b
-         (Printf.sprintf
-            "<polyline points=\"%s\" fill=\"none\" stroke=\"#cc2222\" \
-             stroke-width=\"1.5\"/>\n"
-            (String.concat " " points)));
+    (* critical path overlays: [highlight_paths] worst-first (so the
+       worst path draws last, on top), then the legacy single-path
+       field in red *)
+    let draw_path color width steps =
+      match steps with
+      | [] -> ()
+      | steps ->
+        let points =
+          List.map
+            (fun (s : Sta.Timer.path_step) ->
+              Printf.sprintf "%.2f,%.2f"
+                (sx (Netlist.pin_x design s.Sta.Timer.ps_pin))
+                (sy (Netlist.pin_y design s.Sta.Timer.ps_pin)))
+            steps
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" \
+              stroke-width=\"%.1f\"/>\n"
+             (String.concat " " points) color width)
+    in
+    let ranked = List.mapi (fun i steps -> (i, steps)) options.highlight_paths in
+    List.iter
+      (fun (i, steps) ->
+        let color = path_colors.(min i (Array.length path_colors - 1)) in
+        draw_path color (Float.max 0.7 (1.5 -. (0.2 *. float_of_int i))) steps)
+      (List.rev ranked);
+    draw_path "#cc2222" 1.5 options.highlight_path;
     Buffer.add_string b "</svg>\n";
     Buffer.contents b
 

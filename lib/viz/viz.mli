@@ -12,6 +12,10 @@ module Svg : sig
     max_net_degree : int;    (** skip fly-lines of nets above this degree. *)
     highlight_path : Sta.Timer.path_step list;
         (** overlay, e.g. [Sta.Timer.critical_path timer]. *)
+    highlight_paths : Sta.Timer.path_step list list;
+        (** multi-path overlay, worst first (e.g. the top-K paths from
+            the [Paths] engine); the worst path draws red and on top,
+            runners-up fade towards yellow. *)
   }
 
   val default_options : options

@@ -187,6 +187,7 @@ let all_modes =
      the forward/backward pipeline *)
   [ ("wirelength", Core.Wirelength_only);
     ("netweight", Core.Net_weighting Netweight.default_config);
+    ("pathweight", Core.Path_weighting Paths.Weight.default_config);
     ("difftimer",
      Core.Differentiable_timing
        { Core.default_timing with Core.activation_overflow = 10.0 }) ]
@@ -194,7 +195,7 @@ let all_modes =
 let test_pooled_run_bit_identical () =
   (* a pooled Core.run must reproduce the sequential one bit for bit —
      final metrics, every cell position and every trace point — in each
-     of the three placement modes *)
+     of the four placement modes *)
   List.iter
     (fun (label, mode) ->
       let cfg =

@@ -18,6 +18,7 @@ let () =
       ("legalize", Test_legalize.suite);
       ("detailed", Test_detailed.suite);
       ("netweight", Test_netweight.suite);
+      ("paths", Test_paths.suite);
       ("workload", Test_workload.suite);
       ("bookshelf", Test_bookshelf.suite);
       ("verilog", Test_verilog.suite);

@@ -1,0 +1,425 @@
+(* Tests for the top-K critical-path enumeration engine. *)
+
+let lib = Liberty.Synthetic.default ()
+
+let bits = Int64.bits_of_float
+
+(* the three workload shapes x two seeds the property tests sweep *)
+let specs_under_test =
+  [ { Workload.default_spec with
+      Workload.sp_cells = 220; sp_clock_period = 700.0 };
+    { Workload.default_spec with
+      Workload.sp_cells = 320; sp_depth = 12; sp_clock_period = 600.0 };
+    { Workload.default_spec with
+      Workload.sp_cells = 260; sp_inputs = 12; sp_outputs = 12;
+      sp_clock_period = 900.0 } ]
+
+let seeds = [ 3; 11 ]
+
+let with_timer ?(cells = None) spec seed f =
+  let spec = { spec with Workload.sp_seed = seed } in
+  let spec =
+    match cells with None -> spec | Some c -> { spec with Workload.sp_cells = c }
+  in
+  let design, cons = Workload.generate lib spec in
+  let graph = Sta.Graph.build design lib cons in
+  let timer = Sta.Timer.create graph in
+  let _ = Sta.Timer.run timer in
+  f design graph timer
+
+let check_steps_equal label (expected : Sta.Timer.path_step list)
+    (actual : Sta.Timer.path_step list) =
+  if List.length expected <> List.length actual then
+    Alcotest.failf "%s: length %d vs %d" label (List.length expected)
+      (List.length actual);
+  List.iter2
+    (fun (e : Sta.Timer.path_step) (a : Sta.Timer.path_step) ->
+      if e.Sta.Timer.ps_pin <> a.Sta.Timer.ps_pin then
+        Alcotest.failf "%s: pin %d vs %d" label e.Sta.Timer.ps_pin
+          a.Sta.Timer.ps_pin;
+      if e.Sta.Timer.ps_transition <> a.Sta.Timer.ps_transition then
+        Alcotest.failf "%s: transition differs at pin %d" label
+          e.Sta.Timer.ps_pin;
+      if bits e.Sta.Timer.ps_at <> bits a.Sta.Timer.ps_at then
+        Alcotest.failf "%s: arrival differs at pin %d" label e.Sta.Timer.ps_pin;
+      if bits e.Sta.Timer.ps_slew <> bits a.Sta.Timer.ps_slew then
+        Alcotest.failf "%s: slew differs at pin %d" label e.Sta.Timer.ps_pin)
+    expected actual
+
+(* satellite: the engine's top-1 path bit-matches the timer's own
+   retrace for every endpoint, on every spec x seed *)
+let test_top1_bit_matches_critical_path () =
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun seed ->
+          with_timer spec seed (fun _ graph timer ->
+            let view = Paths.analyze timer in
+            Array.iter
+              (fun ep ->
+                let label = Printf.sprintf "seed %d ep %d" seed ep in
+                let expected = Sta.Timer.critical_path ~endpoint:ep timer in
+                match Paths.enumerate_endpoint ~k:1 view ep with
+                | [] ->
+                  if expected <> [] then
+                    Alcotest.failf "%s: engine empty, retrace not" label
+                | [ p ] ->
+                  Alcotest.(check int) (label ^ ": endpoint") ep
+                    p.Paths.pt_endpoint;
+                  Alcotest.(check int) (label ^ ": rank") 0 p.Paths.pt_rank;
+                  check_steps_equal label expected p.Paths.pt_steps;
+                  (* the worst path's slack is the endpoint pin slack *)
+                  if bits p.Paths.pt_slack
+                     <> bits (Sta.Timer.pin_slack_late timer ep)
+                  then Alcotest.failf "%s: slack != pin slack" label
+                | _ -> Alcotest.failf "%s: k=1 returned several paths" label)
+              graph.Sta.Graph.endpoints))
+        seeds)
+    specs_under_test
+
+(* the k=1 global enumeration reproduces the default critical path
+   (same endpoint pick, same steps) *)
+let test_global_top1_matches_default () =
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun seed ->
+          with_timer spec seed (fun _ _ timer ->
+            let view = Paths.analyze timer in
+            let expected = Sta.Timer.critical_path timer in
+            match Paths.enumerate ~k:1 view with
+            | [] -> Alcotest.(check int) "both empty" 0 (List.length expected)
+            | [ p ] -> check_steps_equal "global top-1" expected p.Paths.pt_steps
+            | _ -> Alcotest.fail "k=1 returned several paths"))
+        seeds)
+    specs_under_test
+
+(* satellite: enumerated slacks are monotonically non-decreasing in
+   rank, per endpoint and globally; paths are structurally sound and
+   pairwise distinct *)
+let test_ranked_slacks_monotone () =
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun seed ->
+          with_timer spec seed (fun design _ timer ->
+            let view = Paths.analyze timer in
+            let check_paths label paths =
+              let previous = ref neg_infinity in
+              List.iter
+                (fun (p : Paths.path) ->
+                  if p.Paths.pt_slack < !previous then
+                    Alcotest.failf "%s: slack decreased at rank %d" label
+                      p.Paths.pt_rank;
+                  previous := p.Paths.pt_slack;
+                  (match List.rev p.Paths.pt_steps with
+                   | last :: _ ->
+                     Alcotest.(check int) (label ^ ": ends at endpoint")
+                       p.Paths.pt_endpoint last.Sta.Timer.ps_pin
+                   | [] -> Alcotest.failf "%s: empty step list" label);
+                  if not (Float.is_finite p.Paths.pt_slack) then
+                    Alcotest.failf "%s: non-finite slack" label)
+                paths
+            in
+            let nets = Sta.Timer.nets timer in
+            Array.iter
+              (fun ep ->
+                let paths = Paths.enumerate_endpoint ~k:8 view ep in
+                check_paths (Printf.sprintf "seed %d ep %d" seed ep) paths;
+                List.iteri
+                  (fun i (p : Paths.path) ->
+                    Alcotest.(check int) "rank is position" i p.Paths.pt_rank)
+                  paths;
+                (* distinct node sequences *)
+                let keys =
+                  List.map
+                    (fun (p : Paths.path) ->
+                      List.map
+                        (fun (s : Sta.Timer.path_step) ->
+                          (s.Sta.Timer.ps_pin, s.Sta.Timer.ps_transition))
+                        p.Paths.pt_steps)
+                    paths
+                in
+                let sorted = List.sort_uniq compare keys in
+                Alcotest.(check int)
+                  (Printf.sprintf "seed %d ep %d distinct" seed ep)
+                  (List.length keys) (List.length sorted))
+              nets.Sta.Nets.graph.Sta.Graph.endpoints;
+            check_paths (Printf.sprintf "seed %d global" seed)
+              (Paths.enumerate ~k:50 view);
+            ignore design))
+        seeds)
+    specs_under_test
+
+(* independent check on a small design: a plain backward DFS over the
+   timer's public state enumerates every complete path; the engine must
+   find exactly as many (when k is large enough) with matching slacks *)
+let brute_force_paths design graph timer ep =
+  let nets = Sta.Timer.nets timer in
+  let at v tr = Sta.Timer.at_late timer v tr in
+  let preds v tr =
+    let pin = design.Netlist.pins.(v) in
+    let net = pin.Netlist.net in
+    let via_net =
+      if pin.Netlist.direction = Netlist.Input && net >= 0 then
+        match nets.Sta.Nets.trees.(net) with
+        | Some (_, rc) ->
+          let u = graph.Sta.Graph.net_driver_of.(net) in
+          if u >= 0 && u <> v && at u tr > neg_infinity then
+            [ (u, tr, Rc.sink_delay rc nets.Sta.Nets.tree_index.(v)) ]
+          else []
+        | None -> []
+      else []
+    in
+    let load =
+      if net >= 0 then
+        match nets.Sta.Nets.trees.(net) with
+        | Some (_, rc) -> Rc.root_load rc
+        | None -> 0.0
+      else 0.0
+    in
+    let cell = ref [] in
+    let oi = Sta.transition_index tr in
+    for k = graph.Sta.Graph.fanin_off.(v)
+        to graph.Sta.Graph.fanin_off.(v + 1) - 1 do
+      let a = graph.Sta.Graph.fanin_arc.(k) in
+      let u = graph.Sta.Graph.arc_from.(a) in
+      let arc = graph.Sta.Graph.arc_table.(a) in
+      for ii = 0 to 1 do
+        let tr_in = if ii = 0 then Sta.Rise else Sta.Fall in
+        if Sta.Graph.arc_admits graph a ~tr_out:tr ~tr_in
+           && at u tr_in > neg_infinity
+        then begin
+          let lut =
+            if oi = 0 then arc.Liberty.cell_rise else arc.Liberty.cell_fall
+          in
+          let d =
+            Liberty.Lut.lookup lut (Sta.Timer.slew_late timer u tr_in) load
+          in
+          cell := (u, tr_in, d) :: !cell
+        end
+      done
+    done;
+    via_net @ List.rev !cell
+  in
+  let slacks = ref [] in
+  let budget = ref 20000 in
+  (* walk backward accumulating the delay list; arrival is recomputed
+     forward from the startpoint so this is an independent sum *)
+  let rec dfs v tr delays rat =
+    decr budget;
+    if !budget < 0 then Alcotest.fail "brute force path explosion";
+    match preds v tr with
+    | [] ->
+      let arrival = List.fold_left ( +. ) (at v tr) delays in
+      slacks := (rat -. arrival) :: !slacks
+    | ps -> List.iter (fun (u, tr_in, d) -> dfs u tr_in (d :: delays) rat) ps
+  in
+  List.iter
+    (fun tr ->
+      let a = at ep tr and r = Sta.Timer.rat_late timer ep tr in
+      if a > neg_infinity && r < infinity then dfs ep tr [] r)
+    [ Sta.Rise; Sta.Fall ];
+  List.sort compare !slacks
+
+let test_matches_brute_force () =
+  List.iter
+    (fun seed ->
+      let spec =
+        { Workload.default_spec with
+          Workload.sp_cells = 60; sp_inputs = 4; sp_outputs = 4; sp_depth = 4;
+          sp_clock_period = 500.0 }
+      in
+      with_timer spec seed (fun design graph timer ->
+        let view = Paths.analyze timer in
+        Array.iter
+          (fun ep ->
+            let expected = brute_force_paths design graph timer ep in
+            let got = Paths.enumerate_endpoint ~k:100_000 view ep in
+            let label = Printf.sprintf "seed %d ep %d" seed ep in
+            Alcotest.(check int) (label ^ ": path count")
+              (List.length expected) (List.length got);
+            List.iter2
+              (fun e (p : Paths.path) ->
+                let tol = 1e-6 *. Float.max 1.0 (Float.abs e) in
+                if Float.abs (e -. p.Paths.pt_slack) > tol then
+                  Alcotest.failf "%s: slack %g vs %g" label e p.Paths.pt_slack)
+              expected got)
+          graph.Sta.Graph.endpoints))
+    [ 5; 9 ]
+
+(* the slack-limit prune is exact: it returns precisely the unlimited
+   enumeration truncated at the limit *)
+let test_slack_limit_exact () =
+  with_timer (List.hd specs_under_test) 3 (fun _ graph timer ->
+    let view = Paths.analyze timer in
+    Array.iter
+      (fun ep ->
+        let all = Paths.enumerate_endpoint ~k:64 view ep in
+        let limited = Paths.enumerate_endpoint ~slack_limit:0.0 ~k:64 view ep in
+        let expected =
+          List.filter (fun (p : Paths.path) -> p.Paths.pt_slack < 0.0) all
+        in
+        (* truncation at k can make [all] shorter than the true set, but
+           with equal k the violating prefix must coincide *)
+        if List.length all < 64 then begin
+          Alcotest.(check int) "limited count" (List.length expected)
+            (List.length limited);
+          List.iter2
+            (fun (a : Paths.path) (b : Paths.path) ->
+              if bits a.Paths.pt_slack <> bits b.Paths.pt_slack then
+                Alcotest.fail "limited enumeration diverged")
+            expected limited
+        end)
+      graph.Sta.Graph.endpoints)
+
+(* satellite: pooled enumeration, criticality arrays and the Pathweight
+   Core.run trace are bit-identical at 1 vs 4 domains (the Core.run leg
+   lives in test_core's four-mode determinism test) *)
+let test_pool_determinism () =
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = 400; sp_clock_period = 600.0 }
+  in
+  with_timer spec 14 (fun _ _ timer ->
+    let run pool =
+      let view = Paths.analyze ?pool timer in
+      let paths = Paths.enumerate ?pool ~k:40 view in
+      (paths, Paths.net_criticality view paths, Paths.arc_criticality view paths)
+    in
+    let p1, nc1, ac1 = run None in
+    let pool = Parallel.create ~domains:4 () in
+    let p4, nc4, ac4 =
+      Fun.protect
+        ~finally:(fun () -> Parallel.shutdown pool)
+        (fun () -> run (Some pool))
+    in
+    Alcotest.(check int) "same path count" (List.length p1) (List.length p4);
+    List.iter2
+      (fun (a : Paths.path) (b : Paths.path) ->
+        if a.Paths.pt_endpoint <> b.Paths.pt_endpoint
+           || a.Paths.pt_rank <> b.Paths.pt_rank
+           || bits a.Paths.pt_slack <> bits b.Paths.pt_slack
+           || a.Paths.pt_nets <> b.Paths.pt_nets
+           || a.Paths.pt_arcs <> b.Paths.pt_arcs
+        then Alcotest.fail "pooled path set differs";
+        check_steps_equal "pooled steps" a.Paths.pt_steps b.Paths.pt_steps)
+      p1 p4;
+    Array.iteri
+      (fun i v ->
+        if bits v <> bits nc4.(i) then
+          Alcotest.failf "net criticality differs at %d" i)
+      nc1;
+    Array.iteri
+      (fun i v ->
+        if bits v <> bits ac4.(i) then
+          Alcotest.failf "arc criticality differs at %d" i)
+      ac1)
+
+let test_criticality_counts () =
+  with_timer (List.hd specs_under_test) 3 (fun design _ timer ->
+    let view = Paths.analyze timer in
+    let paths = Paths.enumerate ~k:16 view in
+    let nc = Paths.net_criticality view paths in
+    let ac = Paths.arc_criticality view paths in
+    Alcotest.(check int) "net array size" (Netlist.num_nets design)
+      (Array.length nc);
+    Array.iter
+      (fun v ->
+        if v < 0.0 || Float.is_nan v then Alcotest.fail "bad net criticality")
+      nc;
+    Array.iter
+      (fun v ->
+        if v < 0.0 || Float.is_nan v then Alcotest.fail "bad arc criticality")
+      ac;
+    (* with violating paths present, some net must accumulate weight *)
+    let violating =
+      List.exists (fun (p : Paths.path) -> p.Paths.pt_slack < 0.0) paths
+    in
+    if violating then
+      Alcotest.(check bool) "some net critical" true
+        (Array.exists (fun v -> v > 0.0) nc))
+
+let test_pathweight_engine_updates_weights () =
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = 300; sp_clock_period = 700.0 }
+  in
+  let spec = { spec with Workload.sp_seed = 2 } in
+  let design, cons = Workload.generate lib spec in
+  let graph = Sta.Graph.build design lib cons in
+  let pw = Paths.Weight.create graph in
+  let report = Paths.Weight.update pw in
+  Alcotest.(check bool) "violations exist" true
+    (report.Sta.Timer.setup_wns < 0.0);
+  let raised =
+    Array.fold_left
+      (fun acc (n : Netlist.net) ->
+        if n.Netlist.weight > 1.0 +. 1e-12 then acc + 1 else acc)
+      0 design.Netlist.nets
+  in
+  Alcotest.(check bool) "some nets weighted" true (raised > 0);
+  (* weights never shrink and stay capped over repeated updates *)
+  let previous =
+    Array.map (fun (n : Netlist.net) -> n.Netlist.weight) design.Netlist.nets
+  in
+  for _ = 1 to 6 do
+    let _ = Paths.Weight.update pw in
+    Array.iteri
+      (fun i (n : Netlist.net) ->
+        if n.Netlist.weight < previous.(i) -. 1e-12 then
+          Alcotest.fail "weight decreased";
+        if n.Netlist.weight
+           > Paths.Weight.default_config.Paths.Weight.max_weight +. 1e-12
+        then Alcotest.fail "weight exceeded cap";
+        previous.(i) <- n.Netlist.weight)
+      design.Netlist.nets
+  done;
+  Paths.Weight.reset pw;
+  Array.iter
+    (fun (n : Netlist.net) ->
+      Alcotest.(check (float 1e-12)) "reset to 1" 1.0 n.Netlist.weight)
+    design.Netlist.nets
+
+let test_pathweight_placement_runs () =
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = 300; sp_seed = 4; sp_clock_period = 800.0 }
+  in
+  let design, cons = Workload.generate lib spec in
+  let graph = Sta.Graph.build design lib cons in
+  let cfg =
+    { Core.default_config with
+      Core.mode = Core.Path_weighting Paths.Weight.default_config;
+      max_iterations = 160; min_iterations = 40; stop_overflow = 0.15;
+      trace_timing_period = 10 }
+  in
+  let r = Core.run cfg graph in
+  Alcotest.(check bool) "ran" true (r.Core.res_iterations >= 40);
+  Alcotest.(check bool) "spread" true (r.Core.res_overflow < 0.5);
+  (* the trace carries measured timing from the weight updates *)
+  Alcotest.(check bool) "trace has timing" true
+    (List.exists
+       (fun (p : Core.trace_point) -> p.Core.tp_wns <> None)
+       r.Core.res_trace);
+  ignore design
+
+let suite =
+  [ Alcotest.test_case "top-1 bit-matches critical_path (3 specs x 2 seeds)"
+      `Slow test_top1_bit_matches_critical_path;
+    Alcotest.test_case "global top-1 matches default retrace" `Slow
+      test_global_top1_matches_default;
+    Alcotest.test_case "ranked slacks monotone, paths distinct" `Slow
+      test_ranked_slacks_monotone;
+    Alcotest.test_case "matches brute-force enumeration" `Quick
+      test_matches_brute_force;
+    Alcotest.test_case "slack limit prunes exactly" `Quick
+      test_slack_limit_exact;
+    Alcotest.test_case "pooled enumeration bit-identical" `Slow
+      test_pool_determinism;
+    Alcotest.test_case "criticality arrays well-formed" `Quick
+      test_criticality_counts;
+    Alcotest.test_case "pathweight engine updates weights" `Slow
+      test_pathweight_engine_updates_weights;
+    Alcotest.test_case "pathweight placement runs" `Slow
+      test_pathweight_placement_runs ]
