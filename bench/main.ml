@@ -359,11 +359,11 @@ let kernels () =
     Printf.printf "\n  diff_forward scaling over domains (%d cores):\n" cores;
     let time_forward pool =
       let iters = 20 in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now () in
       for _ = 1 to iters do
         ignore (Difftimer.forward ?pool dt)
       done;
-      (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e6
+      (Obs.Clock.now () -. t0) /. float_of_int iters *. 1e6
     in
     let sequential_us = time_forward None in
     Printf.printf "  %-32s %12.3f us/call\n" "domains=1" sequential_us;
@@ -564,11 +564,11 @@ let bench_difftimer () =
   let iters = if !quick then 12 else 40 in
   let time_us f =
     ignore (f ());
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now () in
     for _ = 1 to iters do
       ignore (f ())
     done;
-    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e6
+    (Obs.Clock.now () -. t0) /. float_of_int iters *. 1e6
   in
   let t =
     Report.Table.create
@@ -707,11 +707,11 @@ let placer_iter () =
   let gx = Array.make ncells 0.0 and gy = Array.make ncells 0.0 in
   let time_us f =
     ignore (f ());
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now () in
     for _ = 1 to iters do
       ignore (f ())
     done;
-    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e6
+    (Obs.Clock.now () -. t0) /. float_of_int iters *. 1e6
   in
   let measure pool =
     [ ("wirelength",
@@ -858,11 +858,11 @@ let bench_paths () =
   let nend = Array.length graph.Sta.Graph.endpoints in
   let time_us f =
     ignore (f ());
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now () in
     for _ = 1 to iters do
       ignore (f ())
     done;
-    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e6
+    (Obs.Clock.now () -. t0) /. float_of_int iters *. 1e6
   in
   let t =
     Report.Table.create

@@ -73,6 +73,18 @@ let verbose =
   let doc = "Print progress every 50 iterations." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
+let profile =
+  let doc = "Record per-kernel timings (monotonic clock) and print the \
+             profile table to stderr at exit." in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let trace_out =
+  let doc = "Write the span-level profiling trace to $(docv) as JSONL \
+             (implies recording; combine with $(b,--profile) for the \
+             summary table)." in
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let domains =
   let doc = "Worker domains for the per-iteration kernels (wirelength, \
              density, Steiner/RC, STA and the differentiable timer; 1 = \
@@ -81,7 +93,8 @@ let domains =
   Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
 
 let run lib_file design_file bench cells seed clock mode iterations t1 t2
-    gamma no_legalize out_file svg_file svg_paths trace_file verbose domains =
+    gamma no_legalize out_file svg_file svg_paths trace_file verbose domains
+    profile trace_out =
   let lib = Dgp_common.load_library lib_file in
   let design, constraints =
     Dgp_common.load_design lib ~design_file ~bench ~cells ~seed
@@ -105,23 +118,27 @@ let run lib_file design_file bench cells seed clock mode iterations t1 t2
   let pool =
     if domains > 1 then Some (Parallel.create ~domains ()) else None
   in
-  let result = Core.run ?pool config graph in
+  let obs =
+    if profile || trace_out <> None then Obs.create ~gc:true ()
+    else Obs.disabled
+  in
+  let result = Core.run ?pool ~obs config graph in
   (match pool with Some p -> Parallel.shutdown p | None -> ());
   Printf.printf "placement: %d iterations in %.2f s (overflow %.3f)\n"
     result.Core.res_iterations result.Core.res_runtime result.Core.res_overflow;
   if not no_legalize then begin
-    let lg = Legalize.legalize design in
+    let lg = Legalize.legalize ~obs design in
     Format.printf "legalisation:@.%a@." Legalize.pp_stats lg
   end;
-  let report, hpwl = Core.score graph in
+  let report, hpwl = Core.score ~obs graph in
   Format.printf "@.final timing (exact STA):@.%a@.HPWL: %.4e um@."
     Sta.Timer.pp_report report hpwl;
   (match svg_file with
    | Some path ->
      let timer = Sta.Timer.create graph in
      let _ = Sta.Timer.run timer in
-     let view = Paths.analyze timer in
-     let top = Paths.enumerate ~k:(max 1 svg_paths) view in
+     let view = Paths.analyze ~obs timer in
+     let top = Paths.enumerate ~obs ~k:(max 1 svg_paths) view in
      let options =
        { Viz.Svg.default_options with
          Viz.Svg.highlight_paths =
@@ -155,11 +172,17 @@ let run lib_file design_file bench cells seed clock mode iterations t1 t2
        Out_channel.output_string oc (Report.Table.render_csv t));
      Printf.printf "trace written to %s\n" path
    | None -> ());
-  match out_file with
-  | Some path ->
-    Bookshelf.save path design constraints;
-    Printf.printf "placed design written to %s\n" path
-  | None -> ()
+  (match out_file with
+   | Some path ->
+     Bookshelf.save path design constraints;
+     Printf.printf "placed design written to %s\n" path
+   | None -> ());
+  (match trace_out with
+   | Some path ->
+     Obs.write_trace obs path;
+     Printf.printf "profiling trace written to %s\n" path
+   | None -> ());
+  if profile then Format.eprintf "%a@." Obs.pp_report obs
 
 let cmd =
   let doc = "timing-driven global placement (DAC'22 reproduction)" in
@@ -170,6 +193,6 @@ let cmd =
       $ Dgp_common.bench_name $ Dgp_common.cells $ Dgp_common.seed
       $ Dgp_common.clock_period $ mode $ iterations $ t1 $ t2 $ gamma
       $ no_legalize $ out_file $ svg_file $ svg_paths $ trace_file $ verbose
-      $ domains)
+      $ domains $ profile $ trace_out)
 
 let () = exit (Cmd.eval cmd)

@@ -11,15 +11,30 @@ let paths =
   let doc = "Number of worst paths to list (top-K path enumeration)." in
   Arg.(value & opt int 1 & info [ "paths" ] ~docv:"K" ~doc)
 
-let run lib_file design_file bench cells seed clock top paths =
+let profile =
+  let doc = "Record per-kernel timings (monotonic clock) and print the \
+             profile table to stderr at exit." in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let trace_out =
+  let doc = "Write the span-level profiling trace to $(docv) as JSONL." in
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let run lib_file design_file bench cells seed clock top paths profile
+    trace_out =
   let lib = Dgp_common.load_library lib_file in
   let design, constraints =
     Dgp_common.load_design lib ~design_file ~bench ~cells ~seed
       ~clock_period:clock
   in
   let graph = Sta.Graph.build design lib constraints in
+  let obs =
+    if profile || trace_out <> None then Obs.create ~gc:true ()
+    else Obs.disabled
+  in
   let timer = Sta.Timer.create graph in
-  let report = Sta.Timer.run timer in
+  let report = Sta.Timer.run ~obs timer in
   Format.printf "%a@.@." Sta.Timer.pp_report report;
   Printf.printf "%d most critical endpoints (setup):\n" top;
   let table =
@@ -36,12 +51,12 @@ let run lib_file design_file bench cells seed clock top paths =
             Printf.sprintf "%.1f" (Sta.Timer.at_late timer ep.Sta.Timer.ep_pin Sta.Fall) ])
     report.Sta.Timer.endpoint_slacks;
   print_string (Report.Table.render table);
-  let view = Paths.analyze timer in
+  let view = Paths.analyze ~obs timer in
   if paths <= 1 then begin
     (* single-path listing, identical to the historical output (the
        engine's top-1 path bit-matches Sta.Timer.critical_path) *)
     let steps =
-      match Paths.enumerate ~k:1 view with
+      match Paths.enumerate ~obs ~k:1 view with
       | [] -> []
       | p :: _ -> p.Paths.pt_steps
     in
@@ -49,7 +64,7 @@ let run lib_file design_file bench cells seed clock top paths =
     Format.printf "%a@." (Sta.Timer.pp_path graph) steps
   end
   else begin
-    let worst = Paths.enumerate ~k:paths view in
+    let worst = Paths.enumerate ~obs ~k:paths view in
     Printf.printf "\n%d worst paths:\n" (List.length worst);
     let table =
       Report.Table.create
@@ -82,7 +97,13 @@ let run lib_file design_file bench cells seed clock top paths =
         Printf.printf "\npath #%d (slack %.1f ps):\n" (i + 1) p.Paths.pt_slack;
         Format.printf "%a@." (Sta.Timer.pp_path graph) p.Paths.pt_steps)
       worst
-  end
+  end;
+  (match trace_out with
+   | Some path ->
+     Obs.write_trace obs path;
+     Printf.printf "\nprofiling trace written to %s\n" path
+   | None -> ());
+  if profile then Format.eprintf "%a@." Obs.pp_report obs
 
 let cmd =
   let doc = "exact static timing analysis" in
@@ -91,6 +112,6 @@ let cmd =
     Term.(
       const run $ Dgp_common.lib_file $ Dgp_common.design_file
       $ Dgp_common.bench_name $ Dgp_common.cells $ Dgp_common.seed
-      $ Dgp_common.clock_period $ top $ paths)
+      $ Dgp_common.clock_period $ top $ paths $ profile $ trace_out)
 
 let () = exit (Cmd.eval cmd)

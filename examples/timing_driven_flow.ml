@@ -7,29 +7,41 @@
    misses timing after wirelength-driven placement, recovered by the
    differentiable timing objective without a wirelength penalty.
 
-     dune exec examples/timing_driven_flow.exe [-- --domains N]
+     dune exec examples/timing_driven_flow.exe \
+       [-- --domains N] [--profile] [--trace-out FILE]
 
    With --domains N > 1 every per-iteration kernel runs through a worker
    pool; the resulting placement is bit-identical to the sequential
-   one. *)
+   one.  --profile prints the per-kernel timing table to stderr;
+   --trace-out dumps the span-level JSONL trace. *)
 
-let parse_domains () =
-  let domains = ref 1 in
+let parse_args () =
+  let domains = ref 1 and profile = ref false and trace_out = ref None in
   let rec scan = function
     | "--domains" :: v :: rest ->
       domains := int_of_string v;
+      scan rest
+    | "--profile" :: rest ->
+      profile := true;
+      scan rest
+    | "--trace-out" :: v :: rest ->
+      trace_out := Some v;
       scan rest
     | _ :: rest -> scan rest
     | [] -> ()
   in
   scan (List.tl (Array.to_list Sys.argv));
-  !domains
+  (!domains, !profile, !trace_out)
 
 let () =
   let lib = Liberty.Synthetic.default () in
-  let domains = parse_domains () in
+  let domains, profile, trace_out = parse_args () in
   let pool =
     if domains > 1 then Some (Parallel.create ~domains ()) else None
+  in
+  let obs =
+    if profile || trace_out <> None then Obs.create ~gc:true ()
+    else Obs.disabled
   in
   (* pick a scaled superblue benchmark and round-trip it through the
      on-disk format, as an external user would *)
@@ -55,9 +67,9 @@ let () =
   (* stage 1: wirelength-driven placement to convergence (the flow every
      placer shares) *)
   let wl_cfg = { Core.default_config with Core.mode = Core.Wirelength_only } in
-  let r1 = Core.run ?pool wl_cfg graph in
+  let r1 = Core.run ?pool ~obs wl_cfg graph in
   let timer = Sta.Timer.create graph in
-  let before = Sta.Timer.run timer in
+  let before = Sta.Timer.run ~obs timer in
   Printf.printf
     "\nwirelength-driven GP: %d iters, HPWL %.3e, WNS %.1f ps, TNS %.1f ps\n%!"
     r1.Core.res_iterations r1.Core.res_hpwl before.Sta.Timer.setup_wns
@@ -69,8 +81,8 @@ let () =
     { Core.default_config with
       Core.mode = Core.Path_weighting Paths.Weight.default_config }
   in
-  let rpw = Core.run ?pool pw_cfg graph in
-  let pw_report = Sta.Timer.run timer in
+  let rpw = Core.run ?pool ~obs pw_cfg graph in
+  let pw_report = Sta.Timer.run ~obs timer in
   Printf.printf
     "path-weighted GP: %d iters, HPWL %.3e, WNS %.1f ps, TNS %.1f ps\n%!"
     rpw.Core.res_iterations rpw.Core.res_hpwl pw_report.Sta.Timer.setup_wns
@@ -81,11 +93,11 @@ let () =
     { Core.default_config with
       Core.mode = Core.Differentiable_timing Core.default_timing }
   in
-  let r2 = Core.run ?pool t_cfg graph in
-  ignore (Legalize.legalize design);
+  let r2 = Core.run ?pool ~obs t_cfg graph in
+  ignore (Legalize.legalize ~obs design);
   let dp = Detailed.refine design in
   Format.printf "\ndetailed placement:@.%a@." Detailed.pp_stats dp;
-  let after = Sta.Timer.run timer in
+  let after = Sta.Timer.run ~obs timer in
   Printf.printf
     "timing-driven GP + LG + DP: %d iters, HPWL %.3e, WNS %.1f ps, TNS %.1f ps\n%!"
     r2.Core.res_iterations (Netlist.total_hpwl design)
@@ -106,8 +118,8 @@ let () =
     after.Sta.Timer.endpoint_slacks;
 
   (* and the three worst paths, via the top-K enumeration engine *)
-  let view = Paths.analyze ?pool timer in
-  let worst = Paths.enumerate ?pool ~k:3 view in
+  let view = Paths.analyze ?pool ~obs timer in
+  let worst = Paths.enumerate ?pool ~obs ~k:3 view in
   Printf.printf "\n%d worst paths:\n" (List.length worst);
   List.iteri
     (fun i (p : Paths.path) ->
@@ -118,4 +130,10 @@ let () =
     worst;
   Sys.remove design_path;
   Sys.rmdir dir;
+  (match trace_out with
+   | Some path ->
+     Obs.write_trace obs path;
+     Printf.printf "\nprofiling trace written to %s\n" path
+   | None -> ());
+  if profile then Format.eprintf "%a@." Obs.pp_report obs;
   match pool with Some p -> Parallel.shutdown p | None -> ()

@@ -61,9 +61,9 @@ let to_string (design : Netlist.t) (cs : Sta.Constraints.t) =
 
 (* The on-disk format stores library-cell indices for compactness; they
    are validated against the resolving library at load time. *)
-let of_string lib src =
+let of_string ?file lib src =
   let open Parsekit in
-  let lx = make_lexer ~what:"bookshelf" src in
+  let lx = make_lexer ?file ~what:"bookshelf" src in
   (match ident lx with
    | "design" -> ()
    | s -> error lx (Printf.sprintf "expected 'design', got %S" s));
@@ -107,6 +107,7 @@ let of_string lib src =
     cells := (cname, !lib_cell, !w, !h, !x, !y, !fixed) :: !cells
   in
   let parse_pin () =
+    let decl_line = line lx in
     let pname = string_ lx in
     let cell = ref "" and dir = ref Netlist.Input in
     let ox = ref 0.0 and oy = ref 0.0 and lib_pin = ref (-1) in
@@ -122,9 +123,10 @@ let of_string lib src =
        | "lib_pin" -> lib_pin := int_of_float (number lx)
        | other -> error lx (Printf.sprintf "unknown pin field %S" other));
       eat lx Tsemi "';'");
-    pins := (pname, !cell, !dir, !ox, !oy, !lib_pin) :: !pins
+    pins := (pname, !cell, !dir, !ox, !oy, !lib_pin, decl_line) :: !pins
   in
   let parse_net () =
+    let decl_line = line lx in
     let nname = string_ lx in
     let net_pins = ref [] in
     block lx ~field:(fun lx f ->
@@ -139,7 +141,7 @@ let of_string lib src =
         in
         net_pins := names []
       | other -> error lx (Printf.sprintf "unknown net field %S" other));
-    nets := (nname, !net_pins) :: !nets
+    nets := (nname, !net_pins, decl_line) :: !nets
   in
   block lx ~field:(fun lx f ->
     match f with
@@ -173,11 +175,14 @@ let of_string lib src =
     (List.rev !cells);
   let pin_ids = Hashtbl.create 4096 in
   List.iter
-    (fun (pname, cname, dir, ox, oy, lib_pin) ->
+    (fun (pname, cname, dir, ox, oy, lib_pin, decl_line) ->
       let cell =
         match Hashtbl.find_opt cell_ids cname with
         | Some id -> id
-        | None -> failwith (Printf.sprintf "bookshelf: pin %S on unknown cell %S" pname cname)
+        | None ->
+          fail_at ?file ~line:decl_line
+            (Printf.sprintf "bookshelf: pin %S on unknown cell %S" pname
+               cname)
       in
       let id =
         Netlist.Builder.add_pin b ~cell ~name:pname ~direction:dir
@@ -186,14 +191,16 @@ let of_string lib src =
       Hashtbl.replace pin_ids pname id)
     (List.rev !pins);
   List.iter
-    (fun (nname, pin_names) ->
+    (fun (nname, pin_names, decl_line) ->
       let resolved =
         List.map
           (fun pname ->
             match Hashtbl.find_opt pin_ids pname with
             | Some id -> id
             | None ->
-              failwith (Printf.sprintf "bookshelf: net %S uses unknown pin %S" nname pname))
+              fail_at ?file ~line:decl_line
+                (Printf.sprintf "bookshelf: net %S uses unknown pin %S"
+                   nname pname))
           pin_names
       in
       ignore (Netlist.Builder.add_net b ~name:nname ~pins:resolved))
@@ -210,4 +217,4 @@ let load lib path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_string lib (In_channel.input_all ic))
+    (fun () -> of_string ~file:path lib (In_channel.input_all ic))

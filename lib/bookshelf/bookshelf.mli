@@ -10,9 +10,12 @@
 
 val to_string : Netlist.t -> Sta.Constraints.t -> string
 
-val of_string : Liberty.t -> string -> Netlist.t * Sta.Constraints.t
-(** @raise Failure with a positioned message on parse errors or when a
-    referenced library cell does not exist. *)
+val of_string :
+  ?file:string -> Liberty.t -> string -> Netlist.t * Sta.Constraints.t
+(** @raise Failure with a uniformly positioned message
+    (["WHERE:LINE:COL: parse error: ..."] for syntax,
+    ["WHERE:LINE: ..."] for resolution failures such as unknown cells
+    or pins; [WHERE] is [file] when given). *)
 
 val save : string -> Netlist.t -> Sta.Constraints.t -> unit
 val load : Liberty.t -> string -> Netlist.t * Sta.Constraints.t

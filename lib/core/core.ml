@@ -137,16 +137,17 @@ let init_positions design =
       end)
     design.Netlist.cells
 
-let score graph =
+let score ?(obs = Obs.disabled) graph =
   let timer = Sta.Timer.create graph in
-  let report = Sta.Timer.run timer in
+  let report = Sta.Timer.run ~obs timer in
   (report, Netlist.total_hpwl graph.Sta.Graph.design)
 
-let run ?pool config graph =
+let run ?pool ?(obs = Obs.disabled) config graph =
   let design = graph.Sta.Graph.design in
   let region = design.Netlist.region in
   let side = Float.max (Geometry.Rect.width region) (Geometry.Rect.height region) in
-  let start_time = Unix.gettimeofday () in
+  let start_time = Obs.Clock.now () in
+  Obs.start obs Obs.Core_run;
   (match config.init with
    | `Center -> init_positions design
    | `Keep -> ());
@@ -234,16 +235,19 @@ let run ?pool config graph =
   let iter = ref 0 in
   while (not !stop) && !iter < config.max_iterations do
     let i = !iter in
+    Obs.set_iteration obs i;
     Array.fill gx 0 ncells 0.0;
     Array.fill gy 0 ncells 0.0;
     (* wirelength term (weighted when net weighting is active) *)
-    ignore (Wirelength.evaluate wl ?pool ~weighted:true ~grad_x:gx ~grad_y:gy ());
+    ignore
+      (Wirelength.evaluate wl ?pool ~obs ~weighted:true ~grad_x:gx ~grad_y:gy
+         ());
     (* density term: compute separately to calibrate lambda *)
-    Density.update ?pool dens;
+    Density.update ?pool ~obs dens;
     let overflow = Density.overflow dens in
     Array.fill dgx 0 ncells 0.0;
     Array.fill dgy 0 ncells 0.0;
-    Density.gradient ?pool dens ~scale:1.0 ~grad_x:dgx ~grad_y:dgy;
+    Density.gradient ?pool ~obs dens ~scale:1.0 ~grad_x:dgx ~grad_y:dgy;
     if i = 0 then begin
       let wl_norm = l1_norm mask gx +. l1_norm mask gy in
       let d_norm = Float.max 1e-12 (l1_norm mask dgx +. l1_norm mask dgy) in
@@ -256,12 +260,13 @@ let run ?pool config graph =
     (* timing terms *)
     (match netweight with
      | Some nw ->
-       if Netweight.should_update nw i then record (Netweight.update ?pool nw)
+       if Netweight.should_update nw i then
+         record (Netweight.update ?pool ~obs nw)
      | None -> ());
     (match pathweight with
      | Some pw ->
        if Paths.Weight.should_update pw i then
-         record (Paths.Weight.update ?pool pw)
+         record (Paths.Weight.update ?pool ~obs pw)
      | None -> ());
     (match difftimer with
      | Some dt ->
@@ -275,12 +280,12 @@ let run ?pool config graph =
         | Some t0 ->
           let nets = Difftimer.nets dt in
           if (i - t0) mod max 1 timing_cfg.steiner_period = 0 then
-            Sta.Nets.rebuild ?pool nets
-          else Sta.Nets.refresh ?pool nets;
-          let m = Difftimer.forward ?pool dt in
+            Sta.Nets.rebuild ?pool ~obs nets
+          else Sta.Nets.refresh ?pool ~obs nets;
+          let m = Difftimer.forward ?pool ~obs dt in
           Array.fill tgx 0 ncells 0.0;
           Array.fill tgy 0 ncells 0.0;
-          Difftimer.backward ?pool dt ~w_tns:!w_tns ~w_wns:!w_wns
+          Difftimer.backward ?pool ~obs dt ~w_tns:!w_tns ~w_wns:!w_wns
             ~grad_x:tgx ~grad_y:tgy;
           (match timing_cfg.grad_clip with
            | Some k -> clip_gradients mask tgx tgy k
@@ -308,24 +313,27 @@ let run ?pool config graph =
     if config.trace_timing_period > 0 && i mod config.trace_timing_period = 0
     then begin
       match trace_timer, netweight, pathweight with
-      | Some timer, _, _ -> record (Sta.Timer.run ?pool timer)
+      | Some timer, _, _ -> record (Sta.Timer.run ?pool ~obs timer)
       | None, Some nw, _ when not (Netweight.should_update nw i) ->
         (* Net-weighting mode owns an exact timer already: reuse it for
            trace samples that fall between weight updates. *)
         record
-          (Sta.Timer.run ?pool
+          (Sta.Timer.run ?pool ~obs
              ~rebuild_trees:(Netweight.config nw).Netweight.rebuild_trees
              (Netweight.timer nw))
       | None, _, Some pw when not (Paths.Weight.should_update pw i) ->
         record
-          (Sta.Timer.run ?pool
+          (Sta.Timer.run ?pool ~obs
              ~rebuild_trees:(Paths.Weight.config pw).Paths.Weight.rebuild_trees
              (Paths.Weight.timer pw))
       | None, _, _ -> ()
     end;
     (* update *)
+    Obs.start obs Obs.Optim_step;
     Optim.step opt_x ~lr:!lr ~params:xs ~grads:gx ~mask ();
     Optim.step opt_y ~lr:!lr ~params:ys ~grads:gy ~mask ();
+    Obs.stop obs Obs.Optim_step;
+    Obs.start obs Obs.Core_trace;
     sync_to_design ();
     lambda := !lambda *. config.lambda_growth;
     lr := !lr *. config.lr_decay;
@@ -334,6 +342,7 @@ let run ?pool config graph =
       { tp_iteration = i; tp_hpwl = hpwl; tp_overflow = overflow;
         tp_wns = !last_wns; tp_tns = !last_tns; tp_lambda = !lambda }
       :: !trace;
+    Obs.stop obs Obs.Core_trace;
     if config.verbose && i mod 50 = 0 then begin
       let fmt = function
         | Some v -> Printf.sprintf "%.1f" v
@@ -347,10 +356,11 @@ let run ?pool config graph =
       stop := true;
     incr iter
   done;
-  Density.update dens;
+  Density.update ~obs dens;
+  Obs.stop obs Obs.Core_run;
   { res_hpwl = Netlist.total_hpwl design;
     res_overflow = Density.overflow dens;
     res_iterations = !final_iter;
-    res_runtime = Unix.gettimeofday () -. start_time;
+    res_runtime = Obs.Clock.now () -. start_time;
     res_timing_active_at = !timing_active_at;
     res_trace = List.rev !trace }

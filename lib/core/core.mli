@@ -100,21 +100,27 @@ type result = {
   res_hpwl : float;
   res_overflow : float;
   res_iterations : int;
-  res_runtime : float;           (** wall-clock seconds. *)
+  res_runtime : float;           (** wall-clock seconds (monotonic). *)
   res_timing_active_at : int option;
       (** iteration at which the timing objective switched on. *)
   res_trace : trace_point list;  (** chronological. *)
 }
 
-val run : ?pool:Parallel.pool -> config -> Sta.Graph.t -> result
+val run : ?pool:Parallel.pool -> ?obs:Obs.t -> config -> Sta.Graph.t -> result
 (** Optimise the placement in place (the design inside [graph] is
     mutated).  Returns final metrics and the per-iteration trace.
     [pool] parallelises every per-iteration kernel — wirelength,
     density, Steiner/RC maintenance, STA and the differentiable timer —
     and pooled runs are bit-identical to sequential ones (all parallel
     reductions split work independently of the pool and merge partials
-    in a fixed order). *)
+    in a fixed order).
 
-val score : Sta.Graph.t -> Sta.Timer.report * float
+    [obs] (default {!Obs.disabled}) threads a span through every one of
+    those kernels plus the optimizer step and the per-iteration
+    bookkeeping, all under one [core.run] root span with iteration
+    tags; with it disabled the run is bit-identical to an
+    un-instrumented one. *)
+
+val score : ?obs:Obs.t -> Sta.Graph.t -> Sta.Timer.report * float
 (** Convenience: exact STA report and HPWL of the current placement
     (used to fill Table 3 after legalisation). *)

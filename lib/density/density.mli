@@ -21,9 +21,10 @@ val create : ?bins:int -> ?target_density:float -> Netlist.t -> t
 
 val bins : t -> int
 
-val update : ?pool:Parallel.pool -> t -> unit
+val update : ?pool:Parallel.pool -> ?obs:Obs.t -> t -> unit
 (** Re-splat densities from current cell positions and solve for the
-    potential and field.  Call once per placement iteration, before
+    potential and field.  [obs] records the two phases as
+    [density.splat] and [density.dct] spans.  Call once per placement iteration, before
     {!penalty}, {!overflow} or {!gradient}.  With [pool], cells splat
     into per-chunk grids merged in chunk order and the DCT Poisson solve
     parallelises over rows/columns; the chunk split depends only on the
@@ -40,7 +41,7 @@ val overflow : t -> float
     criterion on density overflow for all placers). *)
 
 val gradient :
-  ?pool:Parallel.pool ->
+  ?pool:Parallel.pool -> ?obs:Obs.t ->
   t -> scale:float -> grad_x:float array -> grad_y:float array -> unit
 (** Accumulate [scale * d(penalty)/d(cell center)] for every movable
     cell into [grad_x]/[grad_y] (length [num_cells]).  The field is

@@ -279,7 +279,7 @@ type ep_stats = {
 
 type fsum = { mutable fs : float }
 
-let forward ?pool t =
+let forward_run ?pool t =
   let g = t.graph in
   let cs = g.Sta.Graph.constraints in
   let gamma = t.gamma_ in
@@ -548,7 +548,7 @@ let net_backward t ns ~gx ~gy net =
         pins
     end
 
-let backward ?pool t ~w_tns ~w_wns ~grad_x ~grad_y =
+let backward_run ?pool t ~w_tns ~w_wns ~grad_x ~grad_y =
   let g = t.graph in
   let design = g.Sta.Graph.design in
   let gamma = t.gamma_ in
@@ -625,3 +625,14 @@ let backward ?pool t ~w_tns ~w_wns ~grad_x ~grad_y =
       done
     done
   end
+
+let forward ?pool ?(obs = Obs.disabled) t =
+  Obs.start obs Obs.Diff_forward;
+  let m = forward_run ?pool t in
+  Obs.stop obs Obs.Diff_forward;
+  m
+
+let backward ?pool ?(obs = Obs.disabled) t ~w_tns ~w_wns ~grad_x ~grad_y =
+  Obs.start obs Obs.Diff_backward;
+  backward_run ?pool t ~w_tns ~w_wns ~grad_x ~grad_y;
+  Obs.stop obs Obs.Diff_backward

@@ -46,12 +46,14 @@ val nets : t -> Sta.Nets.t
 val gamma : t -> float
 val set_gamma : t -> float -> unit
 
-val forward : ?pool:Parallel.pool -> t -> metrics
+val forward : ?pool:Parallel.pool -> ?obs:Obs.t -> t -> metrics
 (** Propagate on the current RC state (callers must have refreshed
-    {!nets} after moving cells). *)
+    {!nets} after moving cells).  [obs] records a [difftimer.fwd]
+    span. *)
 
 val backward :
   ?pool:Parallel.pool ->
+  ?obs:Obs.t ->
   t ->
   w_tns:float ->
   w_wns:float ->

@@ -3,13 +3,20 @@ type stats = {
   total_displacement : float;
   max_displacement : float;
   average_displacement : float;
+  overfull_cells : int;
+  total_overflow : float;
+  warnings : string list;
 }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "@[<v>moved: %d cells@,displacement: total %.1f um, max %.2f um, avg %.3f um@]"
+    "@[<v>moved: %d cells@,displacement: total %.1f um, max %.2f um, avg %.3f um"
     s.moved_cells s.total_displacement s.max_displacement
-    s.average_displacement
+    s.average_displacement;
+  if s.overfull_cells > 0 then
+    Format.fprintf ppf "@,overfull: %d cells, %.2f um total overflow"
+      s.overfull_cells s.total_overflow;
+  Format.fprintf ppf "@]"
 
 (* Each row keeps its free x-intervals; placing a cell splits the
    interval it lands in, so gaps left behind remain usable. *)
@@ -57,7 +64,8 @@ let build_rows (design : Netlist.t) =
     { row_y = lo_y +. (rh /. 2.0);
       free = carve region.Geometry.Rect.lx blocked })
 
-let legalize design =
+let legalize ?(obs = Obs.disabled) design =
+  Obs.start obs Obs.Legalize;
   let rows = build_rows design in
   let nrows = Array.length rows in
   let rh = design.Netlist.row_height in
@@ -73,6 +81,8 @@ let legalize design =
         (b.Netlist.x -. (b.Netlist.width /. 2.0)))
     movable;
   let moved = ref 0 and total = ref 0.0 and worst = ref 0.0 in
+  let overfull = ref 0 and overflow_tot = ref 0.0 in
+  let warnings = ref [] in
   Array.iter
     (fun (c : Netlist.cell) ->
       let want_x = c.Netlist.x and want_y = c.Netlist.y in
@@ -131,14 +141,19 @@ let legalize design =
         end;
         incr radius
       done;
+      let commit nx ny =
+        let d = Float.abs (nx -. want_x) +. Float.abs (ny -. want_y) in
+        if d > 1e-9 then begin
+          incr moved;
+          total := !total +. d;
+          if d > !worst then worst := d
+        end;
+        c.Netlist.x <- nx;
+        c.Netlist.y <- ny
+      in
       match !best with
-      | None ->
-        failwith
-          (Printf.sprintf "Legalize: cell %s (w=%.2f) does not fit"
-             c.Netlist.cell_name c.Netlist.width)
       | Some (_, r, x) ->
         let row = rows.(r) in
-        let row_y = row.row_y in
         (* split the interval the cell landed in *)
         let rec split = function
           | [] -> []
@@ -155,21 +170,72 @@ let legalize design =
             else (lo, hi) :: split rest
         in
         row.free <- split row.free;
-        let nx = x +. (c.Netlist.width /. 2.0) in
-        let d = Float.abs (nx -. want_x) +. Float.abs (row_y -. want_y) in
-        if d > 1e-9 then begin
-          incr moved;
-          total := !total +. d;
-          if d > !worst then worst := d
-        end;
-        c.Netlist.x <- nx;
-        c.Netlist.y <- row_y)
+        commit (x +. (c.Netlist.width /. 2.0)) row.row_y
+      | None ->
+        (* no reachable interval is wide enough: degrade gracefully
+           instead of aborting the whole flow.  Take the minimum-
+           overflow free interval anywhere (ties: smallest displacement,
+           then the fixed row/interval scan order — deterministic),
+           consume it whole and center the cell on it; the residual
+           overlap is reported, not fatal. *)
+        let fb = ref None in
+        Array.iteri
+          (fun r row ->
+            let y_cost = Float.abs (row.row_y -. want_y) in
+            List.iter
+              (fun (lo, hi) ->
+                let ov = c.Netlist.width -. (hi -. lo) in
+                let cost =
+                  Float.abs (((lo +. hi) /. 2.0) -. want_x) +. y_cost
+                in
+                let better =
+                  match !fb with
+                  | None -> true
+                  | Some (bov, bcost, _, _, _) ->
+                    ov < bov -. 1e-12
+                    || (ov <= bov +. 1e-12 && cost < bcost -. 1e-12)
+                in
+                if better then fb := Some (ov, cost, r, lo, hi))
+              row.free)
+          rows;
+        let clamp_x x =
+          let half = c.Netlist.width /. 2.0 in
+          Float.max
+            (region.Geometry.Rect.lx +. half)
+            (Float.min (region.Geometry.Rect.hx -. half) x)
+        in
+        let nx, ny, ov =
+          match !fb with
+          | Some (ov, _, r, lo, hi) ->
+            let row = rows.(r) in
+            row.free <-
+              List.filter (fun (l, h) -> not (l = lo && h = hi)) row.free;
+            (clamp_x ((lo +. hi) /. 2.0), row.row_y, ov)
+          | None ->
+            (* no free space at all: clamp to the wanted position *)
+            (clamp_x want_x, rows.(home_row).row_y, c.Netlist.width)
+        in
+        incr overfull;
+        overflow_tot := !overflow_tot +. ov;
+        warnings :=
+          Printf.sprintf
+            "legalize: cell %s (w=%.2f) does not fit; placed at \
+             (%.2f, %.2f) with %.2f um overflow"
+            c.Netlist.cell_name c.Netlist.width nx ny ov
+          :: !warnings;
+        commit nx ny)
     movable;
+  Obs.add obs "legalize.overfull_cells" (float_of_int !overfull);
+  Obs.add obs "legalize.total_overflow" !overflow_tot;
+  Obs.stop obs Obs.Legalize;
   let n = Array.length movable in
   { moved_cells = !moved;
     total_displacement = !total;
     max_displacement = !worst;
-    average_displacement = (if n = 0 then 0.0 else !total /. float_of_int n) }
+    average_displacement = (if n = 0 then 0.0 else !total /. float_of_int n);
+    overfull_cells = !overfull;
+    total_overflow = !overflow_tot;
+    warnings = List.rev !warnings }
 
 let overlap_area design =
   let movable =

@@ -13,16 +13,30 @@ type stats = {
   total_displacement : float;  (** sum of rectilinear moves, um. *)
   max_displacement : float;
   average_displacement : float;
+  overfull_cells : int;
+      (** cells for which no free interval was wide enough; placed on
+          the minimum-overflow interval instead (they may overlap). *)
+  total_overflow : float;
+      (** summed width overflow of the overfull cells, um. *)
+  warnings : string list;
+      (** one message per overfull cell, in processing order; empty on
+          a fully successful legalisation. *)
 }
 
-val legalize : Netlist.t -> stats
+val legalize : ?obs:Obs.t -> Netlist.t -> stats
 (** Snap every movable cell into rows of height [row_height] within the
     region, removing overlaps.  Cell positions are updated in place.
     Fixed cells are treated as blockages.
-    @raise Failure if the cells cannot fit (utilisation too high). *)
+
+    Never raises on over-full designs: a cell that fits nowhere
+    degrades gracefully onto the minimum-overflow free interval (ties
+    broken by displacement, then row order — deterministic), with the
+    overflow recorded in [overfull_cells]/[total_overflow]/[warnings]
+    and, when [obs] is live, as [legalize.overfull_cells] /
+    [legalize.total_overflow] counters under a [legalize] span. *)
 
 val overlap_area : Netlist.t -> float
 (** Total pairwise overlap area among movable cells (validation metric;
-    0 after successful legalisation). *)
+    0 after a legalisation with no overfull cells). *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -550,8 +550,8 @@ let parse_lut lx =
       lc_checks = Array.of_list (List.rev !checks);
       lc_is_sequential = !sequential }
 
-  let of_string src =
-    let lx = make_lexer src in
+  let of_string ?file src =
+    let lx = make_lexer ?file ~what:"liberty" src in
     (match ident lx with
      | "library" -> ()
      | s -> error lx (Printf.sprintf "expected 'library', got %S" s));
@@ -594,5 +594,5 @@ let parse_lut lx =
     let ic = open_in path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
-      (fun () -> of_string (In_channel.input_all ic))
+      (fun () -> of_string ~file:path (In_channel.input_all ic))
 end

@@ -124,9 +124,10 @@ end
     structural stand-in for the industrial Liberty format. *)
 module Io : sig
   val to_string : t -> string
-  val of_string : string -> t
-  (** @raise Failure with a line/column-annotated message on parse
-      errors. *)
+  val of_string : ?file:string -> string -> t
+  (** @raise Failure with a uniformly ["WHERE:LINE:COL:"]-annotated
+      message on parse errors ([file], when given, names the source in
+      the location). *)
 
   val save : string -> t -> unit
   val load : string -> t

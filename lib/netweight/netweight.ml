@@ -27,9 +27,10 @@ let config t = t.cfg
 let timer t = t.timer_
 let should_update t iter = iter mod max 1 t.cfg.period = 0
 
-let update ?pool t =
+let update ?pool ?(obs = Obs.disabled) t =
+  Obs.start obs Obs.Netweight_update;
   let report =
-    Sta.Timer.run ~rebuild_trees:t.cfg.rebuild_trees ?pool t.timer_
+    Sta.Timer.run ~rebuild_trees:t.cfg.rebuild_trees ?pool ~obs t.timer_
   in
   let wns = report.Sta.Timer.setup_wns in
   let denom = Float.max 1.0 (Float.abs (Float.min wns 0.0)) in
@@ -48,6 +49,7 @@ let update ?pool t =
           Float.min t.cfg.max_weight
             (net.Netlist.weight *. (1.0 +. (t.cfg.alpha *. t.momentum.(n)))))
     t.design.Netlist.nets;
+  Obs.stop obs Obs.Netweight_update;
   report
 
 let reset t =

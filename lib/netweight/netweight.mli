@@ -27,11 +27,13 @@ val create : ?config:config -> Sta.Graph.t -> t
 val config : t -> config
 val timer : t -> Sta.Timer.t
 
-val update : ?pool:Parallel.pool -> t -> Sta.Timer.report
+val update : ?pool:Parallel.pool -> ?obs:Obs.t -> t -> Sta.Timer.report
 (** Run exact STA on the current placement and bump the weights of
     critical nets in the underlying design.  Returns the timing report
     so callers can trace WNS/TNS.  [pool] parallelises the Steiner/RC
-    reconstruction inside the STA run. *)
+    reconstruction inside the STA run.  [obs] records the whole update
+    as a [netweight.update] span (the nested STA reports its own
+    spans). *)
 
 val should_update : t -> int -> bool
 (** [should_update t iter] is true when [iter] is a scheduled STA

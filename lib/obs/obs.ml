@@ -1,0 +1,400 @@
+(* Per-kernel observability: monotonic scoped spans, counters/gauges,
+   aggregation and a JSONL trace.  See obs.mli for the model.
+
+   Hot-path representation: everything is an [int].  Nanosecond stamps
+   fit a 63-bit int for ~292 years, kernels are a closed enum, and span
+   events pack (iteration, kernel, begin/end) into one tagged int, so
+   recording touches only unboxed int arrays — no per-span allocation
+   beyond the boxed int64 returned by the clock primitive.  The
+   disabled instance tests one boolean and returns. *)
+
+module Clock = struct
+  external now_ns : unit -> (int64[@unboxed])
+    = "dgp_obs_clock_ns_byte" "dgp_obs_clock_ns"
+  [@@noalloc]
+
+  let now () = Int64.to_float (now_ns ()) *. 1e-9
+end
+
+let tick () = Int64.to_int (Clock.now_ns ())
+
+type kernel =
+  | Core_run
+  | Core_trace
+  | Wirelength
+  | Density_splat
+  | Density_dct
+  | Density_grad
+  | Steiner_rebuild
+  | Steiner_refresh
+  | Sta_exact
+  | Diff_forward
+  | Diff_backward
+  | Netweight_update
+  | Pathweight_update
+  | Optim_step
+  | Paths_analyze
+  | Paths_enumerate
+  | Legalize
+
+let kernel_id = function
+  | Core_run -> 0
+  | Core_trace -> 1
+  | Wirelength -> 2
+  | Density_splat -> 3
+  | Density_dct -> 4
+  | Density_grad -> 5
+  | Steiner_rebuild -> 6
+  | Steiner_refresh -> 7
+  | Sta_exact -> 8
+  | Diff_forward -> 9
+  | Diff_backward -> 10
+  | Netweight_update -> 11
+  | Pathweight_update -> 12
+  | Optim_step -> 13
+  | Paths_analyze -> 14
+  | Paths_enumerate -> 15
+  | Legalize -> 16
+
+let n_kernels = 17
+let core_run_id = 0
+
+let all_kernels =
+  [ Core_run; Core_trace; Wirelength; Density_splat; Density_dct;
+    Density_grad; Steiner_rebuild; Steiner_refresh; Sta_exact;
+    Diff_forward; Diff_backward; Netweight_update; Pathweight_update;
+    Optim_step; Paths_analyze; Paths_enumerate; Legalize ]
+
+let kernel_name = function
+  | Core_run -> "core.run"
+  | Core_trace -> "core.trace"
+  | Wirelength -> "wirelength"
+  | Density_splat -> "density.splat"
+  | Density_dct -> "density.dct"
+  | Density_grad -> "density.grad"
+  | Steiner_rebuild -> "steiner.rebuild"
+  | Steiner_refresh -> "steiner.refresh"
+  | Sta_exact -> "sta.exact"
+  | Diff_forward -> "difftimer.fwd"
+  | Diff_backward -> "difftimer.bwd"
+  | Netweight_update -> "netweight.update"
+  | Pathweight_update -> "pathweight.update"
+  | Optim_step -> "optim.step"
+  | Paths_analyze -> "paths.analyze"
+  | Paths_enumerate -> "paths.enumerate"
+  | Legalize -> "legalize"
+
+let name_of_id =
+  let a = Array.make n_kernels "" in
+  List.iter (fun k -> a.(kernel_id k) <- kernel_name k) all_kernels;
+  a
+
+(* Span event tag: bit 0 = kind (0 begin, 1 end), bits 1-5 = kernel id,
+   bits 6.. = iteration (signed; -1 before the first set_iteration). *)
+let pack_tag ~iter ~kid ~kind = (iter lsl 6) lor (kid lsl 1) lor kind
+let tag_iter tag = tag asr 6
+let tag_kid tag = (tag lsr 1) land 0x1f
+let tag_kind tag = tag land 1
+
+type wstate = {
+  (* open-span stack *)
+  mutable fr_kernel : int array;
+  mutable fr_start : int array;
+  mutable fr_child : int array;
+  mutable fr_depth : int;
+  (* event log *)
+  mutable ev_tag : int array;
+  mutable ev_ns : int array;
+  mutable ev_len : int;
+  (* per-kernel aggregation, all in ns *)
+  calls : int array;
+  cum : int array;
+  self : int array;
+  self_in : int array;  (* self time of spans nested inside core.run *)
+  mn : int array;
+  mx : int array;
+  mutable run_depth : int;  (* open Core_run frames *)
+}
+
+type t = {
+  enabled : bool;
+  t0 : int;
+  mutable iter : int;
+  ws : wstate array;
+  mutable cnt : (string * float ref) list;  (* reversed insertion order *)
+  mutable gg : (string * float ref) list;  (* reversed insertion order *)
+  gc0 : Gc.stat option;
+}
+
+let disabled =
+  { enabled = false; t0 = 0; iter = -1; ws = [||]; cnt = []; gg = [];
+    gc0 = None }
+
+let make_wstate () =
+  { fr_kernel = Array.make 64 0;
+    fr_start = Array.make 64 0;
+    fr_child = Array.make 64 0;
+    fr_depth = 0;
+    ev_tag = Array.make 4096 0;
+    ev_ns = Array.make 4096 0;
+    ev_len = 0;
+    calls = Array.make n_kernels 0;
+    cum = Array.make n_kernels 0;
+    self = Array.make n_kernels 0;
+    self_in = Array.make n_kernels 0;
+    mn = Array.make n_kernels max_int;
+    mx = Array.make n_kernels 0;
+    run_depth = 0 }
+
+let create ?(gc = false) ?(workers = 1) () =
+  { enabled = true;
+    t0 = tick ();
+    iter = -1;
+    ws = Array.init (max 1 workers) (fun _ -> make_wstate ());
+    cnt = [];
+    gg = [];
+    gc0 = (if gc then Some (Gc.quick_stat ()) else None) }
+
+let enabled t = t.enabled
+let set_iteration t i = if t.enabled then t.iter <- i
+
+let grow a len = Array.append a (Array.make len 0)
+
+let push_event w tag ns =
+  let n = Array.length w.ev_tag in
+  if w.ev_len = n then begin
+    w.ev_tag <- grow w.ev_tag n;
+    w.ev_ns <- grow w.ev_ns n
+  end;
+  w.ev_tag.(w.ev_len) <- tag;
+  w.ev_ns.(w.ev_len) <- ns;
+  w.ev_len <- w.ev_len + 1
+
+let start ?(worker = 0) t k =
+  if t.enabled then begin
+    let w = t.ws.(worker) in
+    let d = w.fr_depth in
+    if d = Array.length w.fr_kernel then begin
+      w.fr_kernel <- grow w.fr_kernel d;
+      w.fr_start <- grow w.fr_start d;
+      w.fr_child <- grow w.fr_child d
+    end;
+    let kid = kernel_id k in
+    let now = tick () in
+    w.fr_kernel.(d) <- kid;
+    w.fr_start.(d) <- now;
+    w.fr_child.(d) <- 0;
+    w.fr_depth <- d + 1;
+    if kid = core_run_id then w.run_depth <- w.run_depth + 1;
+    push_event w (pack_tag ~iter:t.iter ~kid ~kind:0) now
+  end
+
+let stop ?(worker = 0) t _k =
+  if t.enabled then begin
+    let w = t.ws.(worker) in
+    if w.fr_depth > 0 then begin
+      let now = tick () in
+      let d = w.fr_depth - 1 in
+      w.fr_depth <- d;
+      (* attribute to the frame actually open, so traces stay balanced
+         even if a caller's [stop] kernel disagrees with its [start] *)
+      let kid = w.fr_kernel.(d) in
+      let elapsed = now - w.fr_start.(d) in
+      let selfns = elapsed - w.fr_child.(d) in
+      w.calls.(kid) <- w.calls.(kid) + 1;
+      w.cum.(kid) <- w.cum.(kid) + elapsed;
+      w.self.(kid) <- w.self.(kid) + selfns;
+      if kid = core_run_id then w.run_depth <- w.run_depth - 1
+      else if w.run_depth > 0 then
+        w.self_in.(kid) <- w.self_in.(kid) + selfns;
+      if elapsed < w.mn.(kid) then w.mn.(kid) <- elapsed;
+      if elapsed > w.mx.(kid) then w.mx.(kid) <- elapsed;
+      if d > 0 then w.fr_child.(d - 1) <- w.fr_child.(d - 1) + elapsed;
+      push_event w (pack_tag ~iter:t.iter ~kid ~kind:1) now
+    end
+  end
+
+let span ?(worker = 0) t k f =
+  if not t.enabled then f ()
+  else begin
+    start ~worker t k;
+    match f () with
+    | v -> stop ~worker t k; v
+    | exception e -> stop ~worker t k; raise e
+  end
+
+let add t name v =
+  if t.enabled then
+    match List.assoc_opt name t.cnt with
+    | Some r -> r := !r +. v
+    | None -> t.cnt <- (name, ref v) :: t.cnt
+
+let gauge t name v =
+  if t.enabled then
+    match List.assoc_opt name t.gg with
+    | Some r -> r := v
+    | None -> t.gg <- (name, ref v) :: t.gg
+
+let gc_deltas t =
+  match t.gc0 with
+  | None -> []
+  | Some s0 ->
+    let s1 = Gc.quick_stat () in
+    [ ("gc.minor_words", s1.Gc.minor_words -. s0.Gc.minor_words);
+      ("gc.promoted_words", s1.Gc.promoted_words -. s0.Gc.promoted_words);
+      ("gc.major_words", s1.Gc.major_words -. s0.Gc.major_words);
+      ( "gc.minor_collections",
+        float_of_int (s1.Gc.minor_collections - s0.Gc.minor_collections) );
+      ( "gc.major_collections",
+        float_of_int (s1.Gc.major_collections - s0.Gc.major_collections) ) ]
+
+let counters t =
+  List.rev_map (fun (n, r) -> (n, !r)) t.cnt
+  @ List.rev_map (fun (n, r) -> (n, !r)) t.gg
+  @ gc_deltas t
+
+type stat = {
+  st_kernel : kernel;
+  st_calls : int;
+  st_cum : float;
+  st_self : float;
+  st_min : float;
+  st_max : float;
+}
+
+let sec ns = float_of_int ns *. 1e-9
+
+(* Merge per-worker aggregates in worker-index order (deterministic). *)
+let stats t =
+  List.filter_map
+    (fun k ->
+      let kid = kernel_id k in
+      let calls = ref 0 and cum = ref 0 and self = ref 0 in
+      let mn = ref max_int and mx = ref 0 in
+      Array.iter
+        (fun w ->
+          if w.calls.(kid) > 0 then begin
+            calls := !calls + w.calls.(kid);
+            cum := !cum + w.cum.(kid);
+            self := !self + w.self.(kid);
+            if w.mn.(kid) < !mn then mn := w.mn.(kid);
+            if w.mx.(kid) > !mx then mx := w.mx.(kid)
+          end)
+        t.ws;
+      if !calls = 0 then None
+      else
+        Some
+          { st_kernel = k; st_calls = !calls; st_cum = sec !cum;
+            st_self = sec !self; st_min = sec !mn; st_max = sec !mx })
+    all_kernels
+
+let pp_report ppf t =
+  if not t.enabled then Format.fprintf ppf "profiling disabled@."
+  else begin
+    let sts = stats t in
+    let core_cum =
+      match List.find_opt (fun s -> s.st_kernel = Core_run) sts with
+      | Some s -> Some s.st_cum
+      | None -> None
+    in
+    let total_self =
+      List.fold_left (fun acc s -> acc +. s.st_self) 0. sts
+    in
+    let denom =
+      match core_cum with
+      | Some c when c > 0. -> c
+      | _ -> if total_self > 0. then total_self else 1.
+    in
+    Format.fprintf ppf "@[<v>per-kernel profile (monotonic clock)@,";
+    Format.fprintf ppf "%-18s %8s %12s %12s %10s %10s %7s@," "kernel" "calls"
+      "self(ms)" "cum(ms)" "min(ms)" "max(ms)" "self%";
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "%-18s %8d %12.3f %12.3f %10.3f %10.3f %6.1f%%@,"
+          (kernel_name s.st_kernel) s.st_calls (s.st_self *. 1e3)
+          (s.st_cum *. 1e3) (s.st_min *. 1e3) (s.st_max *. 1e3)
+          (100. *. s.st_self /. denom))
+      sts;
+    (match core_cum with
+    | Some c when c > 0. ->
+      (* only self time of spans nested inside core.run counts towards
+         coverage; standalone kernels (final score, legalizer) do not *)
+      let attributed =
+        Array.fold_left
+          (fun acc w -> acc + Array.fold_left ( + ) 0 w.self_in)
+          0 t.ws
+      in
+      Format.fprintf ppf
+        "coverage: %.1f%% of core.run wall time (%.3f ms) attributed to \
+         kernel self times@,"
+        (100. *. sec attributed /. c) (c *. 1e3)
+    | _ -> ());
+    let cs = counters t in
+    if cs <> [] then begin
+      Format.fprintf ppf "counters:@,";
+      List.iter (fun (n, v) -> Format.fprintf ppf "  %-28s %.6g@," n v) cs
+    end;
+    Format.fprintf ppf "@]"
+  end
+
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_trace t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      if t.enabled then begin
+        Printf.fprintf oc
+          "{\"ev\":\"meta\",\"clock\":\"monotonic\",\"workers\":%d,\
+           \"kernels\":[%s]}\n"
+          (Array.length t.ws)
+          (String.concat ","
+             (List.map
+                (fun k -> Printf.sprintf "\"%s\"" (kernel_name k))
+                all_kernels));
+        Array.iteri
+          (fun wi w ->
+            for i = 0 to w.ev_len - 1 do
+              let tag = w.ev_tag.(i) in
+              Printf.fprintf oc
+                "{\"ev\":\"%s\",\"k\":\"%s\",\"w\":%d,\"iter\":%d,\
+                 \"t\":%.9f}\n"
+                (if tag_kind tag = 0 then "b" else "e")
+                name_of_id.(tag_kid tag) wi (tag_iter tag)
+                (sec (w.ev_ns.(i) - t.t0))
+            done)
+          t.ws;
+        List.iter
+          (fun (n, r) ->
+            Printf.fprintf oc "{\"ev\":\"c\",\"k\":\"%s\",\"v\":%s}\n"
+              (json_escape n) (json_float !r))
+          (List.rev t.cnt);
+        List.iter
+          (fun (n, r) ->
+            Printf.fprintf oc "{\"ev\":\"g\",\"k\":\"%s\",\"v\":%s}\n"
+              (json_escape n) (json_float !r))
+          (List.rev t.gg);
+        List.iter
+          (fun (n, v) ->
+            Printf.fprintf oc "{\"ev\":\"g\",\"k\":\"%s\",\"v\":%s}\n"
+              (json_escape n) (json_float v))
+          (gc_deltas t)
+      end)

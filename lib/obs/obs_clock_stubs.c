@@ -1,0 +1,25 @@
+/* Monotonic clock for Obs.Clock.
+ *
+ * OCaml 5.1's Unix module exposes no clock_gettime, and gettimeofday is
+ * subject to NTP steps, so runtimes measured with it can go backwards.
+ * CLOCK_MONOTONIC never does.  The native entry point is unboxed and
+ * noalloc so a span start/stop costs two C calls and no GC work.
+ */
+#include <stdint.h>
+#include <time.h>
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+
+int64_t dgp_obs_clock_ns(void)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t) ts.tv_sec * 1000000000 + (int64_t) ts.tv_nsec;
+}
+
+CAMLprim value dgp_obs_clock_ns_byte(value unit)
+{
+  (void) unit;
+  return caml_copy_int64(dgp_obs_clock_ns());
+}

@@ -10,6 +10,7 @@ type token =
 
 type lexer = {
   what : string;
+  file : string option;
   src : string;
   mutable pos : int;
   mutable line : int;
@@ -17,9 +18,20 @@ type lexer = {
   mutable tok : token;
 }
 
+(* Uniform error locations: every parse-layer failure reads
+   "WHERE:LINE:COL: parse error: ..." and every post-parse resolution
+   failure "WHERE:LINE: ...", where WHERE is the file name when the
+   source came from disk and the format name otherwise. *)
+let where lx = match lx.file with Some f -> f | None -> lx.what
+let line lx = lx.line
+
 let error lx msg =
   failwith
-    (Printf.sprintf "%s parse error at %d:%d: %s" lx.what lx.line lx.col msg)
+    (Printf.sprintf "%s:%d:%d: parse error: %s" (where lx) lx.line lx.col msg)
+
+let fail_at ?file ~line msg =
+  failwith
+    (Printf.sprintf "%s:%d: %s" (Option.value file ~default:"<input>") line msg)
 
 let advance_char lx =
   (if lx.pos < String.length lx.src && lx.src.[lx.pos] = '\n' then begin
@@ -93,8 +105,8 @@ let rec next_token lx =
     else error lx (Printf.sprintf "unexpected character %C" c)
   end
 
-let make_lexer ?(what = "input") src =
-  let lx = { what; src; pos = 0; line = 1; col = 0; tok = Teof } in
+let make_lexer ?file ?(what = "input") src =
+  let lx = { what; file; src; pos = 0; line = 1; col = 0; tok = Teof } in
   lx.tok <- next_token lx;
   lx
 

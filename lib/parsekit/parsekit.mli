@@ -4,7 +4,9 @@
     The token language is fixed: identifiers, double-quoted strings,
     floating-point numbers, braces, semicolons and an arrow ([->]).
     ['#'] starts a line comment.  Parse errors raise [Failure] with a
-    [line:column]-annotated message. *)
+    uniformly formatted ["WHERE:LINE:COL: parse error: ..."] message,
+    where [WHERE] is the source file name when one was given to
+    {!make_lexer} and the format name otherwise. *)
 
 type token =
   | Tident of string
@@ -18,13 +20,27 @@ type token =
 
 type lexer
 
-val make_lexer : ?what:string -> string -> lexer
-(** [what] names the format in error messages (default ["input"]). *)
+val make_lexer : ?file:string -> ?what:string -> string -> lexer
+(** [what] names the format in error messages (default ["input"]);
+    [file] names the on-disk source and takes precedence over [what]
+    in error locations when present. *)
 
 val peek : lexer -> token
 val advance : lexer -> unit
+
+val where : lexer -> string
+(** The error-location prefix: the file name if known, else [what]. *)
+
+val line : lexer -> int
+(** Current 1-based source line (for recording declaration positions
+    used in post-parse resolution errors). *)
+
 val error : lexer -> string -> 'a
-(** Raise a positioned [Failure]. *)
+(** Raise a positioned [Failure]: ["WHERE:LINE:COL: parse error: MSG"]. *)
+
+val fail_at : ?file:string -> line:int -> string -> 'a
+(** Raise a resolution-stage [Failure] with the same location family:
+    ["FILE:LINE: MSG"] ([file] defaults to ["<input>"]). *)
 
 val eat : lexer -> token -> string -> unit
 (** [eat lx expected name] consumes [expected] or fails mentioning

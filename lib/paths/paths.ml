@@ -39,7 +39,7 @@ type path = {
 
 let num_edges t = Array.length t.tin_src
 
-let analyze ?pool timer =
+let analyze_run ?pool timer =
   let nets = Sta.Timer.nets timer in
   let g = nets.Sta.Nets.graph in
   let design = g.Sta.Graph.design in
@@ -254,6 +254,12 @@ let materialize t ep rank c =
   { pt_endpoint = ep; pt_rank = rank; pt_slack = c.c_slack; pt_steps = steps;
     pt_nets = nets; pt_arcs = arcs }
 
+let analyze ?pool ?(obs = Obs.disabled) timer =
+  Obs.start obs Obs.Paths_analyze;
+  let view = analyze_run ?pool timer in
+  Obs.stop obs Obs.Paths_analyze;
+  view
+
 let enumerate_endpoint ?(slack_limit = infinity) ~k t ep =
   if k <= 0 then []
   else begin
@@ -312,7 +318,7 @@ let enumerate_endpoint ?(slack_limit = infinity) ~k t ep =
     List.rev !results
   end
 
-let enumerate ?pool ?slack_limit ~k t =
+let enumerate_run ?pool ?slack_limit ~k t =
   if k <= 0 then []
   else begin
     let eps = t.graph.Sta.Graph.endpoints in
@@ -345,6 +351,12 @@ let enumerate ?pool ?slack_limit ~k t =
     in
     take k sorted
   end
+
+let enumerate ?pool ?obs:(obs = Obs.disabled) ?slack_limit ~k t =
+  Obs.start obs Obs.Paths_enumerate;
+  let paths = enumerate_run ?pool ?slack_limit ~k t in
+  Obs.stop obs Obs.Paths_enumerate;
+  paths
 
 let severity paths =
   let worst = List.fold_left (fun acc p -> Float.min acc p.pt_slack) 0.0 paths in
@@ -407,11 +419,14 @@ module Weight = struct
   let timer t = t.timer_
   let should_update t iteration = iteration mod max 1 t.cfg.period = 0
 
-  let update ?pool t =
-    let report = Sta.Timer.run ~rebuild_trees:t.cfg.rebuild_trees ?pool t.timer_ in
-    let view = analyze ?pool t.timer_ in
+  let update ?pool ?(obs = Obs.disabled) t =
+    Obs.start obs Obs.Pathweight_update;
+    let report =
+      Sta.Timer.run ~rebuild_trees:t.cfg.rebuild_trees ?pool ~obs t.timer_
+    in
+    let view = analyze ?pool ~obs t.timer_ in
     (* only violating paths drive weights: slack_limit 0 prunes exactly *)
-    let paths = enumerate ?pool ~slack_limit:0.0 ~k:t.cfg.k view in
+    let paths = enumerate ?pool ~obs ~slack_limit:0.0 ~k:t.cfg.k view in
     let crit = net_criticality view paths in
     let maxc = Array.fold_left Float.max 0.0 crit in
     Array.iter
@@ -425,6 +440,7 @@ module Weight = struct
             Float.min t.cfg.max_weight
               (net.Netlist.weight *. (1.0 +. (t.cfg.alpha *. t.momentum.(n)))))
       t.design.Netlist.nets;
+    Obs.stop obs Obs.Pathweight_update;
     report
 
   let reset t =

@@ -24,7 +24,7 @@ type t
 (** A path-search view of one timer.  Valid for the placement at which
     it was built; rebuild after the next {!Sta.Timer.run}. *)
 
-val analyze : ?pool:Parallel.pool -> Sta.Timer.t -> t
+val analyze : ?pool:Parallel.pool -> ?obs:Obs.t -> Sta.Timer.t -> t
 (** Build the in-edge CSR and arrival back-pointers from the timer's
     current state (one sweep over the CSR arc structure, node-parallel
     under [pool]).  The timer must have been {!Sta.Timer.run} first. *)
@@ -54,7 +54,8 @@ val enumerate_endpoint : ?slack_limit:float -> k:int -> t -> int -> path list
     returned (exact pruning, e.g. [0.0] for violating paths only). *)
 
 val enumerate :
-  ?pool:Parallel.pool -> ?slack_limit:float -> k:int -> t -> path list
+  ?pool:Parallel.pool -> ?obs:Obs.t -> ?slack_limit:float -> k:int -> t ->
+  path list
 (** The [k] globally worst paths across all endpoints, worst first.
     Endpoints enumerate in parallel under [pool]; results are merged
     under the total order (slack, endpoint position, rank), so the
@@ -100,7 +101,7 @@ module Weight : sig
 
   val should_update : t -> int -> bool
 
-  val update : ?pool:Parallel.pool -> t -> Sta.Timer.report
+  val update : ?pool:Parallel.pool -> ?obs:Obs.t -> t -> Sta.Timer.report
   (** Run the timer, enumerate the K worst violating paths, update net
       weights in place, and return the timing report. *)
 

@@ -330,12 +330,15 @@ module Nets = struct
   (* Steiner construction and RC evaluation are per-net: every task
      touches only [trees.(n)] and freshly allocated tree/RC state, so
      net-parallel dispatch is race-free and bit-identical. *)
-  let rebuild ?exact_limit ?pool t =
+  let rebuild ?exact_limit ?pool ?(obs = Obs.disabled) t =
+    Obs.start obs Obs.Steiner_rebuild;
     let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
     Parallel.parallel_for p ~grain:32 (Array.length t.trees) (fun n ->
-      t.trees.(n) <- build_tree ?exact_limit t.graph n)
+      t.trees.(n) <- build_tree ?exact_limit t.graph n);
+    Obs.stop obs Obs.Steiner_rebuild
 
-  let refresh ?pool t =
+  let refresh ?pool ?(obs = Obs.disabled) t =
+    Obs.start obs Obs.Steiner_refresh;
     let design = t.graph.Graph.design in
     let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
     Parallel.parallel_for p ~grain:64 (Array.length t.trees) (fun n ->
@@ -346,7 +349,8 @@ module Nets = struct
         let xs = Array.map (fun p -> Netlist.pin_x design p) pins in
         let ys = Array.map (fun p -> Netlist.pin_y design p) pins in
         Steiner.update_coordinates tree ~xs ~ys;
-        Rc.evaluate rc)
+        Rc.evaluate rc);
+    Obs.stop obs Obs.Steiner_refresh
 
   let total_tree_length t =
     Array.fold_left
@@ -602,11 +606,12 @@ module Timer = struct
         levels.(l)
     done
 
-  let run ?(rebuild_trees = true) ?pool t =
+  let run ?(rebuild_trees = true) ?pool ?(obs = Obs.disabled) t =
     let g = t.graph in
     let cs = g.Graph.constraints in
-    if rebuild_trees then Nets.rebuild ?pool t.nets
-    else Nets.refresh ?pool t.nets;
+    if rebuild_trees then Nets.rebuild ?pool ~obs t.nets
+    else Nets.refresh ?pool ~obs t.nets;
+    Obs.start obs Obs.Sta_exact;
     Array.fill t.at_l 0 (Array.length t.at_l) neg_infinity;
     Array.fill t.at_e 0 (Array.length t.at_e) infinity;
     Array.fill t.sl_l 0 (Array.length t.sl_l) 0.0;
@@ -665,11 +670,15 @@ module Timer = struct
         (fun a b -> Float.compare a.ep_setup_slack b.ep_setup_slack)
         !slacks
     in
-    { setup_wns = (if !setup_wns = infinity then 0.0 else !setup_wns);
-      setup_tns = !setup_tns;
-      hold_wns = (if !hold_wns = infinity then 0.0 else !hold_wns);
-      hold_tns = !hold_tns;
-      endpoint_slacks = sorted }
+    let report =
+      { setup_wns = (if !setup_wns = infinity then 0.0 else !setup_wns);
+        setup_tns = !setup_tns;
+        hold_wns = (if !hold_wns = infinity then 0.0 else !hold_wns);
+        hold_tns = !hold_tns;
+        endpoint_slacks = sorted }
+    in
+    Obs.stop obs Obs.Sta_exact;
+    report
 
   let pin_slack_late t p =
     let best = ref infinity in

@@ -111,13 +111,14 @@ module Nets : sig
   val create : Graph.t -> t
   (** Builds topologies from the current placement and evaluates RC. *)
 
-  val rebuild : ?exact_limit:int -> ?pool:Parallel.pool -> t -> unit
+  val rebuild :
+    ?exact_limit:int -> ?pool:Parallel.pool -> ?obs:Obs.t -> t -> unit
   (** Re-run Steiner construction from current pin positions (the
       periodic "call FLUTE" step of §3.6) and re-evaluate RC.  With
       [pool], nets build in parallel; each task writes only its own
       tree slot, so the result is bit-identical to sequential. *)
 
-  val refresh : ?pool:Parallel.pool -> t -> unit
+  val refresh : ?pool:Parallel.pool -> ?obs:Obs.t -> t -> unit
   (** Keep topologies; refresh coordinates via Steiner provenance and
       re-evaluate RC (the cheap between-FLUTE-calls step of §3.6).
       Net-parallel under [pool], same determinism as {!rebuild}. *)
@@ -148,12 +149,15 @@ module Timer : sig
   val create : Graph.t -> t
   val nets : t -> Nets.t
 
-  val run : ?rebuild_trees:bool -> ?pool:Parallel.pool -> t -> report
+  val run :
+    ?rebuild_trees:bool -> ?pool:Parallel.pool -> ?obs:Obs.t -> t -> report
   (** Full analysis on the current placement.  [rebuild_trees] (default
       true) reconstructs Steiner topologies first; pass false to reuse
       topologies and only refresh coordinates.  [pool] parallelises the
       Steiner/RC construction over nets (the propagation itself stays
-      sequential). *)
+      sequential).  [obs] records the tree maintenance as
+      [steiner.rebuild]/[steiner.refresh] and the propagation as
+      [sta.exact]. *)
 
   val at_late : t -> int -> transition -> float
   (** Latest arrival time at a pin after {!run}; [neg_infinity] when the

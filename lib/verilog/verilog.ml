@@ -130,13 +130,17 @@ type token =
 
 type lexer = {
   src : string;
+  file : string option;
   mutable pos : int;
   mutable line : int;
   mutable tok : token;
 }
 
+let where lx = match lx.file with Some f -> f | None -> "verilog"
+
 let error lx msg =
-  failwith (Printf.sprintf "verilog parse error at line %d: %s" lx.line msg)
+  failwith
+    (Printf.sprintf "%s:%d: parse error: %s" (where lx) lx.line msg)
 
 let rec skip_space lx =
   if lx.pos < String.length lx.src then begin
@@ -214,8 +218,8 @@ let next_token lx =
       else error lx (Printf.sprintf "unexpected character %C" c)
   end
 
-let make_lexer src =
-  let lx = { src; pos = 0; line = 1; tok = Teof } in
+let make_lexer ?file src =
+  let lx = { src; file; pos = 0; line = 1; tok = Teof } in
   lx.tok <- next_token lx;
   lx
 
@@ -237,13 +241,14 @@ type parsed = {
   p_module : string;
   p_inputs : string list;
   p_outputs : string list;
-  p_instances : (string * string * (string * string) list) list;
-      (* cell type, instance name, (pin, net) *)
-  p_aliases : (string * string) list;  (* assign lhs = rhs *)
+  p_instances : (string * string * (string * string) list * int) list;
+      (* cell type, instance name, (pin, net), declaration line *)
+  p_aliases : (string * string * int) list;
+      (* assign lhs = rhs, declaration line *)
 }
 
-let parse src =
-  let lx = make_lexer src in
+let parse ?file src =
+  let lx = make_lexer ?file src in
   (match ident lx with
    | "module" -> ()
    | s -> error lx (Printf.sprintf "expected 'module', got %S" s));
@@ -269,6 +274,7 @@ let parse src =
       error lx "expected ',' or ';' in declaration"
   in
   let parse_instance cell_type =
+    let decl_line = lx.line in
     let inst = ident lx in
     eat lx Tlparen "'('";
     let rec connections acc =
@@ -291,7 +297,7 @@ let parse src =
     in
     let conns = connections [] in
     eat lx Tsemi "';'";
-    instances := (cell_type, inst, conns) :: !instances
+    instances := (cell_type, inst, conns, decl_line) :: !instances
   in
   let rec body () =
     match ident lx with
@@ -299,6 +305,7 @@ let parse src =
     | "input" -> inputs := !inputs @ names []; body ()
     | "output" -> outputs := !outputs @ names []; body ()
     | "assign" ->
+      let decl_line = lx.line in
       let lhs = ident lx in
       (match peek lx with
        | Tid "=" -> advance lx
@@ -306,7 +313,7 @@ let parse src =
          error lx "expected '=' in assign");
       let rhs = ident lx in
       eat lx Tsemi "';'";
-      aliases := (lhs, rhs) :: !aliases;
+      aliases := (lhs, rhs, decl_line) :: !aliases;
       body ()
     | "wire" ->
       (* wires are implied by use; the declaration is consumed and
@@ -327,20 +334,23 @@ let hash01 i salt =
   h := !h lxor (!h lsr 16);
   float_of_int (!h land 0xFFFFF) /. 1048576.0
 
-let import ?(utilization = 0.55) ?(row_height = 1.4) (lib : Liberty.t) src =
-  let p = parse src in
+let import ?file ?(utilization = 0.55) ?(row_height = 1.4) (lib : Liberty.t)
+    src =
+  let p = parse ?file src in
   (* resolve instance types and size the region *)
   let resolved =
     List.map
-      (fun (cell_type, inst, conns) ->
+      (fun (cell_type, inst, conns, decl_line) ->
         match Liberty.cell_index lib cell_type with
-        | Some k -> (k, inst, conns)
-        | None -> failwith (Printf.sprintf "verilog: unknown cell type %S" cell_type))
+        | Some k -> (k, inst, conns, decl_line)
+        | None ->
+          Parsekit.fail_at ?file ~line:decl_line
+            (Printf.sprintf "verilog: unknown cell type %S" cell_type))
       p.p_instances
   in
   let total_area =
     List.fold_left
-      (fun acc (k, _, _) ->
+      (fun acc (k, _, _, _) ->
         let lc = lib.Liberty.lib_cells.(k) in
         acc +. (lc.Liberty.lc_width *. lc.Liberty.lc_height))
       0.0 resolved
@@ -352,12 +362,17 @@ let import ?(utilization = 0.55) ?(row_height = 1.4) (lib : Liberty.t) src =
   let nports = List.length p.p_inputs + List.length p.p_outputs in
   (* resolve assign-aliases to a canonical net name *)
   let alias = Hashtbl.create 16 in
-  List.iter (fun (lhs, rhs) -> Hashtbl.replace alias lhs rhs) p.p_aliases;
-  let rec canon ?(depth = 0) n =
-    if depth > 1000 then failwith "verilog: circular assign chain"
+  List.iter
+    (fun (lhs, rhs, decl_line) -> Hashtbl.replace alias lhs (rhs, decl_line))
+    p.p_aliases;
+  let rec canon ?(depth = 0) ?line n =
+    if depth > 1000 then
+      Parsekit.fail_at ?file
+        ~line:(Option.value line ~default:0)
+        "verilog: circular assign chain"
     else
       match Hashtbl.find_opt alias n with
-      | Some next -> canon ~depth:(depth + 1) next
+      | Some (next, l) -> canon ~depth:(depth + 1) ~line:l next
       | None -> n
   in
   let port_pins = Hashtbl.create 64 in
@@ -394,7 +409,7 @@ let import ?(utilization = 0.55) ?(row_height = 1.4) (lib : Liberty.t) src =
   in
   Hashtbl.iter (fun net pin -> connect (canon net) pin false) port_pins;
   List.iteri
-    (fun idx (kind, inst, conns) ->
+    (fun idx (kind, inst, conns, decl_line) ->
       let lc = lib.Liberty.lib_cells.(kind) in
       let margin = 3.0 in
       let cell =
@@ -409,7 +424,7 @@ let import ?(utilization = 0.55) ?(row_height = 1.4) (lib : Liberty.t) src =
       List.iter
         (fun (pin_name, _) ->
           if Liberty.pin_index lc pin_name = None then
-            failwith
+            Parsekit.fail_at ?file ~line:decl_line
               (Printf.sprintf "verilog: cell %s (%s) has no pin %S" inst
                  lc.Liberty.lc_name pin_name))
         conns;
@@ -463,4 +478,6 @@ let load ?utilization ?row_height lib path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> import ?utilization ?row_height lib (In_channel.input_all ic))
+    (fun () ->
+      import ~file:path ?utilization ?row_height lib
+        (In_channel.input_all ic))

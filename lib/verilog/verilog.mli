@@ -31,13 +31,15 @@ val export : Netlist.t -> Liberty.t -> string
     @raise Invalid_argument if a cell's library index is out of range. *)
 
 val import :
-  ?utilization:float -> ?row_height:float -> Liberty.t -> string ->
-  Netlist.t
+  ?file:string -> ?utilization:float -> ?row_height:float -> Liberty.t ->
+  string -> Netlist.t
 (** Parse one module and build a placeable design ([utilization]
     defaults to 0.55).  Clock pins wired to an undriven net are left
     unconnected (ideal clock), matching the generator's convention.
-    @raise Failure with a positioned message on syntax errors, unknown
-    cells or unknown pins. *)
+    @raise Failure with a uniformly positioned message
+    (["WHERE:LINE: parse error: ..."] for syntax, ["WHERE:LINE: ..."]
+    for unknown cells/pins and circular assigns; [WHERE] is [file] when
+    given, ["verilog"] otherwise). *)
 
 val save : string -> Netlist.t -> Liberty.t -> unit
 val load : ?utilization:float -> ?row_height:float -> Liberty.t -> string -> Netlist.t

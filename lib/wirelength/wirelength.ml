@@ -107,10 +107,12 @@ let eval_net t sl ~weighted gx gy (net : Netlist.net) =
     w *. (wx +. wy)
   end
 
-let evaluate t ?pool ?(weighted = true) ~grad_x ~grad_y () =
+let evaluate t ?pool ?(obs = Obs.disabled) ?(weighted = true) ~grad_x
+    ~grad_y () =
   let ncells = Netlist.num_cells t.design in
   if Array.length grad_x <> ncells || Array.length grad_y <> ncells then
     invalid_arg "Wirelength.evaluate: gradient size mismatch";
+  Obs.start obs Obs.Wirelength;
   let nets = t.design.Netlist.nets in
   let nnets = Array.length nets in
   let nslices = net_slices nnets in
@@ -119,6 +121,7 @@ let evaluate t ?pool ?(weighted = true) ~grad_x ~grad_y () =
       Array.init nslices (fun s ->
         if s < Array.length t.slices then t.slices.(s)
         else make_slice ncells 1);
+  let result =
   if nslices = 1 then begin
     let sl = t.slices.(0) in
     let total = ref 0.0 in
@@ -151,3 +154,6 @@ let evaluate t ?pool ?(weighted = true) ~grad_x ~grad_y () =
     done;
     !total
   end
+  in
+  Obs.stop obs Obs.Wirelength;
+  result

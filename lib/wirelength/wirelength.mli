@@ -25,12 +25,15 @@ val set_gamma : t -> float -> unit
 val evaluate :
   t ->
   ?pool:Parallel.pool ->
+  ?obs:Obs.t ->
   ?weighted:bool ->
   grad_x:float array ->
   grad_y:float array ->
   unit ->
   float
 (** Smooth weighted wirelength of the design at its current positions.
+    [obs] (default {!Obs.disabled}) records the whole call as a
+    [wirelength] span.
     Gradients with respect to {e cell centers} are {b accumulated} into
     [grad_x]/[grad_y] (length [num_cells]; gradients also accrue on fixed
     cells — callers mask them).  [weighted] (default true) applies net

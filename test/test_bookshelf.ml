@@ -59,6 +59,39 @@ let test_parse_errors () =
      fixed false; } }";
   expect_failure "trailing garbage" "design \"d\" { region 0 0 1 1; } extra"
 
+(* Error messages carry a uniform location: "FILE:LINE:COL: parse
+   error: ..." for syntax, "FILE:LINE: ..." for resolution failures. *)
+let test_error_location () =
+  let starts_with pre s =
+    String.length s >= String.length pre
+    && String.sub s 0 (String.length pre) = pre
+  in
+  let expect_msg name f check =
+    match f () with
+    | exception Failure m ->
+      if not (check m) then Alcotest.failf "%s: bad message %S" name m
+    | _ -> Alcotest.failf "%s: expected Failure" name
+  in
+  expect_msg "syntax error format"
+    (fun () ->
+      Bookshelf.of_string ~file:"demo.design" lib
+        "design \"d\" {\n  mystery 4;\n}")
+    (fun m -> starts_with "demo.design:2:" m);
+  expect_msg "resolution error format"
+    (fun () ->
+      Bookshelf.of_string ~file:"demo.design" lib
+        "design \"d\" { region 0 0 1 1;\n\
+        \  pin \"p\" { cell \"nope\"; direction input; offset 0 0; lib_pin \
+         -1; }\n\
+         }")
+    (fun m -> starts_with "demo.design:2: " m);
+  (* without a file, the resolution location names the input *)
+  expect_msg "anonymous resolution"
+    (fun () ->
+      Bookshelf.of_string lib
+        "design \"d\" { region 0 0 1 1; net \"n\" { pins \"ghost\"; } }")
+    (fun m -> starts_with "<input>:1: " m)
+
 let test_minimal_design () =
   let src =
     "design \"tiny\" {\n\
@@ -84,4 +117,5 @@ let suite =
     Alcotest.test_case "roundtrip semantics" `Quick test_roundtrip_semantics;
     Alcotest.test_case "save/load file" `Quick test_save_load_file;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "error locations" `Quick test_error_location;
     Alcotest.test_case "minimal design" `Quick test_minimal_design ]

@@ -6,6 +6,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("transform", Test_transform.suite);
       ("parsekit", Test_parsekit.suite);
+      ("obs", Test_obs.suite);
       ("netlist", Test_netlist.suite);
       ("liberty", Test_liberty.suite);
       ("steiner", Test_steiner.suite);

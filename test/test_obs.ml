@@ -1,0 +1,288 @@
+(* Tests for the per-kernel observability layer: clock sanity, the
+   disabled fast path, span aggregation, non-perturbation of Core.run,
+   and the JSONL trace format. *)
+
+let lib = Liberty.Synthetic.default ()
+
+let setup ?(cells = 200) ?(seed = 7) () =
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = cells; sp_seed = seed; sp_clock_period = 800.0 }
+  in
+  let design, cons = Workload.generate lib spec in
+  (design, Sta.Graph.build design lib cons)
+
+let bits = Int64.bits_of_float
+
+let test_clock_monotonic () =
+  let a = Obs.Clock.now_ns () in
+  let b = Obs.Clock.now_ns () in
+  Alcotest.(check bool) "ns never steps back" true (Int64.compare b a >= 0);
+  let t0 = Obs.Clock.now () in
+  (* burn a little time so the delta is strictly positive *)
+  let acc = ref 0.0 in
+  for i = 1 to 100_000 do acc := !acc +. sqrt (float_of_int i) done;
+  ignore !acc;
+  let t1 = Obs.Clock.now () in
+  Alcotest.(check bool) "seconds advance" true (t1 > t0)
+
+let test_disabled_is_noop () =
+  Alcotest.(check bool) "disabled" false (Obs.enabled Obs.disabled);
+  (* every operation must be a silent no-op on the disabled instance *)
+  Obs.start Obs.disabled Obs.Wirelength;
+  Obs.stop Obs.disabled Obs.Wirelength;
+  Obs.set_iteration Obs.disabled 3;
+  Obs.add Obs.disabled "x" 1.0;
+  Obs.gauge Obs.disabled "y" 2.0;
+  Alcotest.(check int) "no stats" 0 (List.length (Obs.stats Obs.disabled));
+  Alcotest.(check int) "no counters" 0
+    (List.length (Obs.counters Obs.disabled))
+
+let test_span_aggregation () =
+  let obs = Obs.create () in
+  Alcotest.(check bool) "enabled" true (Obs.enabled obs);
+  (* two calls of a parent span with a nested child in each *)
+  for _ = 1 to 2 do
+    Obs.start obs Obs.Sta_exact;
+    Obs.start obs Obs.Steiner_rebuild;
+    let acc = ref 0.0 in
+    for i = 1 to 10_000 do acc := !acc +. sqrt (float_of_int i) done;
+    ignore !acc;
+    Obs.stop obs Obs.Steiner_rebuild;
+    Obs.stop obs Obs.Sta_exact
+  done;
+  let find k =
+    match List.find_opt (fun s -> s.Obs.st_kernel = k) (Obs.stats obs) with
+    | Some s -> s
+    | None -> Alcotest.failf "missing kernel %s" (Obs.kernel_name k)
+  in
+  let parent = find Obs.Sta_exact and child = find Obs.Steiner_rebuild in
+  Alcotest.(check int) "parent calls" 2 parent.Obs.st_calls;
+  Alcotest.(check int) "child calls" 2 child.Obs.st_calls;
+  Alcotest.(check bool) "child nested in parent" true
+    (child.Obs.st_cum <= parent.Obs.st_cum);
+  (* self excludes the nested span *)
+  Alcotest.(check (float 1e-9)) "self = cum - children"
+    (parent.Obs.st_cum -. child.Obs.st_cum)
+    parent.Obs.st_self;
+  Alcotest.(check bool) "min <= max" true
+    (parent.Obs.st_min <= parent.Obs.st_max);
+  Alcotest.(check bool) "calls * min <= cum" true
+    (float_of_int parent.Obs.st_calls *. parent.Obs.st_min
+     <= parent.Obs.st_cum +. 1e-12)
+
+let test_counters_and_gauges () =
+  let obs = Obs.create () in
+  Obs.add obs "a" 1.5;
+  Obs.add obs "a" 2.5;
+  Obs.add obs "b" 1.0;
+  Obs.gauge obs "g" 10.0;
+  Obs.gauge obs "g" 20.0;
+  let cs = Obs.counters obs in
+  Alcotest.(check (float 1e-12)) "counter accumulates" 4.0
+    (List.assoc "a" cs);
+  Alcotest.(check (float 1e-12)) "second counter" 1.0 (List.assoc "b" cs);
+  Alcotest.(check (float 1e-12)) "gauge overwrites" 20.0 (List.assoc "g" cs)
+
+(* Profiling must not perturb placement: a Core.run with a live recorder
+   is bit-identical to the default (disabled) one, in every mode, both
+   sequential and pooled. *)
+let test_run_not_perturbed () =
+  let modes =
+    [ ("wl", Core.Wirelength_only);
+      ("netweight", Core.Net_weighting Netweight.default_config);
+      ("pathweight", Core.Path_weighting Paths.Weight.default_config);
+      ("timing", Core.Differentiable_timing Core.default_timing) ]
+  in
+  List.iter
+    (fun (label, mode) ->
+      let cfg =
+        { Core.default_config with
+          Core.mode; max_iterations = 40; min_iterations = 15;
+          trace_timing_period = 10 }
+      in
+      let run ?pool ~obs () =
+        let design, graph = setup () in
+        let r = Core.run ?pool ~obs cfg graph in
+        let pos =
+          Array.map
+            (fun (c : Netlist.cell) -> (c.Netlist.x, c.Netlist.y))
+            design.Netlist.cells
+        in
+        (r, pos)
+      in
+      let check_same tag (r1, (pos1 : (float * float) array)) (r2, pos2) =
+        Alcotest.(check int)
+          (label ^ tag ^ ": iterations")
+          r1.Core.res_iterations r2.Core.res_iterations;
+        Alcotest.(check bool)
+          (label ^ tag ^ ": hpwl bit-identical")
+          true
+          (bits r1.Core.res_hpwl = bits r2.Core.res_hpwl);
+        Array.iteri
+          (fun i (x1, y1) ->
+            let x2, y2 = pos2.(i) in
+            if bits x1 <> bits x2 || bits y1 <> bits y2 then
+              Alcotest.failf "%s%s: cell %d position differs" label tag i)
+          pos1
+      in
+      let base = run ~obs:Obs.disabled () in
+      let profiled = run ~obs:(Obs.create ~gc:true ()) () in
+      check_same " seq" base profiled;
+      let pool = Parallel.create ~domains:4 () in
+      let pooled =
+        Fun.protect
+          ~finally:(fun () -> Parallel.shutdown pool)
+          (fun () -> run ~pool ~obs:(Obs.create ()) ())
+      in
+      check_same " pooled" base pooled)
+    modes
+
+(* ---- a tiny JSONL field scanner (the round-trip parser) ---- *)
+
+let find_sub line pat =
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+(* extract the value of ["name": ...] as a raw string (unquoted) *)
+let field line name =
+  match find_sub line (Printf.sprintf "\"%s\":" name) with
+  | None -> None
+  | Some i ->
+    if i < String.length line && line.[i] = '"' then begin
+      let j = String.index_from line (i + 1) '"' in
+      Some (String.sub line (i + 1) (j - i - 1))
+    end
+    else begin
+      let j = ref i in
+      while
+        !j < String.length line && line.[!j] <> ',' && line.[!j] <> '}'
+      do
+        incr j
+      done;
+      Some (String.sub line i (!j - i))
+    end
+
+let test_jsonl_trace () =
+  (* exercise every instrumented kernel against one recorder *)
+  let obs = Obs.create ~gc:true () in
+  let design, graph = setup () in
+  let cfg =
+    { Core.default_config with
+      Core.mode = Core.Wirelength_only; max_iterations = 20;
+      min_iterations = 10 }
+  in
+  let _ = Core.run ~obs cfg graph in
+  let timer = Sta.Timer.create graph in
+  let _ = Sta.Timer.run ~obs timer in
+  let nets = Sta.Nets.create graph in
+  Sta.Nets.refresh ~obs nets;
+  let dt = Difftimer.create graph in
+  Sta.Nets.rebuild ~obs (Difftimer.nets dt);
+  let _ = Difftimer.forward ~obs dt in
+  let n = Netlist.num_cells design in
+  let gx = Array.make n 0.0 and gy = Array.make n 0.0 in
+  Difftimer.backward ~obs dt ~w_tns:1.0 ~w_wns:1.0 ~grad_x:gx ~grad_y:gy;
+  let nw = Netweight.create graph in
+  let _ = Netweight.update ~obs nw in
+  let pw = Paths.Weight.create graph in
+  let _ = Paths.Weight.update ~obs pw in
+  let view = Paths.analyze ~obs timer in
+  let _ = Paths.enumerate ~obs ~k:3 view in
+  let _ = Legalize.legalize ~obs design in
+  let path = Filename.temp_file "dgp_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.write_trace obs path;
+      let lines =
+        In_channel.with_open_text path In_channel.input_lines
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      (match lines with
+       | meta :: _ ->
+         Alcotest.(check (option string)) "meta first" (Some "meta")
+           (field meta "ev");
+         Alcotest.(check bool) "meta names the clock" true
+           (field meta "clock" = Some "monotonic")
+       | [] -> Alcotest.fail "empty trace");
+      (* every line parses: has an "ev" and is brace-delimited *)
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "line is a JSON object" true
+            (l.[0] = '{' && l.[String.length l - 1] = '}');
+          if field l "ev" = None then Alcotest.failf "no ev in %s" l)
+        lines;
+      (* span events balance like a stack, per worker *)
+      let depth = Hashtbl.create 4 in
+      let last_t = Hashtbl.create 4 in
+      let seen = Hashtbl.create 32 in
+      List.iter
+        (fun l ->
+          match field l "ev" with
+          | Some "b" | Some "e" ->
+            let w = Option.get (field l "w") in
+            let k = Option.get (field l "k") in
+            let t = float_of_string (Option.get (field l "t")) in
+            let prev =
+              Option.value ~default:neg_infinity (Hashtbl.find_opt last_t w)
+            in
+            Alcotest.(check bool) "timestamps non-decreasing per worker"
+              true (t >= prev);
+            Hashtbl.replace last_t w t;
+            let d =
+              match Hashtbl.find_opt depth w with
+              | Some r -> r
+              | None ->
+                let r = ref 0 in
+                Hashtbl.add depth w r;
+                r
+            in
+            if field l "ev" = Some "b" then begin
+              incr d;
+              Hashtbl.replace seen k ()
+            end
+            else begin
+              decr d;
+              if !d < 0 then Alcotest.failf "unbalanced span close: %s" l
+            end
+          | _ -> ())
+        lines;
+      Hashtbl.iter
+        (fun w d ->
+          if !d <> 0 then
+            Alcotest.failf "worker %s left %d spans open" w !d)
+        depth;
+      (* the trace covers every instrumented kernel *)
+      List.iter
+        (fun k ->
+          let name = Obs.kernel_name k in
+          if not (Hashtbl.mem seen name) then
+            Alcotest.failf "kernel %s missing from trace" name)
+        Obs.all_kernels;
+      (* counters and gc gauges made it out *)
+      let has_counter name =
+        List.exists
+          (fun l ->
+            (field l "ev" = Some "c" || field l "ev" = Some "g")
+            && field l "k" = Some name)
+          lines
+      in
+      Alcotest.(check bool) "legalize counter present" true
+        (has_counter "legalize.overfull_cells");
+      Alcotest.(check bool) "gc gauge present" true
+        (has_counter "gc.minor_words"))
+
+let suite =
+  [ Alcotest.test_case "clock monotonic" `Quick test_clock_monotonic;
+    Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "span aggregation" `Quick test_span_aggregation;
+    Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+    Alcotest.test_case "profiling does not perturb Core.run" `Slow
+      test_run_not_perturbed;
+    Alcotest.test_case "jsonl trace" `Quick test_jsonl_trace ]

@@ -112,6 +112,36 @@ let test_parse_errors () =
   expect "unterminated comment" "module t (a); /* input a; endmodule";
   expect "missing endmodule" "module t (a); input a;"
 
+(* Errors report "FILE:LINE: ..." (or "verilog:LINE: ..." for
+   anonymous input), for both lexical and resolution failures. *)
+let test_error_location () =
+  let starts_with pre s =
+    String.length s >= String.length pre
+    && String.sub s 0 (String.length pre) = pre
+  in
+  let expect_msg name f check =
+    match f () with
+    | exception Failure m ->
+      if not (check m) then Alcotest.failf "%s: bad message %S" name m
+    | _ -> Alcotest.failf "%s: expected Failure" name
+  in
+  expect_msg "syntax error format"
+    (fun () -> Verilog.import ~file:"t.v" lib "module t (a);\n  bogus!\n")
+    (fun m -> starts_with "t.v:2: parse error:" m);
+  expect_msg "unknown cell at declaration line"
+    (fun () ->
+      Verilog.import ~file:"t.v" lib
+        "module t (a);\n  input a;\n  BOGUS_X9 u (.A(a));\nendmodule\n")
+    (fun m -> starts_with "t.v:3: " m);
+  expect_msg "unknown pin at declaration line"
+    (fun () ->
+      Verilog.import ~file:"t.v" lib
+        "module t (a);\n  input a;\n  INV_X1 u (.Q(a));\nendmodule\n")
+    (fun m -> starts_with "t.v:3: " m);
+  expect_msg "anonymous input names the format"
+    (fun () -> Verilog.import lib "wire x;")
+    (fun m -> starts_with "verilog:1: parse error:" m)
+
 let test_save_load () =
   let spec = { Workload.default_spec with Workload.sp_cells = 60 } in
   let design, _ = Workload.generate lib spec in
@@ -130,4 +160,5 @@ let suite =
     Alcotest.test_case "export fixpoint" `Quick test_export_reimport_fixpoint;
     Alcotest.test_case "escaped identifiers" `Quick test_escaped_identifiers;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "error locations" `Quick test_error_location;
     Alcotest.test_case "save/load" `Quick test_save_load ]
