@@ -1,4 +1,5 @@
-.PHONY: all test bench bench-full bench-placer bench-paths bench-all clean
+.PHONY: all test bench bench-full bench-placer bench-paths bench-parallel \
+	bench-all clean
 
 all:
 	dune build
@@ -25,8 +26,14 @@ bench-placer:
 bench-paths:
 	dune exec bench/main.exe -- paths
 
+# Fork-join executor: empty-body dispatch latency plus difftimer and
+# full-iteration scaling at 1/2/4/8 worker domains; writes
+# BENCH_parallel.json at the repo root.
+bench-parallel:
+	dune exec bench/main.exe -- parallel
+
 # Every JSON-emitting benchmark in one go.
-bench-all: bench bench-placer bench-paths
+bench-all: bench bench-placer bench-paths bench-parallel
 
 clean:
 	dune clean

@@ -5,14 +5,15 @@
    Usage:  dune exec bench/main.exe [-- <target> ...]
    Targets: table1 table2 table3 figure8 kernels ablation-gamma
             ablation-reuse ablation-extensions gradcheck difftimer
-            placer-iter paths all (default: all)
+            placer-iter paths parallel all (default: all)
    Options: --scale <f>       benchmark scale factor (default 0.01)
             --quick           fewer iterations for difftimer
             --out <f>         difftimer JSON path (default BENCH_difftimer.json)
-            --smoke           tiny placer-iter/paths run for CI
+            --smoke           tiny placer-iter/paths/parallel run for CI
             --placer-out <f>  placer-iter JSON path
                               (default BENCH_placeriter.json)
             --paths-out <f>   paths JSON path (default BENCH_paths.json)
+            --parallel-out <f> executor JSON path (default BENCH_parallel.json)
             --domains <n>     worker domains for every placement run
                               (default 1; results are bit-identical
                               across domain counts) *)
@@ -952,6 +953,192 @@ let bench_paths () =
   close_out oc;
   Printf.printf "\nWrote %s\n" !paths_out
 
+(* ---- fork-join executor benchmark ---- *)
+
+let parallel_out = ref "BENCH_parallel.json"
+
+let bench_parallel () =
+  section "Fork-join executor: dispatch latency and end-to-end scaling";
+  let cores = Domain.recommended_domain_count () in
+  let domain_counts = if !placer_smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let with_pool ?oversubscribe ~domains f =
+    let pool = Parallel.create ~domains ?oversubscribe () in
+    Fun.protect ~finally:(fun () -> Parallel.shutdown pool) (fun () -> f pool)
+  in
+  (* -- dispatch latency: empty bodies isolate the executor's own cost.
+     The pools oversubscribe so the publish/claim/park machinery runs
+     even when the benchmark machine has fewer cores than domains. *)
+  Printf.printf "\n  dispatch latency (empty bodies, %d cores):\n" cores;
+  let sizes = [ 64; 4_096; 262_144 ] in
+  let reps n =
+    let r = min 2_000 (max 50 (1_000_000 / n)) in
+    if !placer_smoke then max 20 (r / 10) else r
+  in
+  let time_us r f =
+    f ();
+    let t0 = Obs.Clock.now () in
+    for _ = 1 to r do
+      f ()
+    done;
+    (Obs.Clock.now () -. t0) /. float_of_int r *. 1e6
+  in
+  let tdisp =
+    Report.Table.create [ "domains"; "n"; "auto grain(us)"; "forced 16 chunks(us)" ]
+  in
+  let dispatch =
+    List.map
+      (fun domains ->
+        let points =
+          with_pool ~oversubscribe:true ~domains (fun pool ->
+            List.map
+              (fun n ->
+                let r = reps n in
+                (* auto grain: tiny n takes the unified inline fast path *)
+                let auto =
+                  time_us r (fun () ->
+                    Parallel.parallel_for pool ~cost:1.0 n (fun _ -> ()))
+                in
+                (* forced grain: always publishes a 16-chunk job *)
+                let forced =
+                  time_us r (fun () ->
+                    Parallel.parallel_for pool ~grain:(max 1 (n / 16)) n
+                      (fun _ -> ()))
+                in
+                Report.Table.add_row tdisp
+                  [ string_of_int domains; string_of_int n;
+                    Printf.sprintf "%.2f" auto; Printf.sprintf "%.2f" forced ];
+                (n, auto, forced))
+              sizes)
+        in
+        Printf.printf "  [done] dispatch domains=%d\n%!" domains;
+        (domains, points))
+      domain_counts
+  in
+  print_string (Report.Table.render tdisp);
+  (* -- end-to-end scaling on the real kernels.  These pools do NOT
+     oversubscribe: a pool wider than the machine degrades to inline
+     execution, which is exactly the behaviour users see. *)
+  let cells = if !placer_smoke then 400 else 5000 in
+  let iters = if !placer_smoke then 4 else 20 in
+  let steiner_period = Core.default_timing.Core.steiner_period in
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = cells; sp_seed = 17; sp_inputs = 16;
+      sp_outputs = 16; sp_depth = 10; sp_clock_period = 520.0 }
+  in
+  let design, graph = build_bench spec in
+  let wl = Wirelength.create design in
+  let dens = Density.create design in
+  let dt = Difftimer.create ~gamma:20.0 graph in
+  let nets = Difftimer.nets dt in
+  Sta.Nets.rebuild nets;
+  ignore (Difftimer.forward dt);
+  let ncells = Netlist.num_cells design in
+  let gx = Array.make ncells 0.0 and gy = Array.make ncells 0.0 in
+  let measure pool =
+    let fwd = time_us iters (fun () -> ignore (Difftimer.forward ?pool dt)) in
+    let bwd =
+      time_us iters (fun () ->
+        Array.fill gx 0 ncells 0.0;
+        Array.fill gy 0 ncells 0.0;
+        Difftimer.backward ?pool dt ~w_tns:1.0 ~w_wns:1.0 ~grad_x:gx
+          ~grad_y:gy)
+    in
+    (* one GP iteration: every per-iteration kernel, with the Steiner
+       rebuild amortised over its reuse period (paper SS3.6) *)
+    let body =
+      time_us iters (fun () ->
+        Array.fill gx 0 ncells 0.0;
+        Array.fill gy 0 ncells 0.0;
+        ignore (Wirelength.evaluate wl ?pool ~grad_x:gx ~grad_y:gy ());
+        Density.update ?pool dens;
+        Density.gradient ?pool dens ~scale:1.0 ~grad_x:gx ~grad_y:gy;
+        Sta.Nets.refresh ?pool nets;
+        ignore (Difftimer.forward ?pool dt);
+        Difftimer.backward ?pool dt ~w_tns:1.0 ~w_wns:1.0 ~grad_x:gx
+          ~grad_y:gy)
+    in
+    let rebuild = time_us iters (fun () -> Sta.Nets.rebuild ?pool nets) in
+    (fwd, bwd, body +. (rebuild /. float_of_int steiner_period))
+  in
+  let scaling =
+    List.map
+      (fun domains ->
+        let fwd, bwd, iter_us =
+          if domains <= 1 then measure None
+          else with_pool ~domains (fun pool -> measure (Some pool))
+        in
+        Printf.printf "  [done] scaling domains=%d\n%!" domains;
+        (domains, fwd, bwd, iter_us))
+      domain_counts
+  in
+  let _, fwd1, bwd1, iter1 = List.hd scaling in
+  let tsc =
+    Report.Table.create
+      [ "domains"; "fwd(us)"; "bwd(us)"; "GP iter(us)"; "iter vs 1 dom" ]
+  in
+  List.iter
+    (fun (domains, fwd, bwd, iter_us) ->
+      Report.Table.add_row tsc
+        [ string_of_int domains;
+          Printf.sprintf "%.0f" fwd;
+          Printf.sprintf "%.0f" bwd;
+          Printf.sprintf "%.0f" iter_us;
+          Printf.sprintf "%.2fx" (iter1 /. iter_us) ])
+    scaling;
+  print_newline ();
+  print_string (Report.Table.render tsc);
+  if cores <= 1 then
+    Printf.printf
+      "\n  note: this machine exposes %d core(s); pools wider than the \
+       machine\n  degrade to inline execution (no oversubscription), so the \
+       scaling rows\n  bound dispatch overhead rather than demonstrate \
+       speedup.\n"
+      cores;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"bench\": \"parallel\",\n  \"mode\": \"%s\",\n  \"cores\": %d,\n\
+       \  \"workload\": { \"cells\": %d, \"seed\": 17, \"inputs\": 16, \
+        \"outputs\": 16, \"depth\": 10, \"clock_period_ps\": 520.0, \
+        \"gamma_ps\": 20.0 },\n  \"dispatch\": [\n"
+       (if !placer_smoke then "smoke" else "full")
+       cores cells);
+  List.iteri
+    (fun i (domains, points) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"domains\": %d, \"points\": [ " domains);
+      Buffer.add_string buf
+        (String.concat ", "
+           (List.map
+              (fun (n, auto, forced) ->
+                Printf.sprintf
+                  "{ \"n\": %d, \"auto_us\": %.3f, \"forced_us\": %.3f }" n
+                  auto forced)
+              points));
+      Buffer.add_string buf
+        (Printf.sprintf " ] }%s\n"
+           (if i = List.length dispatch - 1 then "" else ",")))
+    dispatch;
+  Buffer.add_string buf "  ],\n  \"scaling\": [\n";
+  List.iteri
+    (fun i (domains, fwd, bwd, iter_us) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"domains\": %d, \"forward_us\": %.1f, \"backward_us\": \
+            %.1f, \"iteration_us\": %.1f, \"iteration_speedup_vs_1\": %.3f \
+            }%s\n"
+           domains fwd bwd iter_us (iter1 /. iter_us)
+           (if i = List.length scaling - 1 then "" else ",")))
+    scaling;
+  Buffer.add_string buf "  ]\n}\n";
+  ignore (fwd1, bwd1);
+  let oc = open_out !parallel_out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nWrote %s\n" !parallel_out
+
 (* ---- driver ---- *)
 
 let all_targets =
@@ -960,7 +1147,7 @@ let all_targets =
     ("ablation-gamma", ablation_gamma); ("ablation-reuse", ablation_reuse);
     ("ablation-extensions", ablation_extensions); ("gradcheck", gradcheck);
     ("difftimer", bench_difftimer); ("placer-iter", placer_iter);
-    ("paths", bench_paths) ]
+    ("paths", bench_paths); ("parallel", bench_parallel) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -987,6 +1174,9 @@ let () =
       parse acc rest
     | "--paths-out" :: v :: rest ->
       paths_out := v;
+      parse acc rest
+    | "--parallel-out" :: v :: rest ->
+      parallel_out := v;
       parse acc rest
     | x :: rest -> parse (x :: acc) rest
   in

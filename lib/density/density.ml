@@ -103,9 +103,8 @@ let update ?pool ?(obs = Obs.disabled) t =
      split depends only on the cell count, so pooled splats reproduce the
      sequential ones bit for bit *)
   let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
-  let grain = max 512 ((ncells + 15) / 16) in
   let grid =
-    Parallel.parallel_for_reduce p ~grain ncells
+    Parallel.parallel_for_reduce p ~obs ~cost:8.0 ncells
       ~init:(fun () -> Array.make (n * n) 0.0)
       ~body:(fun acc i ->
         let c = cells.(i) in
@@ -124,7 +123,7 @@ let update ?pool ?(obs = Obs.disabled) t =
   Obs.stop obs Obs.Density_splat;
   Obs.start obs Obs.Density_dct;
   (* spectral Poisson solve: coefficients of rho in the cosine basis *)
-  let a = Transform.Grid.dct2 ?pool n t.rho in
+  let a = Transform.Grid.dct2 ?pool ~obs n t.rho in
   let scale k = if k = 0 then 1.0 /. float_of_int n else 2.0 /. float_of_int n in
   let w k = pi *. float_of_int k /. float_of_int n in
   for u = 0 to n - 1 do
@@ -138,7 +137,7 @@ let update ?pool ?(obs = Obs.disabled) t =
       end
     done
   done;
-  let psi = Transform.Grid.cos_cos_synth ?pool n t.coeff in
+  let psi = Transform.Grid.cos_cos_synth ?pool ~obs n t.coeff in
   Array.blit psi 0 t.psi 0 (n * n);
   (* E_x = sum c_uv w_u sin(w_u x) cos(w_v y): rows carry the x index *)
   for u = 0 to n - 1 do
@@ -146,14 +145,14 @@ let update ?pool ?(obs = Obs.disabled) t =
       t.scratch.((u * n) + v) <- t.coeff.((u * n) + v) *. w u
     done
   done;
-  let ex = Transform.Grid.sin_cos_synth ?pool n t.scratch in
+  let ex = Transform.Grid.sin_cos_synth ?pool ~obs n t.scratch in
   Array.blit ex 0 t.field_x 0 (n * n);
   for u = 0 to n - 1 do
     for v = 0 to n - 1 do
       t.scratch.((u * n) + v) <- t.coeff.((u * n) + v) *. w v
     done
   done;
-  let ey = Transform.Grid.cos_sin_synth ?pool n t.scratch in
+  let ey = Transform.Grid.cos_sin_synth ?pool ~obs n t.scratch in
   Array.blit ey 0 t.field_y 0 (n * n);
   Obs.stop obs Obs.Density_dct
 
@@ -201,7 +200,7 @@ let gradient ?pool ?(obs = Obs.disabled) t ~scale ~grad_x ~grad_y =
   let cells = t.design.Netlist.cells in
   (* each task writes only its own cell's gradient slot: race-free and
      bit-identical under the pool *)
-  Parallel.parallel_for p ~grain:512 (Array.length cells) (fun k ->
+  Parallel.parallel_for p ~obs ~cost:6.0 (Array.length cells) (fun k ->
     let c = cells.(k) in
     if not c.Netlist.fixed then begin
       let q = c.Netlist.width *. c.Netlist.height /. t.bin_area in

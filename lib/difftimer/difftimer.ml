@@ -279,7 +279,7 @@ type ep_stats = {
 
 type fsum = { mutable fs : float }
 
-let forward_run ?pool t =
+let forward_run ?pool ?(obs = Obs.disabled) t =
   let g = t.graph in
   let cs = g.Sta.Graph.constraints in
   let gamma = t.gamma_ in
@@ -308,7 +308,8 @@ let forward_run ?pool t =
     g.Sta.Graph.is_clock_pin;
   Array.iter
     (fun level_pins ->
-      Parallel.parallel_for pool ~grain:256 (Array.length level_pins)
+      (* per-pin cost: a few LUT lookups + per-sink Elmore terms *)
+      Parallel.parallel_for pool ~obs ~cost:16.0 (Array.length level_pins)
         (fun k -> forward_pin t level_pins.(k)))
     g.Sta.Graph.levels;
   (* endpoint slacks (setup/late), smoothed across transitions; global
@@ -361,7 +362,7 @@ let forward_run ?pool t =
     else t.ep_slack.(p) <- infinity
   in
   let stats =
-    Parallel.parallel_for_reduce pool ~grain:512 nep
+    Parallel.parallel_for_reduce pool ~obs ~cost:8.0 nep
       ~init:(fun () ->
         { es_count = 0; es_wns = infinity; es_tns = 0.0;
           es_smooth_tns = 0.0; es_max_neg = neg_infinity })
@@ -381,7 +382,7 @@ let forward_run ?pool t =
     else begin
       let max_neg = stats.es_max_neg in
       let sum =
-        Parallel.parallel_for_reduce pool ~grain:2048 nep
+        Parallel.parallel_for_reduce pool ~obs ~cost:2.0 nep
           ~init:(fun () -> { fs = 0.0 })
           ~body:(fun acc k ->
             let s = t.ep_slack.(endpoints.(k)) in
@@ -548,7 +549,7 @@ let net_backward t ns ~gx ~gy net =
         pins
     end
 
-let backward_run ?pool t ~w_tns ~w_wns ~grad_x ~grad_y =
+let backward_run ?pool ?(obs = Obs.disabled) t ~w_tns ~w_wns ~grad_x ~grad_y =
   let g = t.graph in
   let design = g.Sta.Graph.design in
   let gamma = t.gamma_ in
@@ -590,7 +591,7 @@ let backward_run ?pool t ~w_tns ~w_wns ~grad_x ~grad_y =
   let levels = g.Sta.Graph.levels in
   for l = Array.length levels - 1 downto 0 do
     let level_pins = levels.(l) in
-    Parallel.parallel_for pool ~grain:256 (Array.length level_pins)
+    Parallel.parallel_for pool ~obs ~cost:16.0 (Array.length level_pins)
       (fun k -> backward_pin t level_pins.(k))
   done;
   (* per-net Elmore adjoint: contiguous net slices over the workers, one
@@ -609,7 +610,8 @@ let backward_run ?pool t ~w_tns ~w_wns ~grad_x ~grad_y =
   end
   else begin
     ensure_slices t nslices;
-    Parallel.parallel_for pool ~grain:1 nslices (fun s ->
+    (* one slice covers >=256 nets of Elmore adjoint work *)
+    Parallel.parallel_for pool ~obs ~cost:512.0 nslices (fun s ->
       let ns = t.slices.(s) in
       Array.fill ns.ns_gx 0 ncells 0.0;
       Array.fill ns.ns_gy 0 ncells 0.0;
@@ -628,11 +630,11 @@ let backward_run ?pool t ~w_tns ~w_wns ~grad_x ~grad_y =
 
 let forward ?pool ?(obs = Obs.disabled) t =
   Obs.start obs Obs.Diff_forward;
-  let m = forward_run ?pool t in
+  let m = forward_run ?pool ~obs t in
   Obs.stop obs Obs.Diff_forward;
   m
 
 let backward ?pool ?(obs = Obs.disabled) t ~w_tns ~w_wns ~grad_x ~grad_y =
   Obs.start obs Obs.Diff_backward;
-  backward_run ?pool t ~w_tns ~w_wns ~grad_x ~grad_y;
+  backward_run ?pool ~obs t ~w_tns ~w_wns ~grad_x ~grad_y;
   Obs.stop obs Obs.Diff_backward

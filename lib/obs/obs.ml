@@ -36,6 +36,8 @@ type kernel =
   | Paths_analyze
   | Paths_enumerate
   | Legalize
+  | Par_dispatch
+  | Par_wait
 
 let kernel_id = function
   | Core_run -> 0
@@ -55,15 +57,18 @@ let kernel_id = function
   | Paths_analyze -> 14
   | Paths_enumerate -> 15
   | Legalize -> 16
+  | Par_dispatch -> 17
+  | Par_wait -> 18
 
-let n_kernels = 17
+let n_kernels = 19
 let core_run_id = 0
 
 let all_kernels =
   [ Core_run; Core_trace; Wirelength; Density_splat; Density_dct;
     Density_grad; Steiner_rebuild; Steiner_refresh; Sta_exact;
     Diff_forward; Diff_backward; Netweight_update; Pathweight_update;
-    Optim_step; Paths_analyze; Paths_enumerate; Legalize ]
+    Optim_step; Paths_analyze; Paths_enumerate; Legalize; Par_dispatch;
+    Par_wait ]
 
 let kernel_name = function
   | Core_run -> "core.run"
@@ -83,6 +88,8 @@ let kernel_name = function
   | Paths_analyze -> "paths.analyze"
   | Paths_enumerate -> "paths.enumerate"
   | Legalize -> "legalize"
+  | Par_dispatch -> "parallel.dispatch"
+  | Par_wait -> "parallel.wait"
 
 let name_of_id =
   let a = Array.make n_kernels "" in

@@ -52,6 +52,8 @@ type kernel =
   | Paths_analyze  (** path-engine snapshot build *)
   | Paths_enumerate  (** top-K path branch-and-bound *)
   | Legalize  (** row legalization *)
+  | Par_dispatch  (** executor: job publication + worker wake-up *)
+  | Par_wait  (** executor: caller waiting on lagging chunk claims *)
 
 val kernel_name : kernel -> string
 (** Stable dotted name used in reports and traces, e.g.

@@ -39,7 +39,7 @@ type path = {
 
 let num_edges t = Array.length t.tin_src
 
-let analyze_run ?pool timer =
+let analyze_run ?pool ?obs timer =
   let nets = Sta.Timer.nets timer in
   let g = nets.Sta.Nets.graph in
   let design = g.Sta.Graph.design in
@@ -50,7 +50,7 @@ let analyze_run ?pool timer =
   let slew v ti = Sta.Timer.slew_late timer v (tr_of ti) in
   (* pass 1: in-degree of every node (no LUT evaluations needed) *)
   let counts = Array.make nnodes 0 in
-  Parallel.parallel_for p ~grain:512 nnodes (fun node ->
+  Parallel.parallel_for p ?obs ~cost:8.0 nnodes (fun node ->
       let v = node / 2 and oi = node land 1 in
       let pin = design.Netlist.pins.(v) in
       let net = pin.Netlist.net in
@@ -87,7 +87,7 @@ let analyze_run ?pool timer =
      retrace tries it first); otherwise the cell contribution minimising
      |at(u) + d - at(v)| wins, first strict minimum in (arc, transition)
      order — the same selection critical_path makes. *)
-  Parallel.parallel_for p ~grain:256 nnodes (fun node ->
+  Parallel.parallel_for p ?obs ~cost:16.0 nnodes (fun node ->
       let v = node / 2 and oi = node land 1 in
       let pin = design.Netlist.pins.(v) in
       let net = pin.Netlist.net in
@@ -256,7 +256,7 @@ let materialize t ep rank c =
 
 let analyze ?pool ?(obs = Obs.disabled) timer =
   Obs.start obs Obs.Paths_analyze;
-  let view = analyze_run ?pool timer in
+  let view = analyze_run ?pool ~obs timer in
   Obs.stop obs Obs.Paths_analyze;
   view
 
@@ -318,13 +318,13 @@ let enumerate_endpoint ?(slack_limit = infinity) ~k t ep =
     List.rev !results
   end
 
-let enumerate_run ?pool ?slack_limit ~k t =
+let enumerate_run ?pool ?obs ?slack_limit ~k t =
   if k <= 0 then []
   else begin
     let eps = t.graph.Sta.Graph.endpoints in
     let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
     let acc =
-      Parallel.parallel_for_reduce p ~grain:8 (Array.length eps)
+      Parallel.parallel_for_reduce p ?obs ~cost:2000.0 (Array.length eps)
         ~init:(fun () -> ref [])
         ~body:(fun acc i ->
           (* tag each path with its endpoint's position so ranking ties
@@ -354,7 +354,7 @@ let enumerate_run ?pool ?slack_limit ~k t =
 
 let enumerate ?pool ?obs:(obs = Obs.disabled) ?slack_limit ~k t =
   Obs.start obs Obs.Paths_enumerate;
-  let paths = enumerate_run ?pool ?slack_limit ~k t in
+  let paths = enumerate_run ?pool ~obs ?slack_limit ~k t in
   Obs.stop obs Obs.Paths_enumerate;
   paths
 

@@ -333,7 +333,8 @@ module Nets = struct
   let rebuild ?exact_limit ?pool ?(obs = Obs.disabled) t =
     Obs.start obs Obs.Steiner_rebuild;
     let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
-    Parallel.parallel_for p ~grain:32 (Array.length t.trees) (fun n ->
+    (* Steiner construction + RC build: hundreds of float ops per net *)
+    Parallel.parallel_for p ~obs ~cost:400.0 (Array.length t.trees) (fun n ->
       t.trees.(n) <- build_tree ?exact_limit t.graph n);
     Obs.stop obs Obs.Steiner_rebuild
 
@@ -341,7 +342,7 @@ module Nets = struct
     Obs.start obs Obs.Steiner_refresh;
     let design = t.graph.Graph.design in
     let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
-    Parallel.parallel_for p ~grain:64 (Array.length t.trees) (fun n ->
+    Parallel.parallel_for p ~obs ~cost:80.0 (Array.length t.trees) (fun n ->
       match t.trees.(n) with
       | None -> ()
       | Some (tree, rc) ->

@@ -165,23 +165,24 @@ module Grid = struct
   (* Each row/column task only writes its own stripe of [out] (disjoint
      indices, fresh per-task scratch), so pooled dispatch is trivially
      bit-identical to the sequential loop. *)
-  let apply_rows ?pool kernel n grid =
+  let apply_rows ?pool ?(obs = Obs.disabled) kernel n grid =
     if Array.length grid <> n * n then
       invalid_arg "Transform.Grid: size mismatch";
     let pool = match pool with Some p -> p | None -> Parallel.sequential_pool in
     let out = Array.make (n * n) 0.0 in
-    Parallel.parallel_for pool ~grain:8 n (fun r ->
+    (* one row applies an O(n log n) kernel over n samples *)
+    Parallel.parallel_for pool ~obs ~cost:(4.0 *. float_of_int n) n (fun r ->
       let row = Array.sub grid (r * n) n in
       let t = kernel row in
       Array.blit t 0 out (r * n) n);
     out
 
-  let apply_cols ?pool kernel n grid =
+  let apply_cols ?pool ?(obs = Obs.disabled) kernel n grid =
     if Array.length grid <> n * n then
       invalid_arg "Transform.Grid: size mismatch";
     let pool = match pool with Some p -> p | None -> Parallel.sequential_pool in
     let out = Array.make (n * n) 0.0 in
-    Parallel.parallel_for pool ~grain:8 n (fun c ->
+    Parallel.parallel_for pool ~obs ~cost:(4.0 *. float_of_int n) n (fun c ->
       let col = Array.init n (fun r -> grid.((r * n) + c)) in
       let t = kernel col in
       for r = 0 to n - 1 do
@@ -189,15 +190,18 @@ module Grid = struct
       done);
     out
 
-  let dct2 ?pool n grid =
-    apply_cols ?pool Dct.dct n (apply_rows ?pool Dct.dct n grid)
+  let dct2 ?pool ?obs n grid =
+    apply_cols ?pool ?obs Dct.dct n (apply_rows ?pool ?obs Dct.dct n grid)
 
-  let cos_cos_synth ?pool n c =
-    apply_cols ?pool Dct.cos_synth n (apply_rows ?pool Dct.cos_synth n c)
+  let cos_cos_synth ?pool ?obs n c =
+    apply_cols ?pool ?obs Dct.cos_synth n
+      (apply_rows ?pool ?obs Dct.cos_synth n c)
 
-  let sin_cos_synth ?pool n c =
-    apply_cols ?pool Dct.sin_synth n (apply_rows ?pool Dct.cos_synth n c)
+  let sin_cos_synth ?pool ?obs n c =
+    apply_cols ?pool ?obs Dct.sin_synth n
+      (apply_rows ?pool ?obs Dct.cos_synth n c)
 
-  let cos_sin_synth ?pool n c =
-    apply_cols ?pool Dct.cos_synth n (apply_rows ?pool Dct.sin_synth n c)
+  let cos_sin_synth ?pool ?obs n c =
+    apply_cols ?pool ?obs Dct.cos_synth n
+      (apply_rows ?pool ?obs Dct.sin_synth n c)
 end

@@ -44,18 +44,29 @@ end
 module Grid : sig
   type kernel = float array -> float array
 
-  val apply_rows : ?pool:Parallel.pool -> kernel -> int -> float array -> float array
-  val apply_cols : ?pool:Parallel.pool -> kernel -> int -> float array -> float array
+  val apply_rows :
+    ?pool:Parallel.pool -> ?obs:Obs.t -> kernel -> int -> float array ->
+    float array
+
+  val apply_cols :
+    ?pool:Parallel.pool -> ?obs:Obs.t -> kernel -> int -> float array ->
+    float array
   (** With [pool], rows (resp. columns) are dispatched through the worker
       pool; each task writes a disjoint stripe with fresh scratch, so
-      pooled results are bit-identical to sequential ones. *)
+      pooled results are bit-identical to sequential ones.  [obs] records
+      the executor's dispatch/wait spans. *)
 
-  val dct2 : ?pool:Parallel.pool -> int -> float array -> float array
+  val dct2 :
+    ?pool:Parallel.pool -> ?obs:Obs.t -> int -> float array -> float array
   (** 2D analysis: DCT along rows then along columns. *)
 
-  val cos_cos_synth : ?pool:Parallel.pool -> int -> float array -> float array
-  val sin_cos_synth : ?pool:Parallel.pool -> int -> float array -> float array
+  val cos_cos_synth :
+    ?pool:Parallel.pool -> ?obs:Obs.t -> int -> float array -> float array
+
+  val sin_cos_synth :
+    ?pool:Parallel.pool -> ?obs:Obs.t -> int -> float array -> float array
   (** [sin] along the row axis, [cos] along the column axis. *)
 
-  val cos_sin_synth : ?pool:Parallel.pool -> int -> float array -> float array
+  val cos_sin_synth :
+    ?pool:Parallel.pool -> ?obs:Obs.t -> int -> float array -> float array
 end

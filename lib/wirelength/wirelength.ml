@@ -132,7 +132,8 @@ let evaluate t ?pool ?(obs = Obs.disabled) ?(weighted = true) ~grad_x
   end
   else begin
     let pool = match pool with Some p -> p | None -> Parallel.sequential_pool in
-    Parallel.parallel_for pool ~grain:1 nslices (fun s ->
+    (* one slice evaluates hundreds of nets' WA terms *)
+    Parallel.parallel_for pool ~obs ~cost:512.0 nslices (fun s ->
       let sl = t.slices.(s) in
       Array.fill sl.sl_gx 0 ncells 0.0;
       Array.fill sl.sl_gy 0 ncells 0.0;

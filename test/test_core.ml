@@ -195,7 +195,8 @@ let all_modes =
 let test_pooled_run_bit_identical () =
   (* a pooled Core.run must reproduce the sequential one bit for bit —
      final metrics, every cell position and every trace point — in each
-     of the four placement modes *)
+     of the four placement modes, at every domain count, and with the
+     profiler recording (the --profile path) *)
   List.iter
     (fun (label, mode) ->
       let cfg =
@@ -203,9 +204,9 @@ let test_pooled_run_bit_identical () =
           Core.mode; trace_timing_period = 10; max_iterations = 60;
           min_iterations = 20 }
       in
-      let run pool =
+      let run ?obs pool =
         let design, graph = setup ~cells:300 ~seed:14 () in
-        let r = Core.run ?pool cfg graph in
+        let r = Core.run ?pool ?obs cfg graph in
         let pos =
           Array.map
             (fun (c : Netlist.cell) -> (c.Netlist.x, c.Netlist.y))
@@ -214,30 +215,42 @@ let test_pooled_run_bit_identical () =
         (r, pos)
       in
       let r1, pos1 = run None in
-      let pool = Parallel.create ~domains:4 () in
-      let r4, pos4 =
+      let check_same tag (rd, posd) =
+        Alcotest.(check int) (label ^ tag ^ ": same iterations")
+          r1.Core.res_iterations rd.Core.res_iterations;
+        Alcotest.(check bool) (label ^ tag ^ ": hpwl bit-identical") true
+          (bits r1.Core.res_hpwl = bits rd.Core.res_hpwl);
+        Alcotest.(check bool) (label ^ tag ^ ": overflow bit-identical") true
+          (bits r1.Core.res_overflow = bits rd.Core.res_overflow);
+        Array.iteri
+          (fun i (x1, y1) ->
+            let xd, yd = posd.(i) in
+            if bits x1 <> bits xd || bits y1 <> bits yd then
+              Alcotest.failf "%s%s: cell %d position differs" label tag i)
+          pos1;
+        List.iter2
+          (fun (p1 : Core.trace_point) (pd : Core.trace_point) ->
+            if p1 <> pd then
+              Alcotest.failf "%s%s: trace point %d differs" label tag
+                p1.Core.tp_iteration)
+          r1.Core.res_trace rd.Core.res_trace
+      in
+      let with_pool ~domains f =
+        let pool = Parallel.create ~domains ~oversubscribe:true () in
         Fun.protect
           ~finally:(fun () -> Parallel.shutdown pool)
-          (fun () -> run (Some pool))
+          (fun () -> f pool)
       in
-      Alcotest.(check int) (label ^ ": same iterations")
-        r1.Core.res_iterations r4.Core.res_iterations;
-      Alcotest.(check bool) (label ^ ": hpwl bit-identical") true
-        (bits r1.Core.res_hpwl = bits r4.Core.res_hpwl);
-      Alcotest.(check bool) (label ^ ": overflow bit-identical") true
-        (bits r1.Core.res_overflow = bits r4.Core.res_overflow);
-      Array.iteri
-        (fun i (x1, y1) ->
-          let x4, y4 = pos4.(i) in
-          if bits x1 <> bits x4 || bits y1 <> bits y4 then
-            Alcotest.failf "%s: cell %d position differs" label i)
-        pos1;
-      List.iter2
-        (fun (p1 : Core.trace_point) (p4 : Core.trace_point) ->
-          if p1 <> p4 then
-            Alcotest.failf "%s: trace point %d differs" label
-              p1.Core.tp_iteration)
-        r1.Core.res_trace r4.Core.res_trace)
+      List.iter
+        (fun domains ->
+          check_same
+            (Printf.sprintf " @%dd" domains)
+            (with_pool ~domains (fun pool -> run (Some pool))))
+        [ 1; 2; 4; 8 ];
+      (* and with a live recorder on the pooled run (--profile) *)
+      check_same " @4d+profile"
+        (with_pool ~domains:4 (fun pool ->
+           run ~obs:(Obs.create ()) (Some pool))))
     all_modes
 
 let test_trace_never_nan () =

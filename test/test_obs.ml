@@ -129,7 +129,7 @@ let test_run_not_perturbed () =
       let base = run ~obs:Obs.disabled () in
       let profiled = run ~obs:(Obs.create ~gc:true ()) () in
       check_same " seq" base profiled;
-      let pool = Parallel.create ~domains:4 () in
+      let pool = Parallel.create ~domains:4 ~oversubscribe:true () in
       let pooled =
         Fun.protect
           ~finally:(fun () -> Parallel.shutdown pool)
@@ -195,6 +195,11 @@ let test_jsonl_trace () =
   let view = Paths.analyze ~obs timer in
   let _ = Paths.enumerate ~obs ~k:3 view in
   let _ = Legalize.legalize ~obs design in
+  (* a pooled dispatch so the executor's own kernels reach the trace *)
+  let pool = Parallel.create ~domains:2 ~oversubscribe:true () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.shutdown pool)
+    (fun () -> Parallel.parallel_for pool ~obs ~grain:64 1_024 (fun _ -> ()));
   let path = Filename.temp_file "dgp_obs" ".jsonl" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
