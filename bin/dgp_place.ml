@@ -48,6 +48,24 @@ let gamma =
   let doc = "LSE smoothing width in ps (timing mode)." in
   Arg.(value & opt float Core.default_timing.Core.gamma & info [ "gamma" ] ~doc)
 
+let steiner_period =
+  let doc = "Steiner topology rebuild cadence in iterations (timing \
+             mode; the paper's reuse-FLUTE-results period)." in
+  Arg.(value & opt int Core.default_timing.Core.steiner_period
+       & info [ "steiner-period" ] ~docv:"N" ~doc)
+
+let steiner_dirty =
+  let doc = "Dirty-net rebuild threshold in gamma units (timing mode): \
+             on a rebuild tick only nets with a pin displaced more than \
+             $(docv) * gamma since their last topologisation are \
+             re-topologised.  Negative = rebuild every net each tick." in
+  Arg.(value
+       & opt float
+           (match Core.default_timing.Core.steiner_dirty with
+            | Some g -> g
+            | None -> -1.0)
+       & info [ "steiner-dirty" ] ~docv:"G" ~doc)
+
 let no_legalize =
   let doc = "Skip the Tetris legalisation step." in
   Arg.(value & flag & info [ "no-legalize" ] ~doc)
@@ -93,8 +111,8 @@ let domains =
   Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
 
 let run lib_file design_file bench cells seed clock mode iterations t1 t2
-    gamma no_legalize out_file svg_file svg_paths trace_file verbose domains
-    profile trace_out =
+    gamma steiner_period steiner_dirty no_legalize out_file svg_file svg_paths
+    trace_file verbose domains profile trace_out =
   let lib = Dgp_common.load_library lib_file in
   let design, constraints =
     Dgp_common.load_design lib ~design_file ~bench ~cells ~seed
@@ -107,7 +125,11 @@ let run lib_file design_file bench cells seed clock mode iterations t1 t2
   let mode =
     match mode with
     | Core.Differentiable_timing tc ->
-      Core.Differentiable_timing { tc with Core.t1; t2; gamma }
+      Core.Differentiable_timing
+        { tc with
+          Core.t1; t2; gamma; steiner_period;
+          steiner_dirty =
+            (if steiner_dirty < 0.0 then None else Some steiner_dirty) }
     | (Core.Wirelength_only | Core.Net_weighting _ | Core.Path_weighting _)
       as m -> m
   in
@@ -192,7 +214,7 @@ let cmd =
       const run $ Dgp_common.lib_file $ Dgp_common.design_file
       $ Dgp_common.bench_name $ Dgp_common.cells $ Dgp_common.seed
       $ Dgp_common.clock_period $ mode $ iterations $ t1 $ t2 $ gamma
-      $ no_legalize $ out_file $ svg_file $ svg_paths $ trace_file $ verbose
-      $ domains $ profile $ trace_out)
+      $ steiner_period $ steiner_dirty $ no_legalize $ out_file $ svg_file
+      $ svg_paths $ trace_file $ verbose $ domains $ profile $ trace_out)
 
 let () = exit (Cmd.eval cmd)

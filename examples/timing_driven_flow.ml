@@ -9,14 +9,19 @@
 
      dune exec examples/timing_driven_flow.exe \
        [-- --domains N] [--profile] [--trace-out FILE]
+       [--steiner-period N] [--steiner-dirty G]
 
    With --domains N > 1 every per-iteration kernel runs through a worker
    pool; the resulting placement is bit-identical to the sequential
    one.  --profile prints the per-kernel timing table to stderr;
-   --trace-out dumps the span-level JSONL trace. *)
+   --trace-out dumps the span-level JSONL trace.  --steiner-period and
+   --steiner-dirty control the timing stage's Steiner rebuild cadence
+   and dirty-net threshold (gamma units; negative = rebuild all). *)
 
 let parse_args () =
   let domains = ref 1 and profile = ref false and trace_out = ref None in
+  let steiner_period = ref Core.default_timing.Core.steiner_period in
+  let steiner_dirty = ref Core.default_timing.Core.steiner_dirty in
   let rec scan = function
     | "--domains" :: v :: rest ->
       domains := int_of_string v;
@@ -27,15 +32,24 @@ let parse_args () =
     | "--trace-out" :: v :: rest ->
       trace_out := Some v;
       scan rest
+    | "--steiner-period" :: v :: rest ->
+      steiner_period := int_of_string v;
+      scan rest
+    | "--steiner-dirty" :: v :: rest ->
+      let g = float_of_string v in
+      steiner_dirty := (if g < 0.0 then None else Some g);
+      scan rest
     | _ :: rest -> scan rest
     | [] -> ()
   in
   scan (List.tl (Array.to_list Sys.argv));
-  (!domains, !profile, !trace_out)
+  (!domains, !profile, !trace_out, !steiner_period, !steiner_dirty)
 
 let () =
   let lib = Liberty.Synthetic.default () in
-  let domains, profile, trace_out = parse_args () in
+  let domains, profile, trace_out, steiner_period, steiner_dirty =
+    parse_args ()
+  in
   let pool =
     if domains > 1 then Some (Parallel.create ~domains ()) else None
   in
@@ -91,7 +105,9 @@ let () =
   (* stage 3: timing-driven placement from scratch on the same netlist *)
   let t_cfg =
     { Core.default_config with
-      Core.mode = Core.Differentiable_timing Core.default_timing }
+      Core.mode =
+        Core.Differentiable_timing
+          { Core.default_timing with Core.steiner_period; steiner_dirty } }
   in
   let r2 = Core.run ?pool ~obs t_cfg graph in
   ignore (Legalize.legalize ~obs design);

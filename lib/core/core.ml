@@ -8,6 +8,7 @@ type timing_config = {
   gamma : float;
   activation_overflow : float;
   steiner_period : int;
+  steiner_dirty : float option;
   grad_clip : float option;
 }
 
@@ -19,7 +20,7 @@ type timing_config = {
 let default_timing =
   { t1 = 0.10; t2 = 0.10; growth = 1.01; growth_policy = `Fixed;
     gamma = 20.0; activation_overflow = 0.45; steiner_period = 10;
-    grad_clip = None }
+    steiner_dirty = Some 0.25; grad_clip = None }
 
 type mode =
   | Wirelength_only
@@ -279,8 +280,17 @@ let run ?pool ?(obs = Obs.disabled) config graph =
        (match !timing_active_at with
         | Some t0 ->
           let nets = Difftimer.nets dt in
-          if (i - t0) mod max 1 timing_cfg.steiner_period = 0 then
-            Sta.Nets.rebuild ?pool ~obs nets
+          if (i - t0) mod max 1 timing_cfg.steiner_period = 0 then begin
+            (* the dirty threshold scales with gamma: pin motion small
+               relative to the LSE smoothing width cannot change which
+               topology matters *)
+            let dirty_threshold =
+              match timing_cfg.steiner_dirty with
+              | Some g when g >= 0.0 -> Some (g *. timing_cfg.gamma)
+              | _ -> None
+            in
+            Sta.Nets.rebuild ?dirty_threshold ?pool ~obs nets
+          end
           else Sta.Nets.refresh ?pool ~obs nets;
           let m = Difftimer.forward ?pool ~obs dt in
           Array.fill tgx 0 ncells 0.0;

@@ -39,6 +39,13 @@ type timing_config = {
   gamma : float;                (** LSE smoothing width (paper ~100 ps). *)
   activation_overflow : float;  (** start timing once overflow drops below. *)
   steiner_period : int;         (** FLUTE call cadence (paper 10). *)
+  steiner_dirty : float option;
+      (** dirty-net rebuild threshold in gamma units: on a rebuild tick,
+          only nets with a pin displaced more than
+          [steiner_dirty *. gamma] (L-inf) since their last
+          topologisation are re-topologised; the rest take the O(1)
+          provenance refresh.  [None] rebuilds every net each tick;
+          [Some 0.] is bit-identical to [None] (pin-level tracking). *)
   grad_clip : float option;
       (** preconditioning for timing gradients (the paper's other listed
           future work): when [Some k], each cell's timing gradient

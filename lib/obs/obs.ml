@@ -38,6 +38,9 @@ type kernel =
   | Legalize
   | Par_dispatch
   | Par_wait
+  | Steiner_lut
+  | Steiner_dirty
+  | Steiner_full
 
 let kernel_id = function
   | Core_run -> 0
@@ -59,16 +62,19 @@ let kernel_id = function
   | Legalize -> 16
   | Par_dispatch -> 17
   | Par_wait -> 18
+  | Steiner_lut -> 19
+  | Steiner_dirty -> 20
+  | Steiner_full -> 21
 
-let n_kernels = 19
+let n_kernels = 22
 let core_run_id = 0
 
 let all_kernels =
   [ Core_run; Core_trace; Wirelength; Density_splat; Density_dct;
-    Density_grad; Steiner_rebuild; Steiner_refresh; Sta_exact;
-    Diff_forward; Diff_backward; Netweight_update; Pathweight_update;
-    Optim_step; Paths_analyze; Paths_enumerate; Legalize; Par_dispatch;
-    Par_wait ]
+    Density_grad; Steiner_rebuild; Steiner_lut; Steiner_dirty;
+    Steiner_full; Steiner_refresh; Sta_exact; Diff_forward;
+    Diff_backward; Netweight_update; Pathweight_update; Optim_step;
+    Paths_analyze; Paths_enumerate; Legalize; Par_dispatch; Par_wait ]
 
 let kernel_name = function
   | Core_run -> "core.run"
@@ -90,6 +96,9 @@ let kernel_name = function
   | Legalize -> "legalize"
   | Par_dispatch -> "parallel.dispatch"
   | Par_wait -> "parallel.wait"
+  | Steiner_lut -> "steiner.lut"
+  | Steiner_dirty -> "steiner.dirty"
+  | Steiner_full -> "steiner.full"
 
 let name_of_id =
   let a = Array.make n_kernels "" in

@@ -54,6 +54,9 @@ type kernel =
   | Legalize  (** row legalization *)
   | Par_dispatch  (** executor: job publication + worker wake-up *)
   | Par_wait  (** executor: caller waiting on lagging chunk claims *)
+  | Steiner_lut  (** rebuild sub-kernel: topology-LUT net builds *)
+  | Steiner_dirty  (** rebuild sub-kernel: clean-net provenance refresh *)
+  | Steiner_full  (** rebuild sub-kernel: heuristic builds (large nets) *)
 
 val kernel_name : kernel -> string
 (** Stable dotted name used in reports and traces, e.g.

@@ -291,6 +291,16 @@ module Nets = struct
     graph : Graph.t;
     mutable trees : (Steiner.t * Rc.t) option array;
     tree_index : int array;
+    (* pin positions at each net's last (re-)topologisation, in CSR
+       layout: net [n]'s pins live at [anchor_off.(n) ..].  A net whose
+       every pin has moved by at most the dirty threshold (L-inf) since
+       its anchor keeps its topology on a rebuild tick.  Pin-level
+       tracking (not bbox) is what makes threshold 0 exactly equivalent
+       to a full rebuild: a bbox can stay put while interior pins
+       cross. *)
+    anchor_off : int array;
+    anchor_xs : float array;
+    anchor_ys : float array;
   }
 
   let build_tree ?exact_limit (g : Graph.t) net_id =
@@ -311,6 +321,16 @@ module Nets = struct
       Some (tree, rc)
     end
 
+  let record_anchor t net_id =
+    let design = t.graph.Graph.design in
+    let pins = design.Netlist.nets.(net_id).Netlist.net_pins in
+    let off = t.anchor_off.(net_id) in
+    Array.iteri
+      (fun k p ->
+        t.anchor_xs.(off + k) <- Netlist.pin_x design p;
+        t.anchor_ys.(off + k) <- Netlist.pin_y design p)
+      pins
+
   let create graph =
     let design = graph.Graph.design in
     let nnets = Netlist.num_nets design in
@@ -322,35 +342,201 @@ module Nets = struct
             (fun i p -> tree_index.(p) <- i)
             net.Netlist.net_pins)
       design.Netlist.nets;
-    let trees =
-      Array.init nnets (fun n -> build_tree graph n)
+    let anchor_off = Array.make (nnets + 1) 0 in
+    for n = 0 to nnets - 1 do
+      anchor_off.(n + 1) <-
+        anchor_off.(n)
+        + Array.length design.Netlist.nets.(n).Netlist.net_pins
+    done;
+    let trees = Array.init nnets (fun n -> build_tree graph n) in
+    let t =
+      { graph; trees; tree_index; anchor_off;
+        anchor_xs = Array.make anchor_off.(nnets) 0.0;
+        anchor_ys = Array.make anchor_off.(nnets) 0.0 }
     in
-    { graph; trees; tree_index }
+    for n = 0 to nnets - 1 do record_anchor t n done;
+    t
+
+  let refresh_net design (tree, rc) net_pins =
+    let xs = Array.map (fun p -> Netlist.pin_x design p) net_pins in
+    let ys = Array.map (fun p -> Netlist.pin_y design p) net_pins in
+    Steiner.update_coordinates tree ~xs ~ys;
+    Rc.evaluate rc
+
+  (* same rooted topology and provenance: node-for-node identical
+     arrays, so adopting the new coordinates into the old tree is
+     bitwise equal to installing the new tree *)
+  let same_topology (a : Steiner.t) (b : Steiner.t) =
+    let eq_int xs ys =
+      let n = Array.length xs in
+      Array.length ys = n
+      &&
+      let i = ref 0 in
+      while !i < n && xs.(!i) = ys.(!i) do incr i done;
+      !i = n
+    in
+    a.Steiner.pin_count = b.Steiner.pin_count
+    && eq_int a.Steiner.parent b.Steiner.parent
+    && eq_int a.Steiner.x_source b.Steiner.x_source
+    && eq_int a.Steiner.y_source b.Steiner.y_source
+    && eq_int a.Steiner.order b.Steiner.order
+
+  let install_tree t net_id tree =
+    let g = t.graph in
+    let design = g.Graph.design in
+    let pins = design.Netlist.nets.(net_id).Netlist.net_pins in
+    let pin_caps = Array.map (fun p -> g.Graph.pin_cap.(p)) pins in
+    let rc =
+      Rc.create ~r_unit:g.Graph.lib.Liberty.r_unit
+        ~c_unit:g.Graph.lib.Liberty.c_unit ~pin_caps tree
+    in
+    Rc.evaluate rc;
+    t.trees.(net_id) <- Some (tree, rc)
 
   (* Steiner construction and RC evaluation are per-net: every task
      touches only [trees.(n)] and freshly allocated tree/RC state, so
-     net-parallel dispatch is race-free and bit-identical. *)
-  let rebuild ?exact_limit ?pool ?(obs = Obs.disabled) t =
+     net-parallel dispatch is race-free and bit-identical.  The LUT
+     phase only *reads* the shared topology tables ([Lut.try_build]);
+     nets whose class is not generated yet are flagged and patched
+     sequentially after the parallel phase, so the final state never
+     depends on worker scheduling or domain count. *)
+  let rebuild ?exact_limit ?dirty_threshold ?pool ?(obs = Obs.disabled) t =
     Obs.start obs Obs.Steiner_rebuild;
     let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
-    (* Steiner construction + RC build: hundreds of float ops per net *)
-    Parallel.parallel_for p ~obs ~cost:400.0 (Array.length t.trees) (fun n ->
-      t.trees.(n) <- build_tree ?exact_limit t.graph n);
+    let design = t.graph.Graph.design in
+    let nnets = Array.length t.trees in
+    (match exact_limit with
+     | Some _ ->
+       (* legacy oracle path: every net through the exhaustive builder *)
+       Parallel.parallel_for p ~obs ~cost:400.0 nnets (fun n ->
+         t.trees.(n) <- build_tree ?exact_limit t.graph n;
+         if t.trees.(n) <> None then record_anchor t n)
+     | None ->
+       (* classify: clean (refresh), LUT degree, or heuristic degree *)
+       let wl_clean = Array.make nnets 0 and n_clean = ref 0 in
+       let wl_lut = Array.make nnets 0 and n_lut = ref 0 in
+       let wl_full = Array.make nnets 0 and n_full = ref 0 in
+       for n = 0 to nnets - 1 do
+         match t.trees.(n) with
+         | None -> ()
+         | Some _ ->
+           let pins = design.Netlist.nets.(n).Netlist.net_pins in
+           let dirty =
+             match dirty_threshold with
+             | None -> true
+             | Some thr ->
+               let off = t.anchor_off.(n) in
+               let d = ref false in
+               let k = ref 0 in
+               let m = Array.length pins in
+               (* Scale the threshold with degree: under a fixed one,
+                  every high-fanout net is permanently dirty (some pin
+                  always moves) yet a single pin's jitter has vanishing
+                  influence on a big net's topology.  At 0 the scaled
+                  threshold is still 0, so threshold-0 remains
+                  bit-identical to an unconditional rebuild. *)
+               let thr =
+                 thr
+                 *. Float.max 1.0
+                      (float_of_int m
+                       /. float_of_int Steiner.Lut.max_degree)
+               in
+               while (not !d) && !k < m do
+                 let pin = pins.(!k) in
+                 if
+                   Float.abs
+                     (Netlist.pin_x design pin -. t.anchor_xs.(off + !k))
+                   > thr
+                   || Float.abs
+                        (Netlist.pin_y design pin -. t.anchor_ys.(off + !k))
+                      > thr
+                 then d := true;
+                 incr k
+               done;
+               !d
+           in
+           if not dirty then begin
+             wl_clean.(!n_clean) <- n;
+             incr n_clean
+           end
+           else if Array.length pins <= Steiner.Lut.max_degree then begin
+             wl_lut.(!n_lut) <- n;
+             incr n_lut
+           end
+           else begin
+             wl_full.(!n_full) <- n;
+             incr n_full
+           end
+       done;
+       if Obs.enabled obs then begin
+         Obs.add obs "steiner.nets_clean" (float_of_int !n_clean);
+         Obs.add obs "steiner.nets_lut" (float_of_int !n_lut);
+         Obs.add obs "steiner.nets_full" (float_of_int !n_full)
+       end;
+       (* clean nets: O(1) provenance refresh on the frozen topology *)
+       Obs.start obs Obs.Steiner_dirty;
+       Parallel.parallel_for p ~obs ~cost:200.0 !n_clean (fun i ->
+         let n = wl_clean.(i) in
+         match t.trees.(n) with
+         | None -> ()
+         | Some entry ->
+           refresh_net design entry design.Netlist.nets.(n).Netlist.net_pins);
+       Obs.stop obs Obs.Steiner_dirty;
+       (* LUT-degree nets: parallel read-only lookups, sequential patch
+          for classes seen for the first time *)
+       Obs.start obs Obs.Steiner_lut;
+       let missing = Array.make (max 1 !n_lut) false in
+       Parallel.parallel_for p ~obs ~cost:600.0 !n_lut (fun i ->
+         let n = wl_lut.(i) in
+         let pins = design.Netlist.nets.(n).Netlist.net_pins in
+         let xs = Array.map (fun p -> Netlist.pin_x design p) pins in
+         let ys = Array.map (fun p -> Netlist.pin_y design p) pins in
+         match Steiner.Lut.try_build ~xs ~ys with
+         | Some tree ->
+           (match t.trees.(n) with
+            | Some (old_tree, rc) when same_topology old_tree tree ->
+              (* topology unchanged (the common case under small moves):
+                 keep the installed tree and RC, adopt the coordinates *)
+              let m = Steiner.node_count tree in
+              Array.blit tree.Steiner.xs 0 old_tree.Steiner.xs 0 m;
+              Array.blit tree.Steiner.ys 0 old_tree.Steiner.ys 0 m;
+              Rc.evaluate rc
+            | _ -> install_tree t n tree);
+           record_anchor t n
+         | None -> missing.(i) <- true);
+       for i = 0 to !n_lut - 1 do
+         if missing.(i) then begin
+           let n = wl_lut.(i) in
+           let pins = design.Netlist.nets.(n).Netlist.net_pins in
+           let xs = Array.map (fun p -> Netlist.pin_x design p) pins in
+           let ys = Array.map (fun p -> Netlist.pin_y design p) pins in
+           install_tree t n (Steiner.Lut.build ~xs ~ys);
+           record_anchor t n
+         end
+       done;
+       Obs.stop obs Obs.Steiner_lut;
+       (* above-LUT degrees: Prim + Steinerisation *)
+       Obs.start obs Obs.Steiner_full;
+       Parallel.parallel_for p ~obs ~cost:4000.0 !n_full (fun i ->
+         let n = wl_full.(i) in
+         t.trees.(n) <- build_tree t.graph n;
+         record_anchor t n);
+       Obs.stop obs Obs.Steiner_full);
     Obs.stop obs Obs.Steiner_rebuild
 
   let refresh ?pool ?(obs = Obs.disabled) t =
     Obs.start obs Obs.Steiner_refresh;
     let design = t.graph.Graph.design in
     let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
-    Parallel.parallel_for p ~obs ~cost:80.0 (Array.length t.trees) (fun n ->
+    (* ~cost raised from 80: per-net refresh walks every tree node plus
+       a full RC evaluate, several hundred float ops — undercosting it
+       made the executor cut grains below profitability at 4 domains
+       (4853us vs 2778us at 2 in the baseline BENCH_placeriter.json) *)
+    Parallel.parallel_for p ~obs ~cost:200.0 (Array.length t.trees) (fun n ->
       match t.trees.(n) with
       | None -> ()
-      | Some (tree, rc) ->
-        let pins = design.Netlist.nets.(n).Netlist.net_pins in
-        let xs = Array.map (fun p -> Netlist.pin_x design p) pins in
-        let ys = Array.map (fun p -> Netlist.pin_y design p) pins in
-        Steiner.update_coordinates tree ~xs ~ys;
-        Rc.evaluate rc);
+      | Some entry ->
+        refresh_net design entry design.Netlist.nets.(n).Netlist.net_pins);
     Obs.stop obs Obs.Steiner_refresh
 
   let total_tree_length t =

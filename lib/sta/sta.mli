@@ -106,17 +106,42 @@ module Nets : sig
     tree_index : int array;
     (** [tree_index.(p)] is pin [p]'s node index inside its net's tree
         ([-1] if the net has no tree). *)
+    anchor_off : int array;
+    anchor_xs : float array;
+    anchor_ys : float array;
+    (** pin positions at each net's last (re-)topologisation, CSR
+        layout: net [n]'s pins at [anchor_off.(n) ..].  Used by
+        {!rebuild} to skip nets that have not moved past the dirty
+        threshold. *)
   }
 
   val create : Graph.t -> t
   (** Builds topologies from the current placement and evaluates RC. *)
 
   val rebuild :
-    ?exact_limit:int -> ?pool:Parallel.pool -> ?obs:Obs.t -> t -> unit
+    ?exact_limit:int -> ?dirty_threshold:float -> ?pool:Parallel.pool ->
+    ?obs:Obs.t -> t -> unit
   (** Re-run Steiner construction from current pin positions (the
-      periodic "call FLUTE" step of §3.6) and re-evaluate RC.  With
-      [pool], nets build in parallel; each task writes only its own
-      tree slot, so the result is bit-identical to sequential. *)
+      periodic "call FLUTE" step of §3.6) and re-evaluate RC.  The
+      default path splits the work into three observable sub-kernels:
+      [steiner.dirty] (nets whose every pin moved at most
+      [dirty_threshold] in L-inf since their anchor: provenance refresh
+      only; the threshold is scaled up by [degree /
+      Steiner.Lut.max_degree] above the LUT degree, since one pin's
+      jitter has vanishing influence on a high-fanout net's topology and
+      a fixed threshold would keep such nets permanently dirty),
+      [steiner.lut] (dirty nets of degree <=
+      [Steiner.Lut.max_degree]: exact topology-LUT rebuild), and
+      [steiner.full] (dirty nets above the LUT degree: Prim +
+      Steinerisation).  Omitting [dirty_threshold] re-topologises every
+      net; a threshold of [0.] is bit-identical to that (a rebuild of an
+      unmoved net reproduces its tree exactly).  Passing [exact_limit]
+      instead routes every net through the legacy exhaustive builder
+      (test oracle).  With [pool], nets build in parallel; each task
+      writes only its own slot and the LUT phase only reads the shared
+      tables (first-seen classes are generated sequentially afterwards),
+      so the result is bit-identical to sequential at any domain
+      count. *)
 
   val refresh : ?pool:Parallel.pool -> ?obs:Obs.t -> t -> unit
   (** Keep topologies; refresh coordinates via Steiner provenance and

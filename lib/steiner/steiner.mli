@@ -1,10 +1,16 @@
 (** Rectilinear Steiner minimal tree (RSMT) construction with
     differentiability support (paper §3.4.1, Fig. 4).
 
-    This is the FLUTE substitute: nets with up to [exact_limit] pins get an
-    optimal RSMT by Hanan-grid enumeration; larger nets use a rectilinear
-    Prim MST refined by greedy local Steinerisation (inserting the median
-    point of two adjacent tree edges while it shortens the tree).
+    This is the FLUTE analogue: nets of degree 2 and 3 are built
+    directly; degrees 4 to [Lut.max_degree] get an {e optimal} RSMT from
+    a topology lookup table keyed by the pin-permutation class (the
+    POWV/POST idea of Chu & Wong's FLUTE), with per-class candidate sets
+    generated exactly on first use by a Dreyfus-Wagner Steiner DP on the
+    Hanan grid; larger nets use a rectilinear Prim MST refined by greedy
+    local Steinerisation (inserting the median point of two adjacent
+    tree edges while it shortens the tree).  The pre-LUT exhaustive
+    Hanan-subset search survives behind [?exact_limit] as an independent
+    test oracle.
 
     Every Steiner point's coordinates equal coordinates of specific pins
     of the net (Hanan's theorem): point [s] takes its x from pin
@@ -41,10 +47,52 @@ val edge_length : t -> int -> float
 
 val total_length : t -> float
 
-val build : ?exact_limit:int -> xs:float array -> ys:float array -> unit -> t
+module Lut : sig
+  (** FLUTE-style topology lookup tables: per pin-permutation class
+      (reduced by the 8 dihedral symmetries of the plane), a small set
+      of candidate topologies whose per-instance shortest member is the
+      exact RSMT.  Classes are generated on first use by an exact
+      Dreyfus-Wagner Steiner DP over a probe family of coordinate-span
+      vectors, then verified (and patched) against randomized draws.
+      Generation is deterministic, keyed only by the class, so tables
+      are identical across runs and domain counts. *)
+
+  val max_degree : int
+  (** Largest net degree served by the tables (8). *)
+
+  val try_build : xs:float array -> ys:float array -> t option
+  (** Read-only lookup: [None] when the degree is out of range or the
+      class has not been generated yet.  Never mutates the tables, so it
+      is safe to call from parallel workers while no generator runs. *)
+
+  val ensure : xs:float array -> ys:float array -> unit
+  (** Generate (and publish) the class covering this net if missing.
+      Mutates the shared tables: call only from sequential code. *)
+
+  val build : xs:float array -> ys:float array -> t
+  (** [ensure] followed by [try_build], for sequential callers. *)
+
+  val class_count : int -> int
+  (** Number of generated classes for a given degree (observability). *)
+
+  val optimal_length : xs:float array -> ys:float array -> float
+  (** Exact RSMT length by Dreyfus-Wagner on the net's own Hanan grid,
+      bypassing the tables (test oracle; exponential in degree). *)
+end
+
+val build :
+  ?exact_limit:int -> ?lut:bool -> xs:float array -> ys:float array ->
+  unit -> t
 (** [build ~xs ~ys ()] constructs a tree over pins at [(xs, ys)] (driver
-    at index 0).  [exact_limit] (default 4, clamped to [2, 6]) bounds the
-    net degree for which the exhaustive optimal construction runs.
+    at index 0).  The default path is: direct construction for degree
+    <= 3, the topology LUT (exact RSMT) for degree <= [Lut.max_degree],
+    and Prim + Steinerisation beyond; pass [~lut:false] to skip the LUT
+    and use the heuristic from degree 4 up (used by parallel callers
+    when a class is not generated yet, and by benchmarks as the
+    baseline).  Passing [?exact_limit] instead selects the legacy
+    oracle path: exhaustive Hanan-subset search up to that degree
+    (clamped to [2, 6] — the subset enumeration is O(2^[n^2]) and
+    unusable beyond), Prim + Steinerisation above it.
     @raise Invalid_argument on empty input or mismatched lengths. *)
 
 val update_coordinates : t -> xs:float array -> ys:float array -> unit

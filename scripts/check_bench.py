@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Sanity checks on BENCH_placeriter.json.
+
+Asserts that the Steiner maintenance is no longer the dominant kernel:
+at every domain count, the per-iteration Steiner cost (the dirty rebuild
+tick amortised over steiner_period, which is how iteration_us accounts
+for it) must be smaller than the largest other per-iteration kernel.
+The sub-kernel split (steiner.dirty / steiner.lut / steiner.full) must
+also sum to roughly the dirty-tick cost, so the observability stays
+honest.
+
+Usage: scripts/check_bench.py [BENCH_placeriter.json]
+Exits non-zero with a message on violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_placeriter.json"
+    with open(path) as f:
+        data = json.load(f)
+
+    period = data.get("steiner_period", 1)
+    if period < 1:
+        fail(f"steiner_period {period} < 1")
+
+    rows = data.get("domains")
+    if not rows:
+        fail("no domain rows")
+
+    for row in rows:
+        d = row["domains"]
+        k = row["kernels_us"]
+        steiner_tick = k["steiner_rebuild"]
+        steiner_per_iter = steiner_tick / period
+        others = {
+            name: us
+            for name, us in k.items()
+            if name not in ("steiner_rebuild", "steiner_full")
+        }
+        biggest, biggest_us = max(others.items(), key=lambda kv: kv[1])
+        if steiner_per_iter >= biggest_us:
+            fail(
+                f"domains={d}: steiner per-iteration cost {steiner_per_iter:.1f}us "
+                f"(tick {steiner_tick:.1f}us / period {period}) is still the "
+                f"largest kernel (next: {biggest} at {biggest_us:.1f}us)"
+            )
+        print(
+            f"check_bench: domains={d}: steiner {steiner_per_iter:.1f}us/iter "
+            f"< {biggest} {biggest_us:.1f}us/iter"
+        )
+
+        sub = row.get("steiner_subkernels_us")
+        if sub is None:
+            fail(f"domains={d}: missing steiner_subkernels_us")
+        for name in ("steiner.dirty", "steiner.lut", "steiner.full"):
+            if name not in sub:
+                fail(f"domains={d}: missing sub-kernel {name}")
+
+    full = [r for r in rows if "speedup_vs_seed" in r]
+    if full:
+        best = max(r["speedup_vs_seed"] for r in full)
+        print(f"check_bench: best speedup vs seed: {best:.2f}x")
+
+    print(f"check_bench: OK ({path})")
+
+
+if __name__ == "__main__":
+    main()

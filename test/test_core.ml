@@ -345,3 +345,36 @@ let suite =
       Alcotest.test_case "pooled run bit-identical" `Slow
         test_pooled_run_bit_identical;
       Alcotest.test_case "trace never nan" `Slow test_trace_never_nan ]
+
+let test_steiner_dirty_zero_matches_full () =
+  (* the dirty-net classifier at threshold 0 must not change the
+     placement trajectory at all vs unconditional rebuilds *)
+  let run steiner_dirty =
+    let design, graph = setup ~cells:300 ~seed:9 () in
+    let cfg =
+      { quick_config with
+        Core.max_iterations = 60; min_iterations = 30;
+        mode =
+          Core.Differentiable_timing
+            { Core.default_timing with
+              Core.activation_overflow = 10.0; steiner_dirty } }
+    in
+    let r = Core.run cfg graph in
+    (r,
+     Array.map (fun (c : Netlist.cell) -> (bits c.Netlist.x, bits c.Netlist.y))
+       design.Netlist.cells)
+  in
+  let r0, pos0 = run None in
+  let r1, pos1 = run (Some 0.0) in
+  Alcotest.(check int) "same iterations" r0.Core.res_iterations
+    r1.Core.res_iterations;
+  Alcotest.(check bool) "hpwl bit-identical" true
+    (bits r0.Core.res_hpwl = bits r1.Core.res_hpwl);
+  Array.iteri
+    (fun i p -> if p <> pos1.(i) then Alcotest.failf "cell %d differs" i)
+    pos0
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "steiner_dirty 0 = full rebuild placement" `Quick
+        test_steiner_dirty_zero_matches_full ]

@@ -496,3 +496,125 @@ let suite =
   suite
   @ [ Alcotest.test_case "io constraint effects" `Quick test_io_constraint_effects;
       Alcotest.test_case "slew monotone" `Quick test_slew_limits_monotone ]
+
+(* --- dirty-net incremental Steiner rebuild --- *)
+
+let workload_nets seed =
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = 250; sp_seed = seed; sp_clock_period = 700.0 }
+  in
+  let design, cons = Workload.generate lib spec in
+  (design, Sta.Graph.build design lib cons)
+
+let nets_state (nets : Sta.Nets.t) =
+  (* every mutable bit of tree state, bitwise *)
+  Array.map
+    (function
+      | None -> None
+      | Some ((t : Steiner.t), _) ->
+        Some
+          (Array.map Int64.bits_of_float t.Steiner.xs,
+           Array.map Int64.bits_of_float t.Steiner.ys,
+           t.Steiner.parent, t.Steiner.x_source, t.Steiner.y_source,
+           t.Steiner.order))
+    nets.Sta.Nets.trees
+
+let jitter design rng mag =
+  List.iter
+    (fun c ->
+      let cell = design.Netlist.cells.(c) in
+      cell.Netlist.x <- cell.Netlist.x +. Workload.Rng.float rng (2.0 *. mag) -. mag;
+      cell.Netlist.y <- cell.Netlist.y +. Workload.Rng.float rng (2.0 *. mag) -. mag)
+    (Netlist.movable_cells design)
+
+(* replay the same motion/maintenance sequence under a given per-tick
+   action and return the final bitwise tree state *)
+let replay design graph home ticks act =
+  Netlist.restore_positions design home;
+  let nets = Sta.Nets.create graph in
+  let rng = Workload.Rng.create 31 in
+  for _ = 1 to ticks do
+    jitter design rng 3.0;
+    act nets
+  done;
+  nets_state nets
+
+let check_states label a b =
+  Alcotest.(check int) (label ^ ": same net count") (Array.length a)
+    (Array.length b);
+  Array.iteri
+    (fun i sa -> if sa <> b.(i) then Alcotest.failf "%s: net %d differs" label i)
+    a
+
+let test_dirty_zero_is_full_rebuild () =
+  (* threshold 0 re-topologises everything that moved at all; since the
+     classifier is [> thr] on pin displacement and rebuilds of unmoved
+     nets are reproducible, the result must be bit-identical to the
+     unconditional rebuild *)
+  let design, graph = workload_nets 5 in
+  let home = Netlist.copy_positions design in
+  let a =
+    replay design graph home 3 (fun n -> Sta.Nets.rebuild ~dirty_threshold:0.0 n)
+  in
+  let b = replay design graph home 3 (fun n -> Sta.Nets.rebuild n) in
+  check_states "threshold 0 vs full" a b
+
+let test_dirty_huge_is_refresh () =
+  (* an unreachable threshold classifies every net clean: the rebuild
+     tick degenerates to the provenance refresh, bit for bit *)
+  let design, graph = workload_nets 6 in
+  let home = Netlist.copy_positions design in
+  let a =
+    replay design graph home 3 (fun n ->
+      Sta.Nets.rebuild ~dirty_threshold:1e30 n)
+  in
+  let b = replay design graph home 3 (fun n -> Sta.Nets.refresh n) in
+  check_states "huge threshold vs refresh" a b
+
+let test_dirty_rebuild_pool_bit_identical () =
+  (* the three-phase dirty rebuild must not depend on the domain count
+     (LUT classes are only ever generated sequentially) *)
+  let design, graph = workload_nets 7 in
+  let home = Netlist.copy_positions design in
+  let act pool n = Sta.Nets.rebuild ~dirty_threshold:6.0 ?pool n in
+  let seq = replay design graph home 3 (act None) in
+  List.iter
+    (fun domains ->
+      let pool = Parallel.create ~domains ~oversubscribe:true () in
+      let pooled =
+        Fun.protect
+          ~finally:(fun () -> Parallel.shutdown pool)
+          (fun () -> replay design graph home 3 (act (Some pool)))
+      in
+      check_states (Printf.sprintf "@%dd vs sequential" domains) seq pooled)
+    [ 2; 4 ]
+
+let test_dirty_skips_unmoved () =
+  (* with a permissive threshold and tiny motion, anchors must keep nets
+     clean: trees keep their topology while coordinates track the pins *)
+  let design, graph = workload_nets 8 in
+  let nets = Sta.Nets.create graph in
+  let before = nets_state nets in
+  let topo_of = Array.map (Option.map (fun (_, _, p, _, _, o) -> (p, o))) in
+  let rng = Workload.Rng.create 77 in
+  jitter design rng 0.01;
+  Sta.Nets.rebuild ~dirty_threshold:1.0 nets;
+  let after = nets_state nets in
+  Alcotest.(check bool) "coordinates moved" true (before <> after);
+  Array.iteri
+    (fun i t ->
+      if t <> (topo_of after).(i) then
+        Alcotest.failf "net %d re-topologised below threshold" i)
+    (topo_of before)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "dirty threshold 0 = full rebuild" `Quick
+        test_dirty_zero_is_full_rebuild;
+      Alcotest.test_case "huge dirty threshold = refresh" `Quick
+        test_dirty_huge_is_refresh;
+      Alcotest.test_case "dirty rebuild pool bit-identical" `Quick
+        test_dirty_rebuild_pool_bit_identical;
+      Alcotest.test_case "dirty rebuild skips unmoved nets" `Quick
+        test_dirty_skips_unmoved ]

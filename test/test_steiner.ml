@@ -172,3 +172,125 @@ let test_exact_limit_clamped () =
 let suite =
   suite
   @ [ Alcotest.test_case "exact limit clamped" `Quick test_exact_limit_clamped ]
+
+(* --- topology LUT (the FLUTE analogue) --- *)
+
+let test_lut_matches_exhaustive () =
+  (* degrees 4-6: the LUT must reproduce the exhaustive Hanan-subset
+     oracle's optimal length on every instance *)
+  let rng = Workload.Rng.create 2024 in
+  for n = 4 to 6 do
+    for _ = 1 to 50 do
+      let xs, ys = rand_net rng n in
+      let lut = Steiner.total_length (Steiner.build ~xs ~ys ()) in
+      let oracle =
+        Steiner.total_length (Steiner.build ~exact_limit:6 ~xs ~ys ())
+      in
+      if Float.abs (lut -. oracle) > 1e-9 then
+        Alcotest.failf "deg %d: lut %f vs exhaustive %f" n lut oracle
+    done
+  done
+
+let test_lut_matches_dw_oracle () =
+  (* degrees 7-8 are beyond the exhaustive subset search; compare against
+     the Dreyfus-Wagner length oracle.  Degree <= 7 tables come from the
+     complete Pareto construction and must match everywhere; degree 8 is
+     sampled, checked here on a fixed seed. *)
+  let rng = Workload.Rng.create 4242 in
+  for n = 7 to 8 do
+    for _ = 1 to 25 do
+      let xs, ys = rand_net rng n in
+      let lut = Steiner.total_length (Steiner.build ~xs ~ys ()) in
+      let opt = Steiner.Lut.optimal_length ~xs ~ys in
+      if Float.abs (lut -. opt) > 1e-9 then
+        Alcotest.failf "deg %d: lut %f vs DW %f" n lut opt
+    done
+  done
+
+let test_lut_degenerate () =
+  (* duplicate coordinates collapse rank gaps; the LUT path must stay
+     well-formed and optimal (the DW oracle handles ties too) *)
+  let cases =
+    [ ([| 0.0; 0.0; 5.0; 5.0 |], [| 0.0; 5.0; 0.0; 5.0 |]);
+      ([| 1.0; 1.0; 1.0; 1.0; 1.0 |], [| 0.0; 1.0; 2.0; 3.0; 4.0 |]);
+      ([| 2.0; 2.0; 2.0; 2.0; 2.0; 2.0 |], [| 7.0; 7.0; 7.0; 7.0; 7.0; 7.0 |]);
+      ([| 0.0; 3.0; 3.0; 6.0; 0.0; 6.0; 3.0 |],
+       [| 0.0; 0.0; 4.0; 4.0; 4.0; 0.0; 2.0 |]) ]
+  in
+  List.iter
+    (fun (xs, ys) ->
+      let t = Steiner.build ~xs ~ys () in
+      if not (tree_is_connected t) then Alcotest.fail "disconnected";
+      Alcotest.(check (float 1e-9)) "optimal on ties"
+        (Steiner.Lut.optimal_length ~xs ~ys)
+        (Steiner.total_length t))
+    cases
+
+let test_lut_gradient_fd () =
+  (* finite-difference check of the provenance-chained gradient through
+     LUT-built trees: for a functional linear in all node coordinates,
+     accumulate_pin_gradient must match the finite difference of the
+     functional under update_coordinates (node coordinates are linear in
+     pin coordinates at fixed topology) *)
+  let rng = Workload.Rng.create 99 in
+  for n = 4 to 8 do
+    let xs, ys = rand_net rng n in
+    let t = Steiner.build ~xs ~ys () in
+    let m = Steiner.node_count t in
+    let node_gx = Array.init m (fun _ -> Workload.Rng.float rng 1.0 -. 0.5)
+    and node_gy = Array.init m (fun _ -> Workload.Rng.float rng 1.0 -. 0.5) in
+    let f xs' ys' =
+      Steiner.update_coordinates t ~xs:xs' ~ys:ys';
+      let acc = ref 0.0 in
+      for v = 0 to m - 1 do
+        acc :=
+          !acc +. (node_gx.(v) *. t.Steiner.xs.(v))
+          +. (node_gy.(v) *. t.Steiner.ys.(v))
+      done;
+      !acc
+    in
+    let pin_gx = Array.make n 0.0 and pin_gy = Array.make n 0.0 in
+    Steiner.accumulate_pin_gradient t ~node_gx ~node_gy ~pin_gx ~pin_gy;
+    let h = 0.5 in
+    let base = f xs ys in
+    for p = 0 to n - 1 do
+      let xs2 = Array.copy xs in
+      xs2.(p) <- xs2.(p) +. h;
+      let fx = f xs2 ys in
+      let ys2 = Array.copy ys in
+      ys2.(p) <- ys2.(p) +. h;
+      let fy = f xs ys2 in
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "deg %d dF/dx_%d" n p)
+        pin_gx.(p)
+        ((fx -. base) /. h);
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "deg %d dF/dy_%d" n p)
+        pin_gy.(p)
+        ((fy -. base) /. h)
+    done
+  done
+
+let test_lut_oracle_path_unaffected () =
+  (* ?exact_limit keeps selecting the legacy exhaustive/heuristic path
+     (the test oracle must not silently route through the tables) *)
+  let rng = Workload.Rng.create 1234 in
+  let xs, ys = rand_net rng 9 in
+  let lut_off = Steiner.build ~lut:false ~xs ~ys () in
+  let heur = Steiner.build ~exact_limit:2 ~xs ~ys () in
+  Alcotest.(check (float 1e-9)) "lut:false = heuristic"
+    (Steiner.total_length heur)
+    (Steiner.total_length lut_off)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "lut matches exhaustive oracle (deg 4-6)" `Quick
+        test_lut_matches_exhaustive;
+      Alcotest.test_case "lut matches DW oracle (deg 7-8)" `Quick
+        test_lut_matches_dw_oracle;
+      Alcotest.test_case "lut degenerate coordinates" `Quick
+        test_lut_degenerate;
+      Alcotest.test_case "lut gradient vs finite differences" `Quick
+        test_lut_gradient_fd;
+      Alcotest.test_case "lut:false selects heuristic" `Quick
+        test_lut_oracle_path_unaffected ]
