@@ -1,5 +1,5 @@
 .PHONY: all test bench bench-full bench-placer bench-placer-check \
-	bench-paths bench-parallel bench-all clean
+	bench-paths bench-parallel bench-incremental bench-all clean
 
 all:
 	dune build
@@ -37,8 +37,14 @@ bench-paths:
 bench-parallel:
 	dune exec bench/main.exe -- parallel
 
+# Incremental STA: pins re-evaluated and latency per what-if move batch
+# vs a full Timer.run, with bit-identity enforced; writes
+# BENCH_incremental.json at the repo root.
+bench-incremental:
+	dune exec bench/main.exe -- incremental
+
 # Every JSON-emitting benchmark in one go.
-bench-all: bench bench-placer bench-paths bench-parallel
+bench-all: bench bench-placer bench-paths bench-parallel bench-incremental
 
 clean:
 	dune clean

@@ -5,15 +5,18 @@
    Usage:  dune exec bench/main.exe [-- <target> ...]
    Targets: table1 table2 table3 figure8 kernels ablation-gamma
             ablation-reuse ablation-extensions gradcheck difftimer
-            placer-iter paths parallel all (default: all)
+            placer-iter paths parallel incremental all (default: all)
    Options: --scale <f>       benchmark scale factor (default 0.01)
             --quick           fewer iterations for difftimer
             --out <f>         difftimer JSON path (default BENCH_difftimer.json)
-            --smoke           tiny placer-iter/paths/parallel run for CI
+            --smoke           tiny placer-iter/paths/parallel/incremental
+                              run for CI
             --placer-out <f>  placer-iter JSON path
                               (default BENCH_placeriter.json)
             --paths-out <f>   paths JSON path (default BENCH_paths.json)
             --parallel-out <f> executor JSON path (default BENCH_parallel.json)
+            --incremental-out <f> incremental-STA JSON path
+                              (default BENCH_incremental.json)
             --domains <n>     worker domains for every placement run
                               (default 1; results are bit-identical
                               across domain counts) *)
@@ -1261,6 +1264,162 @@ let bench_parallel () =
   close_out oc;
   Printf.printf "\nWrote %s\n" !parallel_out
 
+(* ---- incremental STA benchmark ---- *)
+
+let incremental_out = ref "BENCH_incremental.json"
+
+(* Move small batches of cells (local what-if perturbations, the
+   serving-daemon workload), measure pins re-evaluated and latency per
+   batch against a full Timer.run of the same placement, and verify the
+   reports stay bit-identical.  The batch is 0.25% of the cells: the
+   bitwise change-detection cutoff means a move dirties its whole
+   transitive fanout cone, and cone unions grow sublinearly but large —
+   on this topology a 1%-of-cells batch already touches ~43% of pins,
+   while 0.25% stays near 16%.  The acceptance thresholds (<25% of pins
+   re-evaluated, bitwise-equal WNS/TNS/endpoint slacks) are enforced
+   here: any violation exits nonzero. *)
+let bench_incremental () =
+  section "Incremental STA: re-propagation cost per move batch vs full run";
+  let cells = if !placer_smoke then 400 else 5000 in
+  let batches = if !placer_smoke then 5 else 20 in
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = cells; sp_seed = 17; sp_inputs = 16;
+      sp_outputs = 16; sp_depth = 10; sp_clock_period = 520.0 }
+  in
+  let design, graph = build_bench spec in
+  let inc = Sta.Incremental.create graph in
+  (* the reference timer gets one default (rebuilding) run so its
+     Steiner topologies match the incremental engine's; every later run
+     freezes topologies on both sides *)
+  let reference = Sta.Timer.create graph in
+  ignore (Sta.Timer.run ?pool:!pool reference);
+  let npins = Netlist.num_pins design in
+  let ncells = Netlist.num_cells design in
+  let batch_size = max 1 (ncells / 400) in
+  let rng = Workload.Rng.create 2024 in
+  let region = design.Netlist.region in
+  let row = design.Netlist.row_height in
+  let bits = Int64.bits_of_float in
+  let identical (a : Sta.Timer.report) (b : Sta.Timer.report) =
+    bits a.Sta.Timer.setup_wns = bits b.Sta.Timer.setup_wns
+    && bits a.Sta.Timer.setup_tns = bits b.Sta.Timer.setup_tns
+    && bits a.Sta.Timer.hold_wns = bits b.Sta.Timer.hold_wns
+    && bits a.Sta.Timer.hold_tns = bits b.Sta.Timer.hold_tns
+    && List.length a.Sta.Timer.endpoint_slacks
+       = List.length b.Sta.Timer.endpoint_slacks
+    && List.for_all2
+         (fun (x : Sta.Timer.endpoint_slack) (y : Sta.Timer.endpoint_slack) ->
+           x.Sta.Timer.ep_pin = y.Sta.Timer.ep_pin
+           && bits x.Sta.Timer.ep_setup_slack = bits y.Sta.Timer.ep_setup_slack
+           && bits x.Sta.Timer.ep_hold_slack = bits y.Sta.Timer.ep_hold_slack)
+         a.Sta.Timer.endpoint_slacks b.Sta.Timer.endpoint_slacks
+  in
+  let t =
+    Report.Table.create
+      [ "batch"; "moves"; "pins"; "pins%"; "inc(us)"; "full(us)"; "speedup";
+        "bitwise" ]
+  in
+  let rows = ref [] in
+  let failures = ref 0 in
+  for batch = 1 to batches do
+    let moved = ref 0 in
+    while !moved < batch_size do
+      let c = design.Netlist.cells.(Workload.Rng.int rng ncells) in
+      if not c.Netlist.fixed then begin
+        incr moved;
+        (* local perturbation: up to ~4 row heights in each axis *)
+        let hw = c.Netlist.width /. 2.0 and hh = c.Netlist.height /. 2.0 in
+        let jitter () = (Workload.Rng.float rng 8.0 -. 4.0) *. row in
+        let x =
+          Geometry.clamp ~lo:(region.Geometry.Rect.lx +. hw)
+            ~hi:(region.Geometry.Rect.hx -. hw) (c.Netlist.x +. jitter ())
+        and y =
+          Geometry.clamp ~lo:(region.Geometry.Rect.ly +. hh)
+            ~hi:(region.Geometry.Rect.hy -. hh) (c.Netlist.y +. jitter ())
+        in
+        Sta.Incremental.move_cell inc c.Netlist.cell_id ~x ~y
+      end
+    done;
+    let t0 = Obs.Clock.now () in
+    let ir = Sta.Incremental.update inc in
+    let inc_us = (Obs.Clock.now () -. t0) *. 1e6 in
+    let t0 = Obs.Clock.now () in
+    let fr = Sta.Timer.run ~rebuild_trees:false ?pool:!pool reference in
+    let full_us = (Obs.Clock.now () -. t0) *. 1e6 in
+    let stats = Sta.Incremental.last_stats inc in
+    let pins = stats.Sta.Incremental.us_pins in
+    let frac = float_of_int pins /. float_of_int npins in
+    let same = identical ir fr in
+    if not same then incr failures;
+    Report.Table.add_row t
+      [ string_of_int batch; string_of_int batch_size; string_of_int pins;
+        Printf.sprintf "%.1f" (100.0 *. frac);
+        Printf.sprintf "%.0f" inc_us; Printf.sprintf "%.0f" full_us;
+        Printf.sprintf "%.1fx" (full_us /. Float.max 1e-9 inc_us);
+        (if same then "yes" else "NO") ];
+    rows := (batch, pins, frac, inc_us, full_us, same, stats) :: !rows
+  done;
+  let rows = List.rev !rows in
+  print_string (Report.Table.render t);
+  let mean f =
+    List.fold_left (fun acc r -> acc +. f r) 0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  let mean_frac = mean (fun (_, _, f, _, _, _, _) -> f) in
+  let mean_inc = mean (fun (_, _, _, i, _, _, _) -> i) in
+  let mean_full = mean (fun (_, _, _, _, f, _, _) -> f) in
+  Printf.printf
+    "\n  mean: %.1f%% of %d pins re-evaluated per %d-move batch; \
+     %.0f us incremental vs %.0f us full (%.1fx)\n"
+    (100.0 *. mean_frac) npins batch_size mean_inc mean_full
+    (mean_full /. Float.max 1e-9 mean_inc);
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"bench\": \"incremental\",\n  \"mode\": \"%s\",\n\
+       \  \"workload\": { \"cells\": %d, \"seed\": 17, \"inputs\": 16, \
+        \"outputs\": 16, \"depth\": 10, \"clock_period_ps\": 520.0 },\n\
+       \  \"pins\": %d,\n  \"batch_size\": %d,\n  \"batches\": [\n"
+       (if !placer_smoke then "smoke" else "full")
+       cells npins batch_size);
+  List.iteri
+    (fun i (batch, pins, frac, inc_us, full_us, same, stats) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"batch\": %d, \"pins_reevaluated\": %d, \"pin_fraction\": \
+            %.4f, \"changed\": %d, \"nets\": %d, \"levels\": %d, \
+            \"incremental_us\": %.1f, \"full_us\": %.1f, \"bit_identical\": \
+            %b }%s\n"
+           batch pins frac stats.Sta.Incremental.us_changed
+           stats.Sta.Incremental.us_nets stats.Sta.Incremental.us_levels
+           inc_us full_us same
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  ],\n  \"mean_pin_fraction\": %.4f,\n  \"mean_incremental_us\": \
+        %.1f,\n  \"mean_full_us\": %.1f,\n  \"speedup\": %.2f\n}\n"
+       mean_frac mean_inc mean_full (mean_full /. Float.max 1e-9 mean_inc));
+  let oc = open_out !incremental_out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nWrote %s\n" !incremental_out;
+  if !failures > 0 then begin
+    Printf.eprintf
+      "FAIL: %d/%d batches not bit-identical to the full run\n" !failures
+      batches;
+    exit 1
+  end;
+  (* the <25% acceptance bound is defined on the 5k-cell design; a
+     smoke-sized design dirties a much larger fraction per batch *)
+  if (not !placer_smoke) && mean_frac >= 0.25 then begin
+    Printf.eprintf
+      "FAIL: mean pin fraction %.3f >= 0.25 acceptance threshold\n" mean_frac;
+    exit 1
+  end
+
 (* ---- driver ---- *)
 
 let all_targets =
@@ -1269,7 +1428,8 @@ let all_targets =
     ("ablation-gamma", ablation_gamma); ("ablation-reuse", ablation_reuse);
     ("ablation-extensions", ablation_extensions); ("gradcheck", gradcheck);
     ("difftimer", bench_difftimer); ("placer-iter", placer_iter);
-    ("paths", bench_paths); ("parallel", bench_parallel) ]
+    ("paths", bench_paths); ("parallel", bench_parallel);
+    ("incremental", bench_incremental) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1299,6 +1459,9 @@ let () =
       parse acc rest
     | "--parallel-out" :: v :: rest ->
       parallel_out := v;
+      parse acc rest
+    | "--incremental-out" :: v :: rest ->
+      incremental_out := v;
       parse acc rest
     | x :: rest -> parse (x :: acc) rest
   in

@@ -64,11 +64,19 @@ let () =
             (c.Netlist.x, c.Netlist.y +. step);
             (c.Netlist.x, c.Netlist.y -. step) ]
         in
+        let hw = c.Netlist.width /. 2.0 and hh = c.Netlist.height /. 2.0 in
+        let r = design.Netlist.region in
+        (* the incremental engine validates moves like the legalizer:
+           the whole bounding box must stay inside the core region *)
+        let legal x y =
+          x -. hw >= r.Geometry.Rect.lx
+          && x +. hw <= r.Geometry.Rect.hx
+          && y -. hh >= r.Geometry.Rect.ly
+          && y +. hh <= r.Geometry.Rect.hy
+        in
         List.iter
           (fun (x, y) ->
-            if Geometry.Rect.contains design.Netlist.region
-                 (Geometry.Point.make x y)
-            then
+            if legal x y then
               match try_move cell ~x ~y ~current_wns:!wns with
               | Some better -> wns := better
               | None -> ())

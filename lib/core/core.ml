@@ -208,12 +208,37 @@ let run ?pool ?(obs = Obs.disabled) config graph =
   in
   (* Modes that own a timer reuse it for trace points (the net- and
      path-weighting engines' exact timers, the differentiable timer's
-     own metrics); only wirelength-only needs a dedicated trace timer. *)
+     own metrics); only wirelength-only needs a dedicated trace timer.
+     Trace points between full engine runs go through Sta.Incremental
+     (sparse cone re-propagation on frozen topologies) instead of paying
+     a full Timer.run; the incremental view is created lazily at the
+     first between-run trace point and re-absorbed whenever the engine
+     performs its own full run (weight updates). *)
   let trace_timer =
     if config.trace_timing_period > 0
        && (match config.mode with Wirelength_only -> true | _ -> false)
     then Some (Sta.Timer.create graph)
     else None
+  in
+  let trace_inc = ref None in
+  let trace_inc_of timer =
+    match !trace_inc with
+    | Some inc -> inc
+    | None ->
+      let inc = Sta.Incremental.of_timer timer in
+      trace_inc := Some inc;
+      inc
+  in
+  let trace_absorb report =
+    match !trace_inc with
+    | Some inc -> Sta.Incremental.absorb inc report
+    | None -> ()
+  in
+  let trace_incremental inc =
+    Array.iteri
+      (fun c movable -> if movable then Sta.Incremental.touch_cell inc c)
+      mask;
+    Sta.Incremental.update ~obs inc
   in
   let lambda = ref 0.0 in
   let lr0 = match config.learning_rate with Some l -> l | None -> side /. 350.0 in
@@ -261,13 +286,19 @@ let run ?pool ?(obs = Obs.disabled) config graph =
     (* timing terms *)
     (match netweight with
      | Some nw ->
-       if Netweight.should_update nw i then
-         record (Netweight.update ?pool ~obs nw)
+       if Netweight.should_update nw i then begin
+         let report = Netweight.update ?pool ~obs nw in
+         record report;
+         trace_absorb report
+       end
      | None -> ());
     (match pathweight with
      | Some pw ->
-       if Paths.Weight.should_update pw i then
-         record (Paths.Weight.update ?pool ~obs pw)
+       if Paths.Weight.should_update pw i then begin
+         let report = Paths.Weight.update ?pool ~obs pw in
+         record report;
+         trace_absorb report
+       end
      | None -> ());
     (match difftimer with
      | Some dt ->
@@ -323,19 +354,23 @@ let run ?pool ?(obs = Obs.disabled) config graph =
     if config.trace_timing_period > 0 && i mod config.trace_timing_period = 0
     then begin
       match trace_timer, netweight, pathweight with
-      | Some timer, _, _ -> record (Sta.Timer.run ?pool ~obs timer)
+      | Some timer, _, _ ->
+        (match !trace_inc with
+         | None ->
+           (* First trace point: one full analysis seeds the
+              incremental view; later points re-propagate cones only. *)
+           let report = Sta.Timer.run ?pool ~obs timer in
+           record report;
+           trace_inc := Some (Sta.Incremental.of_timer ~report timer)
+         | Some inc -> record (trace_incremental inc))
       | None, Some nw, _ when not (Netweight.should_update nw i) ->
-        (* Net-weighting mode owns an exact timer already: reuse it for
-           trace samples that fall between weight updates. *)
-        record
-          (Sta.Timer.run ?pool ~obs
-             ~rebuild_trees:(Netweight.config nw).Netweight.rebuild_trees
-             (Netweight.timer nw))
+        (* Net-weighting mode owns an exact timer already, fully run at
+           every weight update (iteration 0 included): trace samples
+           between updates re-propagate it incrementally on frozen
+           topologies. *)
+        record (trace_incremental (trace_inc_of (Netweight.timer nw)))
       | None, _, Some pw when not (Paths.Weight.should_update pw i) ->
-        record
-          (Sta.Timer.run ?pool ~obs
-             ~rebuild_trees:(Paths.Weight.config pw).Paths.Weight.rebuild_trees
-             (Paths.Weight.timer pw))
+        record (trace_incremental (trace_inc_of (Paths.Weight.timer pw)))
       | None, _, _ -> ()
     end;
     (* update *)

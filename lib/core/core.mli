@@ -86,7 +86,12 @@ type config = {
           path-weighting modes reuse their own exact timer (avoiding a
           second STA when a weight update already measured this
           iteration); differentiable timing traces from its own
-          metrics.  Powers Figure 8's baseline curves. *)
+          metrics.  Trace points between full engine runs re-propagate
+          through [Sta.Incremental] (sparse cone updates on frozen
+          Steiner topologies) rather than paying a full [Timer.run]:
+          only the first trace point (wirelength-only) and the weight
+          updates themselves rebuild topologies.  Powers Figure 8's
+          baseline curves. *)
   verbose : bool;
 }
 

@@ -41,6 +41,10 @@ type kernel =
   | Steiner_lut
   | Steiner_dirty
   | Steiner_full
+  | Sta_incremental
+  | Serve_parse
+  | Serve_update
+  | Serve_query
 
 let kernel_id = function
   | Core_run -> 0
@@ -65,16 +69,21 @@ let kernel_id = function
   | Steiner_lut -> 19
   | Steiner_dirty -> 20
   | Steiner_full -> 21
+  | Sta_incremental -> 22
+  | Serve_parse -> 23
+  | Serve_update -> 24
+  | Serve_query -> 25
 
-let n_kernels = 22
+let n_kernels = 26
 let core_run_id = 0
 
 let all_kernels =
   [ Core_run; Core_trace; Wirelength; Density_splat; Density_dct;
     Density_grad; Steiner_rebuild; Steiner_lut; Steiner_dirty;
-    Steiner_full; Steiner_refresh; Sta_exact; Diff_forward;
-    Diff_backward; Netweight_update; Pathweight_update; Optim_step;
-    Paths_analyze; Paths_enumerate; Legalize; Par_dispatch; Par_wait ]
+    Steiner_full; Steiner_refresh; Sta_exact; Sta_incremental;
+    Diff_forward; Diff_backward; Netweight_update; Pathweight_update;
+    Optim_step; Paths_analyze; Paths_enumerate; Legalize; Par_dispatch;
+    Par_wait; Serve_parse; Serve_update; Serve_query ]
 
 let kernel_name = function
   | Core_run -> "core.run"
@@ -99,6 +108,10 @@ let kernel_name = function
   | Steiner_lut -> "steiner.lut"
   | Steiner_dirty -> "steiner.dirty"
   | Steiner_full -> "steiner.full"
+  | Sta_incremental -> "sta.incremental"
+  | Serve_parse -> "serve.parse"
+  | Serve_update -> "serve.update"
+  | Serve_query -> "serve.query"
 
 let name_of_id =
   let a = Array.make n_kernels "" in

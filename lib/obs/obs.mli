@@ -57,6 +57,10 @@ type kernel =
   | Steiner_lut  (** rebuild sub-kernel: topology-LUT net builds *)
   | Steiner_dirty  (** rebuild sub-kernel: clean-net provenance refresh *)
   | Steiner_full  (** rebuild sub-kernel: heuristic builds (large nets) *)
+  | Sta_incremental  (** incremental STA cone re-propagation (one update) *)
+  | Serve_parse  (** daemon: request line parsing *)
+  | Serve_update  (** daemon: state mutation (move/commit/place) *)
+  | Serve_query  (** daemon: read-only queries (slack/paths/stats) *)
 
 val kernel_name : kernel -> string
 (** Stable dotted name used in reports and traces, e.g.

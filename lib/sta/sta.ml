@@ -1003,6 +1003,18 @@ module Timer = struct
 end
 
 module Incremental = struct
+  type update_stats = {
+    us_pins : int;
+    us_changed : int;
+    us_nets : int;
+    us_levels : int;
+    us_endpoints : int;
+  }
+
+  let no_stats =
+    { us_pins = 0; us_changed = 0; us_nets = 0; us_levels = 0;
+      us_endpoints = 0 }
+
   type t = {
     tm : Timer.t;
     graph : Graph.t;
@@ -1011,11 +1023,16 @@ module Incremental = struct
     mutable pending_nets : int list;
     ep_setup : float array;        (* per endpoint pin; nan = unconstrained *)
     ep_hold : float array;
-    mutable last_count : int;
+    mutable last_stats : update_stats;
+    (* per-pin RATs are refreshed lazily: [update] only maintains
+       endpoint RATs, so interior reads must re-run the backward sweep
+       first (see {!refresh_rats}). *)
+    mutable rats_stale : bool;
   }
 
   let timer t = t.tm
-  let last_update_pin_count t = t.last_count
+  let last_update_pin_count t = t.last_stats.us_pins
+  let last_stats t = t.last_stats
 
   let record_endpoints t (report : Timer.report) =
     List.iter
@@ -1024,9 +1041,20 @@ module Incremental = struct
         t.ep_hold.(e.Timer.ep_pin) <- e.Timer.ep_hold_slack)
       report.Timer.endpoint_slacks
 
-  let create graph =
-    let tm = Timer.create graph in
-    let report = Timer.run tm in
+  let seed_endpoints_from_state t =
+    Array.iter
+      (fun p ->
+        match Timer.endpoint_slack t.tm p with
+        | Some (setup, hold) ->
+          t.ep_setup.(p) <- setup;
+          t.ep_hold.(p) <- hold
+        | None ->
+          t.ep_setup.(p) <- Float.nan;
+          t.ep_hold.(p) <- Float.nan)
+      t.graph.Graph.endpoints
+
+  let of_timer ?report tm =
+    let graph = tm.Timer.graph in
     let npins = Netlist.num_pins graph.Graph.design in
     let t =
       { tm; graph;
@@ -1035,10 +1063,26 @@ module Incremental = struct
         pending_nets = [];
         ep_setup = Array.make npins Float.nan;
         ep_hold = Array.make npins Float.nan;
-        last_count = 0 }
+        last_stats = no_stats;
+        rats_stale = false }
     in
-    record_endpoints t report;
+    (match report with
+     | Some r -> record_endpoints t r
+     | None -> seed_endpoints_from_state t);
     t
+
+  let create graph =
+    let tm = Timer.create graph in
+    let report = Timer.run tm in
+    of_timer ~report tm
+
+  let absorb t (report : Timer.report) =
+    List.iter (fun net -> t.net_pending.(net) <- false) t.pending_nets;
+    t.pending_nets <- [];
+    Array.fill t.ep_setup 0 (Array.length t.ep_setup) Float.nan;
+    Array.fill t.ep_hold 0 (Array.length t.ep_hold) Float.nan;
+    record_endpoints t report;
+    t.rats_stale <- false
 
   let queue_net t net =
     if net >= 0 && not t.net_pending.(net) then begin
@@ -1046,17 +1090,63 @@ module Incremental = struct
       t.pending_nets <- net :: t.pending_nets
     end
 
-  let move_cell t cell ~x ~y =
+  let touch_cell t cell =
     let design = t.graph.Graph.design in
     let c = design.Netlist.cells.(cell) in
-    c.Netlist.x <- x;
-    c.Netlist.y <- y;
     Array.iter
       (fun p -> queue_net t design.Netlist.pins.(p).Netlist.net)
       c.Netlist.cell_pins
 
+  (* Mirror the legalizer's placement domain: a movable cell whose
+     bounding box lies inside the core region.  Accepting anything else
+     (a fixed pad, an off-core or non-finite coordinate) desynchronises
+     the timer from the placement the legalizer will later enforce, so
+     such moves are rejected loudly instead of silently absorbed. *)
+  let validate_move t cell ~x ~y =
+    let design = t.graph.Graph.design in
+    if cell < 0 || cell >= Netlist.num_cells design then
+      invalid_arg
+        (Printf.sprintf "Sta.Incremental.move_cell: cell %d out of range"
+           cell);
+    let c = design.Netlist.cells.(cell) in
+    if c.Netlist.fixed then
+      invalid_arg
+        (Printf.sprintf
+           "Sta.Incremental.move_cell: cell %s is fixed (pad/macro)"
+           c.Netlist.cell_name);
+    if not (Float.is_finite x && Float.is_finite y) then
+      invalid_arg
+        (Printf.sprintf
+           "Sta.Incremental.move_cell: non-finite target (%g, %g) for %s" x y
+           c.Netlist.cell_name);
+    let r = t.graph.Graph.design.Netlist.region in
+    let hw = c.Netlist.width /. 2.0 and hh = c.Netlist.height /. 2.0 in
+    let eps = 1e-9 in
+    if
+      x -. hw < r.Geometry.Rect.lx -. eps
+      || x +. hw > r.Geometry.Rect.hx +. eps
+      || y -. hh < r.Geometry.Rect.ly -. eps
+      || y +. hh > r.Geometry.Rect.hy +. eps
+    then
+      invalid_arg
+        (Printf.sprintf
+           "Sta.Incremental.move_cell: %s at (%g, %g) leaves the core region"
+           c.Netlist.cell_name x y)
+
+  let move_cell t cell ~x ~y =
+    validate_move t cell ~x ~y;
+    let design = t.graph.Graph.design in
+    let c = design.Netlist.cells.(cell) in
+    c.Netlist.x <- x;
+    c.Netlist.y <- y;
+    touch_cell t cell
+
   (* Re-evaluate one pin from its fan-in state; returns true when any of
-     its eight timing values changed (bitwise). *)
+     its eight timing values changed.  The comparison must be NaN-aware
+     ([Float.equal], not [<>]): a NaN-valued pin (e.g. below an
+     unconstrained input) recomputes to the same NaN, and the naive
+     [nan <> nan = true] would re-dirty its entire fanout cone on every
+     pass. *)
   let reevaluate t v =
     let tm = t.tm in
     let ir = Timer.idx v Rise and if_ = Timer.idx v Fall in
@@ -1074,10 +1164,15 @@ module Incremental = struct
     tm.Timer.sl_e.(if_) <- infinity;
     Timer.propagate_net_arc tm v;
     Timer.propagate_cell_arcs tm v;
-    o1 <> tm.Timer.at_l.(ir) || o2 <> tm.Timer.at_l.(if_)
-    || o3 <> tm.Timer.at_e.(ir) || o4 <> tm.Timer.at_e.(if_)
-    || o5 <> tm.Timer.sl_l.(ir) || o6 <> tm.Timer.sl_l.(if_)
-    || o7 <> tm.Timer.sl_e.(ir) || o8 <> tm.Timer.sl_e.(if_)
+    not
+      (Float.equal o1 tm.Timer.at_l.(ir)
+       && Float.equal o2 tm.Timer.at_l.(if_)
+       && Float.equal o3 tm.Timer.at_e.(ir)
+       && Float.equal o4 tm.Timer.at_e.(if_)
+       && Float.equal o5 tm.Timer.sl_l.(ir)
+       && Float.equal o6 tm.Timer.sl_l.(if_)
+       && Float.equal o7 tm.Timer.sl_e.(ir)
+       && Float.equal o8 tm.Timer.sl_e.(if_))
 
   let refresh_endpoint t p =
     let tm = t.tm in
@@ -1095,7 +1190,8 @@ module Incremental = struct
       t.ep_setup.(p) <- Float.nan;
       t.ep_hold.(p) <- Float.nan
 
-  let update t =
+  let update ?(obs = Obs.disabled) t =
+    Obs.start obs Obs.Sta_incremental;
     let design = t.graph.Graph.design in
     let nets = t.tm.Timer.nets in
     let nlevels = Array.length t.graph.Graph.levels in
@@ -1108,9 +1204,11 @@ module Incremental = struct
       end
     in
     (* refresh the RC state of every touched net and seed dirtiness *)
+    let net_count = ref 0 in
     List.iter
       (fun net ->
         t.net_pending.(net) <- false;
+        incr net_count;
         match nets.Nets.trees.(net) with
         | None -> ()
         | Some (tree, rc) ->
@@ -1123,10 +1221,11 @@ module Incremental = struct
       t.pending_nets;
     t.pending_nets <- [];
     (* level-ordered sparse propagation *)
-    let count = ref 0 in
+    let count = ref 0 and changed_count = ref 0 and level_count = ref 0 in
     let dirty_endpoints = ref [] in
     for l = 0 to nlevels - 1 do
       (* marks added during processing always target higher levels *)
+      if buckets.(l) <> [] then incr level_count;
       List.iter
         (fun v ->
           t.dirty.(v) <- false;
@@ -1137,6 +1236,7 @@ module Incremental = struct
           if t.graph.Graph.is_endpoint.(v) then
             dirty_endpoints := v :: !dirty_endpoints;
           if changed then begin
+            incr changed_count;
             (* fan-outs: net sinks when v drives a net, plus cell arcs *)
             let g = t.graph in
             let pin = design.Netlist.pins.(v) in
@@ -1157,7 +1257,11 @@ module Incremental = struct
         (List.rev buckets.(l));
       buckets.(l) <- []
     done;
-    t.last_count <- !count;
+    t.last_stats <-
+      { us_pins = !count; us_changed = !changed_count; us_nets = !net_count;
+        us_levels = !level_count;
+        us_endpoints = List.length !dirty_endpoints };
+    if !changed_count > 0 then t.rats_stale <- true;
     List.iter (fun p -> refresh_endpoint t p) !dirty_endpoints;
     (* aggregate the report from the cached endpoint slacks *)
     let slacks = ref [] in
@@ -1182,9 +1286,39 @@ module Incremental = struct
           Float.compare a.Timer.ep_setup_slack b.Timer.ep_setup_slack)
         !slacks
     in
+    if Obs.enabled obs then begin
+      Obs.add obs "sta.inc.pins" (float_of_int !count);
+      Obs.add obs "sta.inc.nets" (float_of_int !net_count);
+      Obs.add obs "sta.inc.changed" (float_of_int !changed_count)
+    end;
+    Obs.stop obs Obs.Sta_incremental;
     { Timer.setup_wns = (if !setup_wns = infinity then 0.0 else !setup_wns);
       setup_tns = !setup_tns;
       hold_wns = (if !hold_wns = infinity then 0.0 else !hold_wns);
       hold_tns = !hold_tns;
       endpoint_slacks = sorted }
+
+  (* Full backward RAT sweep over the current (incrementally maintained)
+     arrival state: exactly the reset + endpoint-required + back-
+     propagation sequence of [Timer.run], so the refreshed per-pin RATs
+     are bit-identical to a from-scratch analysis of the same
+     placement. *)
+  let refresh_rats t =
+    let tm = t.tm in
+    let n = Array.length tm.Timer.rat_l in
+    Array.fill tm.Timer.rat_l 0 n infinity;
+    Array.fill tm.Timer.rat_e 0 n neg_infinity;
+    Array.iter
+      (fun p -> ignore (Timer.endpoint_slack tm p))
+      t.graph.Graph.endpoints;
+    Timer.propagate_rat tm;
+    t.rats_stale <- false
+
+  let rat_late t p tr =
+    if t.rats_stale then refresh_rats t;
+    Timer.rat_late t.tm p tr
+
+  let pin_slack_late t p =
+    if t.rats_stale then refresh_rats t;
+    Timer.pin_slack_late t.tm p
 end

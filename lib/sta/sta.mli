@@ -230,27 +230,84 @@ end
     sinks and drivers are marked dirty, and dirtiness spreads level by
     level only where arrival times or slews actually change.
 
-    Restrictions: Steiner topologies are refreshed through provenance,
-    not rebuilt (call {!Timer.run} for a from-scratch analysis), and
-    per-pin RAT reports ([Timer.pin_slack_late]) are not maintained —
-    endpoint slacks, WNS and TNS are. *)
+    Restriction: Steiner topologies are refreshed through provenance,
+    not rebuilt (call {!Timer.run} for a from-scratch analysis).
+
+    {b Staleness contract.}  {!update} maintains arrival times and slews
+    over the re-propagated cone and required times {e at endpoints
+    only}.  Reading [Timer.pin_slack_late] or [Timer.rat_late] through
+    {!timer} after an update therefore returns stale values for interior
+    pins; use {!pin_slack_late} / {!rat_late} on the incremental engine
+    instead, which lazily re-run the full backward RAT sweep over the
+    current arrival state (amortised: once per update generation, and
+    bit-identical to a from-scratch [Timer.run] of the same
+    placement). *)
 module Incremental : sig
   type t
+
+  (** Work accounting for the last {!update} (observability for tests,
+      benchmarks and the serving daemon). *)
+  type update_stats = {
+    us_pins : int;       (** pins re-evaluated *)
+    us_changed : int;    (** pins whose timing state actually changed *)
+    us_nets : int;       (** nets whose RC state was refreshed *)
+    us_levels : int;     (** distinct graph levels visited *)
+    us_endpoints : int;  (** endpoints whose slack was recomputed *)
+  }
 
   val create : Graph.t -> t
   (** Builds the state and runs an initial full analysis. *)
 
+  val of_timer : ?report:Timer.report -> Timer.t -> t
+  (** Wrap an existing timer that has already been {!Timer.run} (shares
+      its arrays; no full analysis is re-run).  The endpoint-slack cache
+      is seeded from [report] when given, otherwise re-derived from the
+      timer's current state. *)
+
   val timer : t -> Timer.t
-  (** The underlying timer, for [at_late]/[slew_late] style reads. *)
+  (** The underlying timer, for [at_late]/[slew_late] style reads —
+      these are maintained by {!update}.  [Timer.rat_late] and
+      [Timer.pin_slack_late] reads through this accessor are {b stale}
+      for interior pins after an update; use the accessors below. *)
 
   val move_cell : t -> int -> x:float -> y:float -> unit
   (** Move a cell (updates the design in place) and queue its timing
-      cone for re-evaluation.  Cheap; no propagation happens yet. *)
+      cone for re-evaluation.  Cheap; no propagation happens yet.
+      Mirrors the legalizer's placement domain: the target must keep the
+      cell's bounding box inside the core region, and the cell must be
+      movable.
+      @raise Invalid_argument on an out-of-range cell id, a fixed
+      (pad/macro) cell, a non-finite coordinate, or a position whose
+      bounding box leaves the core region. *)
 
-  val update : t -> Timer.report
-  (** Propagate all pending moves and return the refreshed report. *)
+  val touch_cell : t -> int -> unit
+  (** Queue a cell's nets for RC refresh and re-propagation without
+      changing its coordinates — for callers (e.g. the placement loop)
+      that update positions directly in the design. *)
+
+  val update : ?obs:Obs.t -> t -> Timer.report
+  (** Propagate all pending moves and return the refreshed report —
+      bit-identical to [Timer.run ~rebuild_trees:false] on the same
+      placement.  [obs] records the pass as [sta.incremental] with
+      pins/nets/changed counters. *)
+
+  val absorb : t -> Timer.report -> unit
+  (** Resynchronise after an external full [Timer.run] on the shared
+      timer: drop pending moves (the full run already saw their
+      coordinates), re-seed the endpoint cache from [report], and mark
+      per-pin RATs fresh. *)
+
+  val pin_slack_late : t -> int -> float
+  (** [Timer.pin_slack_late] made safe after updates: lazily refreshes
+      all per-pin RATs first (full backward sweep, amortised per update
+      generation). *)
+
+  val rat_late : t -> int -> transition -> float
+  (** [Timer.rat_late] with the same lazy RAT refresh. *)
 
   val last_update_pin_count : t -> int
-  (** Number of pins re-evaluated by the last {!update} (observability
-      for tests and benchmarks). *)
+  (** Number of pins re-evaluated by the last {!update}. *)
+
+  val last_stats : t -> update_stats
+  (** Full work accounting for the last {!update}. *)
 end

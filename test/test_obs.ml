@@ -195,6 +195,14 @@ let test_jsonl_trace () =
   let view = Paths.analyze ~obs timer in
   let _ = Paths.enumerate ~obs ~k:3 view in
   let _ = Legalize.legalize ~obs design in
+  (* incremental STA and the serving-daemon request kernels *)
+  let inc = Sta.Incremental.create graph in
+  let c = List.hd (Netlist.movable_cells design) in
+  Sta.Incremental.touch_cell inc c;
+  let _ = Sta.Incremental.update ~obs inc in
+  Obs.span obs Obs.Serve_parse (fun () -> ());
+  Obs.span obs Obs.Serve_update (fun () -> ());
+  Obs.span obs Obs.Serve_query (fun () -> ());
   (* a pooled dispatch so the executor's own kernels reach the trace *)
   let pool = Parallel.create ~domains:2 ~oversubscribe:true () in
   Fun.protect

@@ -121,12 +121,21 @@ let prop_incremental_equivalence =
       let rng = Workload.Rng.create (seed + 7) in
       let ncells = Netlist.num_cells design in
       let ok = ref true in
+      let r = design.Netlist.region in
       for _ = 1 to 4 do
         let c = design.Netlist.cells.(Workload.Rng.int rng ncells) in
-        if not c.Netlist.fixed then
+        if not c.Netlist.fixed then begin
+          (* a random position inside the validated move domain: the
+             cell's bbox must stay within the core region *)
+          let hw = c.Netlist.width /. 2.0 and hh = c.Netlist.height /. 2.0 in
           Sta.Incremental.move_cell inc c.Netlist.cell_id
-            ~x:(1.0 +. Workload.Rng.float rng 40.0)
-            ~y:(1.0 +. Workload.Rng.float rng 40.0);
+            ~x:(Geometry.clamp ~lo:(r.Geometry.Rect.lx +. hw)
+                  ~hi:(r.Geometry.Rect.hx -. hw)
+                  (1.0 +. Workload.Rng.float rng 40.0))
+            ~y:(Geometry.clamp ~lo:(r.Geometry.Rect.ly +. hh)
+                  ~hi:(r.Geometry.Rect.hy -. hh)
+                  (1.0 +. Workload.Rng.float rng 40.0))
+        end;
         let ir = Sta.Incremental.update inc in
         let fr = Sta.Timer.run ~rebuild_trees:false reference in
         if Float.abs (ir.Sta.Timer.setup_tns -. fr.Sta.Timer.setup_tns) > 1e-6

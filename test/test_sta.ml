@@ -366,6 +366,17 @@ let suite =
       Alcotest.test_case "critical path to endpoint" `Quick
         test_critical_path_specific_endpoint ]
 
+(* A random legal position for [c]: inside the core region with the
+   cell's bounding box fully contained (what [Incremental.move_cell]
+   validates). *)
+let random_legal_position rng design (c : Netlist.cell) =
+  let r = design.Netlist.region in
+  let hw = c.Netlist.width /. 2.0 and hh = c.Netlist.height /. 2.0 in
+  let lo_x = r.Geometry.Rect.lx +. hw and hi_x = r.Geometry.Rect.hx -. hw in
+  let lo_y = r.Geometry.Rect.ly +. hh and hi_y = r.Geometry.Rect.hy -. hh in
+  ( lo_x +. Workload.Rng.float rng (hi_x -. lo_x),
+    lo_y +. Workload.Rng.float rng (hi_y -. lo_y) )
+
 let test_incremental_matches_full () =
   let design, cons = Workload.generate lib
       { Workload.default_spec with Workload.sp_cells = 500; sp_clock_period = 750.0 } in
@@ -382,9 +393,8 @@ let test_incremental_matches_full () =
       let c = design.Netlist.cells.(Workload.Rng.int rng ncells) in
       if not c.Netlist.fixed then begin
         incr moved;
-        Sta.Incremental.move_cell inc c.Netlist.cell_id
-          ~x:(2.0 +. Workload.Rng.float rng 90.0)
-          ~y:(2.0 +. Workload.Rng.float rng 90.0)
+        let x, y = random_legal_position rng design c in
+        Sta.Incremental.move_cell inc c.Netlist.cell_id ~x ~y
       end
     done;
     let ir = Sta.Incremental.update inc in
@@ -434,7 +444,16 @@ let test_incremental_move_then_back () =
   let r0 = Sta.Incremental.update inc in
   let c = design.Netlist.cells.(List.hd (Netlist.movable_cells design)) in
   let x0 = c.Netlist.x and y0 = c.Netlist.y in
-  Sta.Incremental.move_cell inc c.Netlist.cell_id ~x:(x0 +. 20.0) ~y:(y0 +. 10.0);
+  let r = design.Netlist.region in
+  let hw = c.Netlist.width /. 2.0 and hh = c.Netlist.height /. 2.0 in
+  let x1 =
+    Geometry.clamp ~lo:(r.Geometry.Rect.lx +. hw)
+      ~hi:(r.Geometry.Rect.hx -. hw) (x0 +. 20.0)
+  and y1 =
+    Geometry.clamp ~lo:(r.Geometry.Rect.ly +. hh)
+      ~hi:(r.Geometry.Rect.hy -. hh) (y0 +. 10.0)
+  in
+  Sta.Incremental.move_cell inc c.Netlist.cell_id ~x:x1 ~y:y1;
   let r1 = Sta.Incremental.update inc in
   Alcotest.(check bool) "timing changed" true
     (r1.Sta.Timer.setup_tns <> r0.Sta.Timer.setup_tns);
@@ -443,6 +462,223 @@ let test_incremental_move_then_back () =
   Alcotest.(check (float 1e-6)) "restored tns" r0.Sta.Timer.setup_tns
     r2.Sta.Timer.setup_tns
 
+(* Regression for the NaN convergence bug: with an unconstrained input
+   slew, PI-fed pins carry NaN slews.  The old [<>]-based change
+   detection saw [nan <> nan = true] and re-dirtied the whole fanout
+   cone of such pins on every pass; the NaN-aware comparison must report
+   "no change" when a touched cone recomputes to the same values. *)
+let test_incremental_nan_convergence () =
+  let design, cons = Workload.generate lib
+      { Workload.default_spec with Workload.sp_cells = 200 } in
+  let cons = { cons with Sta.Constraints.input_slew = Float.nan } in
+  let g = Sta.Graph.build design lib cons in
+  let inc = Sta.Incremental.create g in
+  let tm = Sta.Incremental.timer inc in
+  (* find a movable cell fed directly by a primary input, whose input
+     pin therefore carries a NaN slew *)
+  let victim = ref None in
+  Array.iteri
+    (fun p nan_feed ->
+      if !victim = None && nan_feed then begin
+        let pin = design.Netlist.pins.(p) in
+        let c = design.Netlist.cells.(pin.Netlist.cell) in
+        if (not c.Netlist.fixed) && Float.is_nan (Sta.Timer.slew_late tm p Sta.Rise)
+        then victim := Some pin.Netlist.cell
+      end)
+    (let feeds = Array.make (Netlist.num_pins design) false in
+     List.iter
+       (fun pi ->
+         let net = design.Netlist.pins.(pi).Netlist.net in
+         if net >= 0 then
+           Array.iter
+             (fun p -> feeds.(p) <- true)
+             design.Netlist.nets.(net).Netlist.net_pins)
+       g.Sta.Graph.primary_inputs;
+     feeds);
+  match !victim with
+  | None -> Alcotest.fail "no movable PI-fed cell with a NaN slew"
+  | Some c ->
+    (* touch without moving: every re-evaluated pin recomputes to the
+       same (NaN-carrying) values, so nothing may report a change and
+       dirtiness must not spread beyond the touched nets' pins *)
+    Sta.Incremental.touch_cell inc c;
+    let _ = Sta.Incremental.update inc in
+    let st = Sta.Incremental.last_stats inc in
+    Alcotest.(check int) "no pin changed on an unmoved touch" 0
+      st.Sta.Incremental.us_changed;
+    (* the cone did contain NaN-valued pins (otherwise this tests nothing) *)
+    let pins_of_touched_nets =
+      let acc = ref 0 and seen = Array.make (Netlist.num_nets design) false in
+      Array.iter
+        (fun p ->
+          let net = design.Netlist.pins.(p).Netlist.net in
+          if net >= 0 && not seen.(net) then begin
+            seen.(net) <- true;
+            acc := !acc + Array.length design.Netlist.nets.(net).Netlist.net_pins
+          end)
+        design.Netlist.cells.(c).Netlist.cell_pins;
+      !acc
+    in
+    Alcotest.(check int) "dirtiness confined to the touched nets"
+      pins_of_touched_nets st.Sta.Incremental.us_pins
+
+let test_incremental_move_validation () =
+  let design, cons = Workload.generate lib
+      { Workload.default_spec with Workload.sp_cells = 200 } in
+  let g = Sta.Graph.build design lib cons in
+  let inc = Sta.Incremental.create g in
+  let r0 = Sta.Incremental.update inc in
+  let raises f =
+    match f () with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  (* fixed (pad) cells are rejected *)
+  let fixed_cell =
+    let found = ref (-1) in
+    Array.iter
+      (fun (c : Netlist.cell) ->
+        if !found < 0 && c.Netlist.fixed then found := c.Netlist.cell_id)
+      design.Netlist.cells;
+    !found
+  in
+  Alcotest.(check bool) "fixed cell rejected" true
+    (raises (fun () ->
+       Sta.Incremental.move_cell inc fixed_cell ~x:10.0 ~y:10.0));
+  let movable = List.hd (Netlist.movable_cells design) in
+  let r = design.Netlist.region in
+  (* out-of-core coordinates are rejected *)
+  Alcotest.(check bool) "out-of-core rejected" true
+    (raises (fun () ->
+       Sta.Incremental.move_cell inc movable
+         ~x:(r.Geometry.Rect.hx +. 5.0) ~y:10.0));
+  (* a position whose bounding box straddles the boundary is rejected *)
+  Alcotest.(check bool) "straddling bbox rejected" true
+    (raises (fun () ->
+       Sta.Incremental.move_cell inc movable ~x:r.Geometry.Rect.lx
+         ~y:(0.5 *. (r.Geometry.Rect.ly +. r.Geometry.Rect.hy))));
+  (* non-finite coordinates are rejected *)
+  Alcotest.(check bool) "nan rejected" true
+    (raises (fun () ->
+       Sta.Incremental.move_cell inc movable ~x:Float.nan ~y:10.0));
+  Alcotest.(check bool) "out-of-range id rejected" true
+    (raises (fun () ->
+       Sta.Incremental.move_cell inc (Netlist.num_cells design) ~x:10.0
+         ~y:10.0));
+  (* rejected moves leave no pending state behind *)
+  let r1 = Sta.Incremental.update inc in
+  Alcotest.(check int) "no residual dirtiness" 0
+    (Sta.Incremental.last_update_pin_count inc);
+  Alcotest.(check (float 0.0)) "report untouched" r0.Sta.Timer.setup_wns
+    r1.Sta.Timer.setup_wns
+
+(* Randomized equivalence: random legal move batches, incremental update
+   vs a fresh full analysis on an independent timer — WNS/TNS and every
+   endpoint slack must be bit-identical, at 1 and 4 domains (the pool
+   parallelises the reference run; the incremental pass is
+   sequential). *)
+let test_incremental_randomized_equivalence () =
+  List.iter
+    (fun domains ->
+      let pool = Parallel.create ~domains ~oversubscribe:true () in
+      Fun.protect ~finally:(fun () -> Parallel.shutdown pool) @@ fun () ->
+      let design, cons = Workload.generate lib
+          { Workload.default_spec with
+            Workload.sp_cells = 800; sp_seed = 99 + domains } in
+      let g = Sta.Graph.build design lib cons in
+      let inc = Sta.Incremental.create g in
+      (* one initial default run so the reference's Steiner topologies
+         come from the same rebuild path as the incremental engine's;
+         rounds then freeze topologies on both sides *)
+      let reference = Sta.Timer.create g in
+      let _ = Sta.Timer.run reference in
+      let npins = Netlist.num_pins design in
+      let ncells = Netlist.num_cells design in
+      let batch = max 1 (ncells / 100) in
+      let rng = Workload.Rng.create (1000 + domains) in
+      let bits = Int64.bits_of_float in
+      for round = 1 to 6 do
+        let moved = ref 0 in
+        while !moved < batch do
+          let c = design.Netlist.cells.(Workload.Rng.int rng ncells) in
+          if not c.Netlist.fixed then begin
+            incr moved;
+            let x, y = random_legal_position rng design c in
+            Sta.Incremental.move_cell inc c.Netlist.cell_id ~x ~y
+          end
+        done;
+        let ir = Sta.Incremental.update inc in
+        let fr = Sta.Timer.run ~rebuild_trees:false ~pool reference in
+        if bits ir.Sta.Timer.setup_wns <> bits fr.Sta.Timer.setup_wns then
+          Alcotest.failf "wns not bit-identical (round %d, %d domains)"
+            round domains;
+        if bits ir.Sta.Timer.setup_tns <> bits fr.Sta.Timer.setup_tns then
+          Alcotest.failf "tns not bit-identical (round %d, %d domains)"
+            round domains;
+        if bits ir.Sta.Timer.hold_wns <> bits fr.Sta.Timer.hold_wns
+           || bits ir.Sta.Timer.hold_tns <> bits fr.Sta.Timer.hold_tns
+        then
+          Alcotest.failf "hold not bit-identical (round %d, %d domains)"
+            round domains;
+        let ie = ir.Sta.Timer.endpoint_slacks
+        and fe = fr.Sta.Timer.endpoint_slacks in
+        Alcotest.(check int) "endpoint count" (List.length fe)
+          (List.length ie);
+        List.iter2
+          (fun (a : Sta.Timer.endpoint_slack) (b : Sta.Timer.endpoint_slack) ->
+            if a.Sta.Timer.ep_pin <> b.Sta.Timer.ep_pin
+               || bits a.Sta.Timer.ep_setup_slack
+                  <> bits b.Sta.Timer.ep_setup_slack
+               || bits a.Sta.Timer.ep_hold_slack
+                  <> bits b.Sta.Timer.ep_hold_slack
+            then
+              Alcotest.failf "endpoint slack mismatch at pin %d (round %d)"
+                a.Sta.Timer.ep_pin round)
+          ie fe;
+        (* a local batch must not re-evaluate the whole design *)
+        Alcotest.(check bool) "sparse update" true
+          (Sta.Incremental.last_update_pin_count inc < npins)
+      done)
+    [ 1; 4 ]
+
+(* The guarded RAT accessors must agree bitwise with a from-scratch
+   analysis of the same placement, for every pin — this is the
+   staleness contract of sta.mli. *)
+let test_incremental_guarded_rat_reads () =
+  let design, cons = Workload.generate lib
+      { Workload.default_spec with Workload.sp_cells = 300 } in
+  let g = Sta.Graph.build design lib cons in
+  let inc = Sta.Incremental.create g in
+  let reference = Sta.Timer.create g in
+  let _ = Sta.Timer.run reference in
+  let rng = Workload.Rng.create 2718 in
+  let ncells = Netlist.num_cells design in
+  let moved = ref 0 in
+  while !moved < 5 do
+    let c = design.Netlist.cells.(Workload.Rng.int rng ncells) in
+    if not c.Netlist.fixed then begin
+      incr moved;
+      let x, y = random_legal_position rng design c in
+      Sta.Incremental.move_cell inc c.Netlist.cell_id ~x ~y
+    end
+  done;
+  let _ = Sta.Incremental.update inc in
+  let _ = Sta.Timer.run ~rebuild_trees:false reference in
+  let bits = Int64.bits_of_float in
+  for p = 0 to Netlist.num_pins design - 1 do
+    let a = Sta.Incremental.pin_slack_late inc p in
+    let b = Sta.Timer.pin_slack_late reference p in
+    if bits a <> bits b then
+      Alcotest.failf "pin_slack_late mismatch at pin %d: %h vs %h" p a b;
+    List.iter
+      (fun tr ->
+        let a = Sta.Incremental.rat_late inc p tr in
+        let b = Sta.Timer.rat_late reference p tr in
+        if bits a <> bits b then
+          Alcotest.failf "rat_late mismatch at pin %d" p)
+      [ Sta.Rise; Sta.Fall ]
+  done
+
 let suite =
   suite
   @ [ Alcotest.test_case "incremental matches full" `Quick
@@ -450,7 +686,15 @@ let suite =
       Alcotest.test_case "incremental no-op" `Quick
         test_incremental_no_move_is_noop;
       Alcotest.test_case "incremental move and restore" `Quick
-        test_incremental_move_then_back ]
+        test_incremental_move_then_back;
+      Alcotest.test_case "incremental NaN convergence" `Quick
+        test_incremental_nan_convergence;
+      Alcotest.test_case "incremental move validation" `Quick
+        test_incremental_move_validation;
+      Alcotest.test_case "incremental randomized equivalence" `Quick
+        test_incremental_randomized_equivalence;
+      Alcotest.test_case "incremental guarded RAT reads" `Quick
+        test_incremental_guarded_rat_reads ]
 
 let test_io_constraint_effects () =
   let d = build_chain () in
