@@ -1,5 +1,6 @@
 .PHONY: all test bench bench-full bench-placer bench-placer-check \
-	bench-paths bench-parallel bench-incremental bench-all clean
+	bench-paths bench-parallel bench-incremental bench-routability \
+	bench-all clean
 
 all:
 	dune build
@@ -43,8 +44,16 @@ bench-parallel:
 bench-incremental:
 	dune exec bench/main.exe -- incremental
 
+# Routability: a hotspot 5k-cell placement with the RUDY +
+# cell-inflation loop off vs on at an equal iteration budget; writes
+# BENCH_routability.json and gates the congestion/HPWL thresholds.
+bench-routability:
+	dune exec bench/main.exe -- routability
+	python3 scripts/check_bench.py BENCH_routability.json
+
 # Every JSON-emitting benchmark in one go.
-bench-all: bench bench-placer bench-paths bench-parallel bench-incremental
+bench-all: bench bench-placer bench-paths bench-parallel bench-incremental \
+	bench-routability
 
 clean:
 	dune clean

@@ -5,7 +5,8 @@
    Usage:  dune exec bench/main.exe [-- <target> ...]
    Targets: table1 table2 table3 figure8 kernels ablation-gamma
             ablation-reuse ablation-extensions gradcheck difftimer
-            placer-iter paths parallel incremental all (default: all)
+            placer-iter paths parallel incremental routability
+            all (default: all)
    Options: --scale <f>       benchmark scale factor (default 0.01)
             --quick           fewer iterations for difftimer
             --out <f>         difftimer JSON path (default BENCH_difftimer.json)
@@ -17,6 +18,8 @@
             --parallel-out <f> executor JSON path (default BENCH_parallel.json)
             --incremental-out <f> incremental-STA JSON path
                               (default BENCH_incremental.json)
+            --routability-out <f> routability JSON path
+                              (default BENCH_routability.json)
             --domains <n>     worker domains for every placement run
                               (default 1; results are bit-identical
                               across domain counts) *)
@@ -33,6 +36,25 @@ let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 let lib = Liberty.Synthetic.default ()
+
+(* machine/revision metadata recorded uniformly in every BENCH_*.json
+   so results stay attributable when files from different machines or
+   revisions are compared side by side *)
+let git_rev =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+       let line = try String.trim (input_line ic) with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown"
+     with _ -> "unknown")
+
+let json_meta () =
+  Printf.sprintf "  \"cores\": %d,\n  \"hostname\": %S,\n  \"git_rev\": %S,\n"
+    (Domain.recommended_domain_count ())
+    (try Unix.gethostname () with _ -> "unknown")
+    (Lazy.force git_rev)
 
 let build_bench spec =
   let design, cons = Workload.generate lib spec in
@@ -582,14 +604,15 @@ let bench_difftimer () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
-    (Printf.sprintf
-       "  \"bench\": \"difftimer\",\n  \"mode\": \"%s\",\n  \"iters\": %d,\n\
-       \  \"cores\": %d,\n  \"workload\": { \"seed\": 17, \"inputs\": 16, \
-        \"outputs\": 16, \"depth\": 10, \"clock_period_ps\": 520.0, \
-        \"gamma_ps\": 20.0 },\n  \"sizes\": [\n"
+    (Printf.sprintf "  \"bench\": \"difftimer\",\n  \"mode\": \"%s\",\n\
+                    \  \"iters\": %d,\n"
        (if !quick then "quick" else "full")
-       iters
-       (Domain.recommended_domain_count ()));
+       iters);
+  Buffer.add_string buf (json_meta ());
+  Buffer.add_string buf
+    "  \"workload\": { \"seed\": 17, \"inputs\": 16, \"outputs\": 16, \
+     \"depth\": 10, \"clock_period_ps\": 520.0, \"gamma_ps\": 20.0 },\n\
+    \  \"sizes\": [\n";
   List.iteri
     (fun si cells ->
       let spec =
@@ -919,16 +942,19 @@ let placer_iter () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
+    (Printf.sprintf "  \"bench\": \"placer-iter\",\n  \"mode\": \"%s\",\n\
+                    \  \"iters\": %d,\n"
+       (if !placer_smoke then "smoke" else "full")
+       iters);
+  Buffer.add_string buf (json_meta ());
+  Buffer.add_string buf
     (Printf.sprintf
-       "  \"bench\": \"placer-iter\",\n  \"mode\": \"%s\",\n  \"iters\": %d,\n\
-       \  \"cores\": %d,\n  \"steiner_period\": %d,\n  \
-        \"steiner_dirty_gamma\": %.2f,\n  \"lut_max_degree\": %d,\n  \
+       "  \"steiner_period\": %d,\n  \"steiner_dirty_gamma\": %.2f,\n  \
+        \"lut_max_degree\": %d,\n  \
         \"workload\": { \"cells\": %d, \"seed\": 17, \"inputs\": 16, \
         \"outputs\": 16, \"depth\": 10, \"clock_period_ps\": 520.0, \
         \"gamma_ps\": 20.0 },\n"
-       (if !placer_smoke then "smoke" else "full")
-       iters cores steiner_period steiner_dirty_gamma Steiner.Lut.max_degree
-       cells);
+       steiner_period steiner_dirty_gamma Steiner.Lut.max_degree cells);
   if not !placer_smoke then
     Buffer.add_string buf
       (Printf.sprintf "  \"seed_iteration_us\": %.1f,\n" seed_iter_us);
@@ -1043,15 +1069,16 @@ let bench_paths () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
-    (Printf.sprintf
-       "  \"bench\": \"paths\",\n  \"mode\": \"%s\",\n  \"iters\": %d,\n\
-       \  \"cores\": %d,\n  \"workload\": { \"cells\": %d, \"seed\": 17, \
-        \"inputs\": 16, \"outputs\": 16, \"depth\": 10, \"clock_period_ps\": \
-        520.0 },\n  \"endpoints\": %d,\n  \"timing_edges\": %d,\n\
-       \  \"domains\": [\n"
+    (Printf.sprintf "  \"bench\": \"paths\",\n  \"mode\": \"%s\",\n\
+                    \  \"iters\": %d,\n"
        (if !placer_smoke then "smoke" else "full")
-       iters
-       (Domain.recommended_domain_count ())
+       iters);
+  Buffer.add_string buf (json_meta ());
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"workload\": { \"cells\": %d, \"seed\": 17, \"inputs\": 16, \
+        \"outputs\": 16, \"depth\": 10, \"clock_period_ps\": 520.0 },\n\
+       \  \"endpoints\": %d,\n  \"timing_edges\": %d,\n  \"domains\": [\n"
        cells nend (Paths.num_edges view));
   List.iteri
     (fun i (domains, analyze_us, per_k) ->
@@ -1223,13 +1250,15 @@ let bench_parallel () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
+    (Printf.sprintf "  \"bench\": \"parallel\",\n  \"mode\": \"%s\",\n"
+       (if !placer_smoke then "smoke" else "full"));
+  Buffer.add_string buf (json_meta ());
+  Buffer.add_string buf
     (Printf.sprintf
-       "  \"bench\": \"parallel\",\n  \"mode\": \"%s\",\n  \"cores\": %d,\n\
-       \  \"workload\": { \"cells\": %d, \"seed\": 17, \"inputs\": 16, \
+       "  \"workload\": { \"cells\": %d, \"seed\": 17, \"inputs\": 16, \
         \"outputs\": 16, \"depth\": 10, \"clock_period_ps\": 520.0, \
         \"gamma_ps\": 20.0 },\n  \"dispatch\": [\n"
-       (if !placer_smoke then "smoke" else "full")
-       cores cells);
+       cells);
   List.iteri
     (fun i (domains, points) ->
       Buffer.add_string buf
@@ -1377,12 +1406,14 @@ let bench_incremental () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
+    (Printf.sprintf "  \"bench\": \"incremental\",\n  \"mode\": \"%s\",\n"
+       (if !placer_smoke then "smoke" else "full"));
+  Buffer.add_string buf (json_meta ());
+  Buffer.add_string buf
     (Printf.sprintf
-       "  \"bench\": \"incremental\",\n  \"mode\": \"%s\",\n\
-       \  \"workload\": { \"cells\": %d, \"seed\": 17, \"inputs\": 16, \
+       "  \"workload\": { \"cells\": %d, \"seed\": 17, \"inputs\": 16, \
         \"outputs\": 16, \"depth\": 10, \"clock_period_ps\": 520.0 },\n\
        \  \"pins\": %d,\n  \"batch_size\": %d,\n  \"batches\": [\n"
-       (if !placer_smoke then "smoke" else "full")
        cells npins batch_size);
   List.iteri
     (fun i (batch, pins, frac, inc_us, full_us, same, stats) ->
@@ -1420,6 +1451,150 @@ let bench_incremental () =
     exit 1
   end
 
+(* ---- routability benchmark ---- *)
+
+let routability_out = ref "BENCH_routability.json"
+
+(* Place a deliberately congested (hotspot) workload twice at the same
+   iteration budget -- routability off, then on -- and compare the RUDY
+   congestion of the two final placements plus the HPWL cost of paying
+   for it; also time the RUDY kernel itself at the bench point.  The
+   acceptance thresholds (peak bin overflow -- utilization in excess of
+   capacity -- down >= 30%, HPWL up <= 10%) are gated by
+   scripts/check_bench.py on the JSON this writes.  Cell inflation can
+   only move demand contributed by cells sitting in the hot bins, not
+   demand from net bboxes that merely cross them, so the overflow
+   excess is the quantity the loop can actually drive down. *)
+let bench_routability () =
+  section "Routability: RUDY + cell inflation on a congestion hotspot";
+  let cells = if !placer_smoke then 400 else 5000 in
+  let iters = if !placer_smoke then 400 else 600 in
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = cells; sp_seed = 17; sp_inputs = 16;
+      sp_outputs = 16; sp_depth = 10; sp_clock_period = 520.0;
+      sp_hotspot = 0.15; sp_hotspot_clusters = 1 }
+  in
+  (* capacity calibrated so only the hotspot bins sit above the
+     inflation target -- with the default 1.0 the whole map reads as
+     congested and inflation degenerates to uniform spreading *)
+  let route_cfg =
+    { Route.default_config with
+      Route.rt_capacity = 2.4; rt_check_overflow = 0.30;
+      rt_check_period = 10; rt_inflation_coef = 1.5; rt_max_ratio = 6.0;
+      rt_max_rounds = 16 }
+  in
+  (* equal iteration budget: min = max forces both runs through exactly
+     [iters] placement iterations, early stop disabled *)
+  let run routability =
+    let design, graph = build_bench spec in
+    let config =
+      { Core.default_config with
+        Core.mode = Core.Wirelength_only;
+        max_iterations = iters; min_iterations = iters;
+        routability = (if routability then Some route_cfg else None) }
+    in
+    let result = Core.run ?pool:!pool config graph in
+    ignore (Legalize.legalize design);
+    (* same yardstick for both rows: a fresh RUDY map of the legalised
+       placement at the default knobs (cell sizes are back to their
+       originals; Core restores before its final metrics) *)
+    let rudy = Route.Rudy.create design in
+    Route.Rudy.update ?pool:!pool rudy;
+    let cong = Route.overflow rudy in
+    (design, result, cong, Netlist.total_hpwl design)
+  in
+  let _, r_off, c_off, hpwl_off = run false in
+  Printf.printf "  [done] routability off (%d iters)\n%!"
+    r_off.Core.res_iterations;
+  let design_on, r_on, c_on, hpwl_on = run true in
+  Printf.printf "  [done] routability on (%d iters, %d inflation rounds)\n%!"
+    r_on.Core.res_iterations r_on.Core.res_inflation_rounds;
+  (* RUDY kernel throughput at the bench point *)
+  let rudy = Route.Rudy.create design_on in
+  let reps = if !placer_smoke then 20 else 50 in
+  Route.Rudy.update ?pool:!pool rudy;
+  let t0 = Obs.Clock.now () in
+  for _ = 1 to reps do
+    Route.Rudy.update ?pool:!pool rudy
+  done;
+  let rudy_us = (Obs.Clock.now () -. t0) /. float_of_int reps *. 1e6 in
+  let peak_reduction =
+    100.0 *. (c_off.Route.ov_peak -. c_on.Route.ov_peak)
+    /. Float.max 1e-9 c_off.Route.ov_peak
+  in
+  (* the gated metric: peak bin overflow = peak utilization in excess
+     of the (normalised 1.0) capacity *)
+  let excess (c : Route.summary) = Float.max 0.0 (c.Route.ov_peak -. 1.0) in
+  let peak_overflow_reduction =
+    100.0 *. (excess c_off -. excess c_on) /. Float.max 1e-9 (excess c_off)
+  in
+  let hpwl_degradation =
+    100.0 *. (hpwl_on -. hpwl_off) /. Float.max 1e-9 hpwl_off
+  in
+  let t =
+    Report.Table.create
+      [ "routability"; "peak"; "rc"; "bins>1"; "overflow"; "HPWL";
+        "rounds"; "runtime(s)" ]
+  in
+  let row name (c : Route.summary) hpwl (r : Core.result) =
+    Report.Table.add_row t
+      [ name;
+        Printf.sprintf "%.3f" c.Route.ov_peak;
+        Printf.sprintf "%.3f" c.Route.ov_rc;
+        string_of_int c.Route.ov_congested;
+        Printf.sprintf "%.2f" c.Route.ov_total;
+        Printf.sprintf "%.3e" hpwl;
+        string_of_int r.Core.res_inflation_rounds;
+        Printf.sprintf "%.2f" r.Core.res_runtime ]
+  in
+  row "off" c_off hpwl_off r_off;
+  row "on" c_on hpwl_on r_on;
+  print_newline ();
+  print_string (Report.Table.render t);
+  Printf.printf
+    "\n  peak overflow %+.1f%% (utilization %+.1f%%), HPWL %+.1f%%; \
+     RUDY update %.0f us (%d bins, %d cells)\n"
+    (-.peak_overflow_reduction) (-.peak_reduction) hpwl_degradation rudy_us
+    (let n = Route.Rudy.bins rudy in
+     n * n)
+    cells;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"bench\": \"routability\",\n  \"mode\": \"%s\",\n"
+       (if !placer_smoke then "smoke" else "full"));
+  Buffer.add_string buf (json_meta ());
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"workload\": { \"cells\": %d, \"seed\": 17, \"inputs\": 16, \
+        \"outputs\": 16, \"depth\": 10, \"clock_period_ps\": 520.0, \
+        \"hotspot\": 0.15, \"hotspot_clusters\": 1 },\n\
+       \  \"iterations\": %d,\n  \"rudy_bins\": %d,\n"
+       cells iters (Route.Rudy.bins rudy));
+  let emit_run name (c : Route.summary) hpwl (r : Core.result) =
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"%s\": { \"peak_utilization\": %.4f, \"rc_utilization\": %.4f, \
+          \"congested_bins\": %d, \"total_overflow\": %.4f, \"hpwl\": %.6e, \
+          \"inflation_rounds\": %d, \"runtime_s\": %.2f },\n"
+         name c.Route.ov_peak c.Route.ov_rc c.Route.ov_congested
+         c.Route.ov_total hpwl r.Core.res_inflation_rounds r.Core.res_runtime)
+  in
+  emit_run "off" c_off hpwl_off r_off;
+  emit_run "on" c_on hpwl_on r_on;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"peak_reduction_pct\": %.2f,\n\
+       \  \"peak_overflow_reduction_pct\": %.2f,\n\
+       \  \"hpwl_degradation_pct\": %.2f,\n\
+       \  \"rudy_update_us\": %.1f\n}\n"
+       peak_reduction peak_overflow_reduction hpwl_degradation rudy_us);
+  let oc = open_out !routability_out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nWrote %s\n" !routability_out
+
 (* ---- driver ---- *)
 
 let all_targets =
@@ -1429,7 +1604,7 @@ let all_targets =
     ("ablation-extensions", ablation_extensions); ("gradcheck", gradcheck);
     ("difftimer", bench_difftimer); ("placer-iter", placer_iter);
     ("paths", bench_paths); ("parallel", bench_parallel);
-    ("incremental", bench_incremental) ]
+    ("incremental", bench_incremental); ("routability", bench_routability) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1462,6 +1637,9 @@ let () =
       parse acc rest
     | "--incremental-out" :: v :: rest ->
       incremental_out := v;
+      parse acc rest
+    | "--routability-out" :: v :: rest ->
+      routability_out := v;
       parse acc rest
     | x :: rest -> parse (x :: acc) rest
   in

@@ -7,7 +7,8 @@ let load_library = function
 (* A design comes from a bookshelf-lite file, a structural Verilog file
    (by extension; constraints fall back to defaults with the requested
    clock), or the named / sized synthetic generator. *)
-let load_design lib ~design_file ~bench ~cells ~seed ~clock_period =
+let load_design lib ~design_file ~bench ~cells ~seed ~clock_period
+    ?(hotspot = 0.0) ?(hotspot_clusters = 3) () =
   match design_file, bench with
   | Some path, _ when Filename.check_suffix path ".v" ->
     let design = Verilog.load lib path in
@@ -17,7 +18,11 @@ let load_design lib ~design_file ~bench ~cells ~seed ~clock_period =
   | Some path, _ -> Bookshelf.load lib path
   | None, Some name ->
     (match Workload.find_spec name with
-     | Some spec -> Workload.generate lib spec
+     | Some spec ->
+       Workload.generate lib
+         { spec with
+           Workload.sp_hotspot = hotspot;
+           sp_hotspot_clusters = hotspot_clusters }
      | None ->
        Printf.eprintf "unknown benchmark %S; known: %s\n" name
          (String.concat ", "
@@ -30,7 +35,9 @@ let load_design lib ~design_file ~bench ~cells ~seed ~clock_period =
       { Workload.default_spec with
         Workload.sp_cells = cells;
         sp_seed = seed;
-        sp_clock_period = clock_period }
+        sp_clock_period = clock_period;
+        sp_hotspot = hotspot;
+        sp_hotspot_clusters = hotspot_clusters }
     in
     Workload.generate lib spec
 
@@ -59,3 +66,13 @@ let seed =
 let clock_period =
   let doc = "Clock period in ps for ad hoc designs." in
   Arg.(value & opt float 900.0 & info [ "clock" ] ~docv:"PS" ~doc)
+
+let hotspot =
+  let doc = "Fraction of combinational cells wired into tight clusters \
+             that place as routing hotspots (generated designs only; \
+             0 = off)." in
+  Arg.(value & opt float 0.0 & info [ "hotspot" ] ~docv:"F" ~doc)
+
+let hotspot_clusters =
+  let doc = "Number of hotspot clusters when $(b,--hotspot) is set." in
+  Arg.(value & opt int 3 & info [ "hotspot-clusters" ] ~docv:"N" ~doc)

@@ -30,7 +30,8 @@ let rec ensure_directory dir =
     Sys.mkdir dir 0o755
   end
 
-let run lib_file bench cells seed clock out_dir suite scale =
+let run lib_file bench cells seed clock hotspot hotspot_clusters out_dir
+    suite scale =
   let lib = Dgp_common.load_library lib_file in
   ensure_directory out_dir;
   let lib_path = Filename.concat out_dir "synth45.lib" in
@@ -51,6 +52,11 @@ let run lib_file bench cells seed clock out_dir suite scale =
         { Workload.default_spec with
           Workload.sp_cells = cells; sp_seed = seed; sp_clock_period = clock }
     in
+    let spec =
+      { spec with
+        Workload.sp_hotspot = hotspot;
+        sp_hotspot_clusters = hotspot_clusters }
+    in
     write_design out_dir lib spec
   end
 
@@ -61,6 +67,7 @@ let cmd =
     Term.(
       const run $ Dgp_common.lib_file $ Dgp_common.bench_name
       $ Dgp_common.cells $ Dgp_common.seed $ Dgp_common.clock_period
+      $ Dgp_common.hotspot $ Dgp_common.hotspot_clusters
       $ out_dir $ all_minis $ scale)
 
 let () = exit (Cmd.eval cmd)

@@ -83,6 +83,38 @@ let svg_paths =
   let doc = "Number of worst paths to overlay on the SVG plot." in
   Arg.(value & opt int 1 & info [ "svg-paths" ] ~docv:"K" ~doc)
 
+let svg_congestion =
+  let doc = "Overlay the RUDY congestion heatmap on the SVG plot \
+             (congested bins shade red)." in
+  Arg.(value & flag & info [ "svg-congestion" ] ~doc)
+
+let routability =
+  let doc = "Enable routability mode: measure RUDY congestion between \
+             placement rounds and temporarily inflate cells in \
+             congested bins so the density penalty spreads them." in
+  Arg.(value & flag & info [ "routability" ] ~doc)
+
+let routability_capacity =
+  let doc = "Routing capacity per unit bin area (utilization = demand \
+             density / capacity)." in
+  Arg.(value & opt float Route.default_config.Route.rt_capacity
+       & info [ "routability-capacity" ] ~docv:"C" ~doc)
+
+let routability_target =
+  let doc = "Bin utilization above which cells inflate." in
+  Arg.(value & opt float Route.default_config.Route.rt_target
+       & info [ "routability-target" ] ~docv:"U" ~doc)
+
+let routability_max_ratio =
+  let doc = "Cumulative per-cell area inflation cap." in
+  Arg.(value & opt float Route.default_config.Route.rt_max_ratio
+       & info [ "routability-max-ratio" ] ~docv:"R" ~doc)
+
+let routability_max_rounds =
+  let doc = "Maximum inflation rounds per run." in
+  Arg.(value & opt int Route.default_config.Route.rt_max_rounds
+       & info [ "routability-max-rounds" ] ~docv:"N" ~doc)
+
 let trace_file =
   let doc = "Write the per-iteration trace to $(docv) as CSV." in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
@@ -110,13 +142,15 @@ let domains =
              counts." in
   Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
 
-let run lib_file design_file bench cells seed clock mode iterations t1 t2
-    gamma steiner_period steiner_dirty no_legalize out_file svg_file svg_paths
-    trace_file verbose domains profile trace_out =
+let run lib_file design_file bench cells seed clock hotspot hotspot_clusters
+    mode iterations t1 t2 gamma steiner_period steiner_dirty no_legalize
+    out_file svg_file svg_paths svg_congestion trace_file verbose domains
+    profile trace_out routability routability_capacity routability_target
+    routability_max_ratio routability_max_rounds =
   let lib = Dgp_common.load_library lib_file in
   let design, constraints =
     Dgp_common.load_design lib ~design_file ~bench ~cells ~seed
-      ~clock_period:clock
+      ~clock_period:clock ~hotspot ~hotspot_clusters ()
   in
   let stats = Netlist.Stats.compute design in
   Format.printf "design %s:@.%a@.@." design.Netlist.design_name
@@ -133,9 +167,17 @@ let run lib_file design_file bench cells seed clock mode iterations t1 t2
     | (Core.Wirelength_only | Core.Net_weighting _ | Core.Path_weighting _)
       as m -> m
   in
+  let route_cfg =
+    { Route.default_config with
+      Route.rt_capacity = routability_capacity;
+      rt_target = routability_target;
+      rt_max_ratio = routability_max_ratio;
+      rt_max_rounds = routability_max_rounds }
+  in
   let config =
     { Core.default_config with
-      Core.mode; max_iterations = iterations; verbose }
+      Core.mode; max_iterations = iterations; verbose;
+      routability = (if routability then Some route_cfg else None) }
   in
   let pool =
     if domains > 1 then Some (Parallel.create ~domains ()) else None
@@ -148,6 +190,11 @@ let run lib_file design_file bench cells seed clock mode iterations t1 t2
   (match pool with Some p -> Parallel.shutdown p | None -> ());
   Printf.printf "placement: %d iterations in %.2f s (overflow %.3f)\n"
     result.Core.res_iterations result.Core.res_runtime result.Core.res_overflow;
+  (match result.Core.res_route with
+   | Some s ->
+     Format.printf "congestion: %a (%d inflation rounds)@." Route.pp_summary s
+       result.Core.res_inflation_rounds
+   | None -> ());
   if not no_legalize then begin
     let lg = Legalize.legalize ~obs design in
     Format.printf "legalisation:@.%a@." Legalize.pp_stats lg
@@ -161,14 +208,26 @@ let run lib_file design_file bench cells seed clock mode iterations t1 t2
      let _ = Sta.Timer.run timer in
      let view = Paths.analyze ~obs timer in
      let top = Paths.enumerate ~obs ~k:(max 1 svg_paths) view in
+     let congestion =
+       if svg_congestion then begin
+         let rudy =
+           Route.Rudy.create ~capacity:routability_capacity design
+         in
+         Route.Rudy.update rudy;
+         Some (Route.Rudy.bins rudy, Route.Rudy.utilization rudy)
+       end
+       else None
+     in
      let options =
        { Viz.Svg.default_options with
          Viz.Svg.highlight_paths =
-           List.map (fun p -> p.Paths.pt_steps) top }
+           List.map (fun p -> p.Paths.pt_steps) top;
+         congestion }
      in
      Viz.Svg.save ~options path design;
-     Printf.printf "placement plot written to %s (%d paths overlaid)\n" path
+     Printf.printf "placement plot written to %s (%d paths%s overlaid)\n" path
        (List.length top)
+       (if svg_congestion then " + congestion" else "")
    | None -> ());
   (match trace_file with
    | Some path ->
@@ -213,8 +272,11 @@ let cmd =
     Term.(
       const run $ Dgp_common.lib_file $ Dgp_common.design_file
       $ Dgp_common.bench_name $ Dgp_common.cells $ Dgp_common.seed
-      $ Dgp_common.clock_period $ mode $ iterations $ t1 $ t2 $ gamma
+      $ Dgp_common.clock_period $ Dgp_common.hotspot
+      $ Dgp_common.hotspot_clusters $ mode $ iterations $ t1 $ t2 $ gamma
       $ steiner_period $ steiner_dirty $ no_legalize $ out_file $ svg_file
-      $ svg_paths $ trace_file $ verbose $ domains $ profile $ trace_out)
+      $ svg_paths $ svg_congestion $ trace_file $ verbose $ domains $ profile
+      $ trace_out $ routability $ routability_capacity $ routability_target
+      $ routability_max_ratio $ routability_max_rounds)
 
 let () = exit (Cmd.eval cmd)

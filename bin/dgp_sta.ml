@@ -26,7 +26,7 @@ let run lib_file design_file bench cells seed clock top paths profile
   let lib = Dgp_common.load_library lib_file in
   let design, constraints =
     Dgp_common.load_design lib ~design_file ~bench ~cells ~seed
-      ~clock_period:clock
+      ~clock_period:clock ()
   in
   let graph = Sta.Graph.build design lib constraints in
   let obs =

@@ -1,6 +1,9 @@
-(* Run the four placers of the evaluation harness on one design and
-   print a side-by-side comparison (the paper's Table 3 plus the
-   path-weighting baseline).
+(* Run the placers of the evaluation harness on one design and print a
+   side-by-side comparison (the paper's Table 3 plus the path-weighting
+   baseline and a routability-driven variant).  The design carries a
+   mild congestion hotspot so the congestion columns have something to
+   show; every placement is scored for RUDY congestion (peak and
+   RC-style top-percentile utilization) next to its timing.
 
      dune exec examples/compare_placers.exe [-- --domains N] [-- --csv FILE]
 
@@ -30,40 +33,52 @@ let () =
   in
   let spec =
     { Workload.default_spec with
-      Workload.sp_cells = 2000; sp_clock_period = 950.0 }
+      Workload.sp_cells = 2000; sp_clock_period = 950.0; sp_hotspot = 0.25 }
   in
   let table =
     Report.Table.create
-      [ "Placer"; "WNS (ps)"; "TNS (ps)"; "HPWL (um)"; "Runtime (s)" ]
+      [ "Placer"; "WNS (ps)"; "TNS (ps)"; "HPWL (um)"; "Peak cong";
+        "RC cong"; "Runtime (s)" ]
   in
-  let evaluate name mode =
+  let evaluate ?routability name mode =
     (* fresh design per run: each placer starts from the same netlist *)
     let design, constraints = Workload.generate lib spec in
     let graph = Sta.Graph.build design lib constraints in
-    let config = { Core.default_config with Core.mode } in
+    let config = { Core.default_config with Core.mode; routability } in
     let result = Core.run ?pool config graph in
     ignore (Legalize.legalize design);
     let report, hpwl = Core.score graph in
+    (* congestion of the final (legalised) placement, same knobs for
+       every row so the columns compare *)
+    let rudy = Route.Rudy.create design in
+    Route.Rudy.update ?pool rudy;
+    let cong = Route.overflow rudy in
     Report.Table.add_row table
       [ name;
         Printf.sprintf "%.1f" report.Sta.Timer.setup_wns;
         Printf.sprintf "%.1f" report.Sta.Timer.setup_tns;
         Printf.sprintf "%.3e" hpwl;
+        Printf.sprintf "%.2f" cong.Route.ov_peak;
+        Printf.sprintf "%.2f" cong.Route.ov_rc;
         Printf.sprintf "%.2f" result.Core.res_runtime ];
-    (report.Sta.Timer.setup_wns, report.Sta.Timer.setup_tns)
+    ((report.Sta.Timer.setup_wns, report.Sta.Timer.setup_tns), cong)
   in
-  Printf.printf "placing %d cells four ways...\n%!" spec.Workload.sp_cells;
-  let dp = evaluate "DREAMPlace [16]" Core.Wirelength_only in
-  let nw =
+  Printf.printf "placing %d cells five ways...\n%!" spec.Workload.sp_cells;
+  let dp, _ = evaluate "DREAMPlace [16]" Core.Wirelength_only in
+  let nw, _ =
     evaluate "Net weighting [24]"
       (Core.Net_weighting Netweight.default_config)
   in
-  let pw =
+  let pw, _ =
     evaluate "Path weighting [paths]"
       (Core.Path_weighting Paths.Weight.default_config)
   in
-  let ours =
+  let ours, ours_cong =
     evaluate "Ours (differentiable)"
+      (Core.Differentiable_timing Core.default_timing)
+  in
+  let ours_rt, ours_rt_cong =
+    evaluate ~routability:Route.default_config "Ours + routability"
       (Core.Differentiable_timing Core.default_timing)
   in
   print_newline ();
@@ -80,6 +95,16 @@ let () =
   Printf.printf "ours vs path weighting:  WNS %+.1f%%, TNS %+.1f%%\n" wi ti;
   let wi, ti = improvement dp pw in
   Printf.printf "path weighting vs wirelength-only: WNS %+.1f%%, TNS %+.1f%%\n"
+    wi ti;
+  (* the timing x routability trade-off: congestion bought, timing paid *)
+  let wi, ti = improvement ours ours_rt in
+  Printf.printf
+    "routability vs ours: peak congestion %+.1f%%, rc %+.1f%%, \
+     WNS %+.1f%%, TNS %+.1f%%\n"
+    (100.0 *. (ours_rt_cong.Route.ov_peak -. ours_cong.Route.ov_peak)
+     /. Float.max 1e-9 ours_cong.Route.ov_peak)
+    (100.0 *. (ours_rt_cong.Route.ov_rc -. ours_cong.Route.ov_rc)
+     /. Float.max 1e-9 ours_cong.Route.ov_rc)
     wi ti;
   (match csv with
    | Some path ->

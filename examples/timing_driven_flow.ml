@@ -9,19 +9,22 @@
 
      dune exec examples/timing_driven_flow.exe \
        [-- --domains N] [--profile] [--trace-out FILE]
-       [--steiner-period N] [--steiner-dirty G]
+       [--steiner-period N] [--steiner-dirty G] [--routability]
 
    With --domains N > 1 every per-iteration kernel runs through a worker
    pool; the resulting placement is bit-identical to the sequential
    one.  --profile prints the per-kernel timing table to stderr;
    --trace-out dumps the span-level JSONL trace.  --steiner-period and
    --steiner-dirty control the timing stage's Steiner rebuild cadence
-   and dirty-net threshold (gamma units; negative = rebuild all). *)
+   and dirty-net threshold (gamma units; negative = rebuild all).
+   --routability enables the RUDY + cell-inflation loop in every
+   placement stage and reports the final congestion summary. *)
 
 let parse_args () =
   let domains = ref 1 and profile = ref false and trace_out = ref None in
   let steiner_period = ref Core.default_timing.Core.steiner_period in
   let steiner_dirty = ref Core.default_timing.Core.steiner_dirty in
+  let routability = ref false in
   let rec scan = function
     | "--domains" :: v :: rest ->
       domains := int_of_string v;
@@ -39,16 +42,29 @@ let parse_args () =
       let g = float_of_string v in
       steiner_dirty := (if g < 0.0 then None else Some g);
       scan rest
+    | "--routability" :: rest ->
+      routability := true;
+      scan rest
     | _ :: rest -> scan rest
     | [] -> ()
   in
   scan (List.tl (Array.to_list Sys.argv));
-  (!domains, !profile, !trace_out, !steiner_period, !steiner_dirty)
+  (!domains, !profile, !trace_out, !steiner_period, !steiner_dirty,
+   !routability)
 
 let () =
   let lib = Liberty.Synthetic.default () in
-  let domains, profile, trace_out, steiner_period, steiner_dirty =
+  let domains, profile, trace_out, steiner_period, steiner_dirty, routability
+      =
     parse_args ()
+  in
+  let route_cfg = if routability then Some Route.default_config else None in
+  let report_congestion (r : Core.result) =
+    match r.Core.res_route with
+    | Some s ->
+      Format.printf "  congestion: %a (%d inflation rounds)@."
+        Route.pp_summary s r.Core.res_inflation_rounds
+    | None -> ()
   in
   let pool =
     if domains > 1 then Some (Parallel.create ~domains ()) else None
@@ -80,7 +96,10 @@ let () =
 
   (* stage 1: wirelength-driven placement to convergence (the flow every
      placer shares) *)
-  let wl_cfg = { Core.default_config with Core.mode = Core.Wirelength_only } in
+  let wl_cfg =
+    { Core.default_config with
+      Core.mode = Core.Wirelength_only; routability = route_cfg }
+  in
   let r1 = Core.run ?pool ~obs wl_cfg graph in
   let timer = Sta.Timer.create graph in
   let before = Sta.Timer.run ~obs timer in
@@ -88,12 +107,14 @@ let () =
     "\nwirelength-driven GP: %d iters, HPWL %.3e, WNS %.1f ps, TNS %.1f ps\n%!"
     r1.Core.res_iterations r1.Core.res_hpwl before.Sta.Timer.setup_wns
     before.Sta.Timer.setup_tns;
+  report_congestion r1;
 
   (* stage 2: the path-weighting baseline from scratch on the same
      netlist — exact STA + top-K worst-path net weighting *)
   let pw_cfg =
     { Core.default_config with
-      Core.mode = Core.Path_weighting Paths.Weight.default_config }
+      Core.mode = Core.Path_weighting Paths.Weight.default_config;
+      routability = route_cfg }
   in
   let rpw = Core.run ?pool ~obs pw_cfg graph in
   let pw_report = Sta.Timer.run ~obs timer in
@@ -101,15 +122,18 @@ let () =
     "path-weighted GP: %d iters, HPWL %.3e, WNS %.1f ps, TNS %.1f ps\n%!"
     rpw.Core.res_iterations rpw.Core.res_hpwl pw_report.Sta.Timer.setup_wns
     pw_report.Sta.Timer.setup_tns;
+  report_congestion rpw;
 
   (* stage 3: timing-driven placement from scratch on the same netlist *)
   let t_cfg =
     { Core.default_config with
       Core.mode =
         Core.Differentiable_timing
-          { Core.default_timing with Core.steiner_period; steiner_dirty } }
+          { Core.default_timing with Core.steiner_period; steiner_dirty };
+      routability = route_cfg }
   in
   let r2 = Core.run ?pool ~obs t_cfg graph in
+  report_congestion r2;
   ignore (Legalize.legalize ~obs design);
   let dp = Detailed.refine design in
   Format.printf "\ndetailed placement:@.%a@." Detailed.pp_stats dp;

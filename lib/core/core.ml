@@ -43,6 +43,7 @@ type config = {
   lambda_growth : float;
   init : [ `Center | `Keep ];
   trace_timing_period : int;
+  routability : Route.config option;
   verbose : bool;
 }
 
@@ -61,6 +62,7 @@ let default_config =
     lambda_growth = 1.035;
     init = `Center;
     trace_timing_period = 0;
+    routability = None;
     verbose = false }
 
 type trace_point = {
@@ -79,6 +81,8 @@ type result = {
   res_runtime : float;
   res_timing_active_at : int option;
   res_trace : trace_point list;
+  res_route : Route.summary option;
+  res_inflation_rounds : int;
 }
 
 let l1_norm mask g =
@@ -161,9 +165,22 @@ let run ?pool ?(obs = Obs.disabled) config graph =
     match config.wirelength_gamma with Some g -> g | None -> 0.01 *. side
   in
   let wl = Wirelength.create ~gamma:wl_gamma design in
+  (* a ref: routability inflation changes cell footprints, which
+     invalidates the area totals cached at Density.create time, so the
+     model is rebuilt after every inflation round *)
   let dens =
-    Density.create ?bins:config.density_bins
-      ~target_density:config.target_density design
+    ref
+      (Density.create ?bins:config.density_bins
+         ~target_density:config.target_density design)
+  in
+  let rudy, inflate =
+    match config.routability with
+    | Some rcfg ->
+      ( Some
+          (Route.Rudy.create ~capacity:rcfg.Route.rt_capacity
+             ~pin_weight:rcfg.Route.rt_pin_weight design),
+        Some (Route.Inflate.create design) )
+    | None -> (None, None)
   in
   let opt_x = Optim.create config.optimizer ~n:ncells in
   let opt_y = Optim.create config.optimizer ~n:ncells in
@@ -269,11 +286,11 @@ let run ?pool ?(obs = Obs.disabled) config graph =
       (Wirelength.evaluate wl ?pool ~obs ~weighted:true ~grad_x:gx ~grad_y:gy
          ());
     (* density term: compute separately to calibrate lambda *)
-    Density.update ?pool ~obs dens;
-    let overflow = Density.overflow dens in
+    Density.update ?pool ~obs !dens;
+    let overflow = Density.overflow !dens in
     Array.fill dgx 0 ncells 0.0;
     Array.fill dgy 0 ncells 0.0;
-    Density.gradient ?pool ~obs dens ~scale:1.0 ~grad_x:dgx ~grad_y:dgy;
+    Density.gradient ?pool ~obs !dens ~scale:1.0 ~grad_x:dgx ~grad_y:dgy;
     if i = 0 then begin
       let wl_norm = l1_norm mask gx +. l1_norm mask gy in
       let d_norm = Float.max 1e-12 (l1_norm mask dgx +. l1_norm mask dgy) in
@@ -388,6 +405,34 @@ let run ?pool ?(obs = Obs.disabled) config graph =
         tp_wns = !last_wns; tp_tns = !last_tns; tp_lambda = !lambda }
       :: !trace;
     Obs.stop obs Obs.Core_trace;
+    (* routability hook: once cells have spread enough for bin demand to
+       be meaningful, periodically measure congestion and bloat cells in
+       over-utilized bins.  When nothing is congested this path only
+       reads, so zero-overflow runs stay bit-identical to
+       routability-off ones. *)
+    (match config.routability, rudy, inflate with
+     | Some rcfg, Some rd, Some infl
+       when overflow < rcfg.Route.rt_check_overflow
+            && rcfg.Route.rt_check_period > 0
+            && i mod rcfg.Route.rt_check_period = 0
+            && Route.Inflate.rounds infl < rcfg.Route.rt_max_rounds ->
+       Route.Rudy.update ?pool ~obs rd;
+       let s = Route.overflow ~obs rd in
+       if s.Route.ov_peak > rcfg.Route.rt_target then begin
+         let inflated = Route.Inflate.step ~obs rcfg infl rd in
+         if inflated > 0 then begin
+           dens :=
+             Density.create ?bins:config.density_bins
+               ~target_density:config.target_density design;
+           if config.verbose then
+             Format.eprintf
+               "[core] it %4d  routability: peak %.2f rc %.2f, inflated \
+                %d cells (round %d)@."
+               i s.Route.ov_peak s.Route.ov_rc inflated
+               (Route.Inflate.rounds infl)
+         end
+       end
+     | _ -> ());
     if config.verbose && i mod 50 = 0 then begin
       let fmt = function
         | Some v -> Printf.sprintf "%.1f" v
@@ -401,11 +446,32 @@ let run ?pool ?(obs = Obs.disabled) config graph =
       stop := true;
     incr iter
   done;
-  Density.update ~obs dens;
+  let inflation_rounds =
+    match inflate with Some f -> Route.Inflate.rounds f | None -> 0
+  in
+  (* inflation is temporary: restore original footprints and rebuild the
+     density model so final metrics are measured on true cell sizes *)
+  (match inflate with
+   | Some f when Route.Inflate.rounds f > 0 ->
+     Route.Inflate.restore f;
+     dens :=
+       Density.create ?bins:config.density_bins
+         ~target_density:config.target_density design
+   | _ -> ());
+  Density.update ~obs !dens;
+  let route_summary =
+    match rudy with
+    | Some rd ->
+      Route.Rudy.update ?pool ~obs rd;
+      Some (Route.overflow ~obs rd)
+    | None -> None
+  in
   Obs.stop obs Obs.Core_run;
   { res_hpwl = Netlist.total_hpwl design;
-    res_overflow = Density.overflow dens;
+    res_overflow = Density.overflow !dens;
     res_iterations = !final_iter;
     res_runtime = Obs.Clock.now () -. start_time;
     res_timing_active_at = !timing_active_at;
-    res_trace = List.rev !trace }
+    res_trace = List.rev !trace;
+    res_route = route_summary;
+    res_inflation_rounds = inflation_rounds }

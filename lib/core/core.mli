@@ -92,6 +92,19 @@ type config = {
           only the first trace point (wirelength-only) and the weight
           updates themselves rebuild topologies.  Powers Figure 8's
           baseline curves. *)
+  routability : Route.config option;
+      (** when set, run the RUDY + cell-inflation loop between
+          placement rounds: once density overflow drops below
+          [rt_check_overflow], every [rt_check_period] iterations the
+          RUDY congestion map is measured and, if any bin exceeds
+          [rt_target] utilization, cells in congested bins are
+          temporarily bloated (bounded by [rt_max_rounds] rounds and a
+          [rt_max_ratio] per-cell area cap) so the density penalty
+          spreads them apart.  Original cell sizes are restored before
+          the final metrics.  On designs that never congest the hook
+          only reads, leaving positions bit-identical to
+          [routability = None].  [None] (the default) disables the
+          loop entirely. *)
   verbose : bool;
 }
 
@@ -116,6 +129,12 @@ type result = {
   res_timing_active_at : int option;
       (** iteration at which the timing objective switched on. *)
   res_trace : trace_point list;  (** chronological. *)
+  res_route : Route.summary option;
+      (** final congestion summary (RUDY on the finished placement,
+          original cell sizes); [None] unless routability was on. *)
+  res_inflation_rounds : int;
+      (** inflation rounds actually executed (0 when routability is
+          off or the design never congested). *)
 }
 
 val run : ?pool:Parallel.pool -> ?obs:Obs.t -> config -> Sta.Graph.t -> result

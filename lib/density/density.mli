@@ -21,6 +21,15 @@ val create : ?bins:int -> ?target_density:float -> Netlist.t -> t
 
 val bins : t -> int
 
+val round_pow2 : int -> int
+(** Nearest power of two (ties towards the smaller), the grid-side
+    rounding rule used by {!create}.  Exposed so sibling grids (the
+    RUDY congestion map in [Route]) can adopt the identical policy. *)
+
+val default_bins : Netlist.t -> int
+(** The automatic grid sizing used when [?bins] is omitted: roughly
+    [sqrt cells] bins per side, power-of-two clamped to [16, 256]. *)
+
 val update : ?pool:Parallel.pool -> ?obs:Obs.t -> t -> unit
 (** Re-splat densities from current cell positions and solve for the
     potential and field.  [obs] records the two phases as

@@ -19,8 +19,8 @@ type cell = {
   cell_id : int;
   cell_name : string;
   lib_cell : int;
-  width : float;
-  height : float;
+  mutable width : float;
+  mutable height : float;
   mutable x : float;
   mutable y : float;
   fixed : bool;

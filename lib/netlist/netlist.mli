@@ -25,13 +25,17 @@ type pin = {
 }
 
 (** A cell instance.  [lib_cell = -1] marks pads and macros, which carry
-    their own geometry.  [fixed] cells are never moved by the placer. *)
+    their own geometry.  [fixed] cells are never moved by the placer.
+    [width]/[height] are mutable so routability-driven inflation
+    ([Route.Inflate]) can temporarily bloat a cell's footprint; every
+    client that inflates is responsible for restoring the original
+    sizes before the placement is consumed downstream. *)
 type cell = {
   cell_id : int;
   cell_name : string;
   lib_cell : int;
-  width : float;
-  height : float;
+  mutable width : float;
+  mutable height : float;
   mutable x : float;  (** center x. *)
   mutable y : float;  (** center y. *)
   fixed : bool;

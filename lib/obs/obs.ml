@@ -45,6 +45,9 @@ type kernel =
   | Serve_parse
   | Serve_update
   | Serve_query
+  | Route_rudy
+  | Route_overflow
+  | Route_inflate
 
 let kernel_id = function
   | Core_run -> 0
@@ -73,8 +76,11 @@ let kernel_id = function
   | Serve_parse -> 23
   | Serve_update -> 24
   | Serve_query -> 25
+  | Route_rudy -> 26
+  | Route_overflow -> 27
+  | Route_inflate -> 28
 
-let n_kernels = 26
+let n_kernels = 29
 let core_run_id = 0
 
 let all_kernels =
@@ -82,7 +88,8 @@ let all_kernels =
     Density_grad; Steiner_rebuild; Steiner_lut; Steiner_dirty;
     Steiner_full; Steiner_refresh; Sta_exact; Sta_incremental;
     Diff_forward; Diff_backward; Netweight_update; Pathweight_update;
-    Optim_step; Paths_analyze; Paths_enumerate; Legalize; Par_dispatch;
+    Optim_step; Paths_analyze; Paths_enumerate; Legalize; Route_rudy;
+    Route_overflow; Route_inflate; Par_dispatch;
     Par_wait; Serve_parse; Serve_update; Serve_query ]
 
 let kernel_name = function
@@ -112,6 +119,9 @@ let kernel_name = function
   | Serve_parse -> "serve.parse"
   | Serve_update -> "serve.update"
   | Serve_query -> "serve.query"
+  | Route_rudy -> "route.rudy"
+  | Route_overflow -> "route.overflow"
+  | Route_inflate -> "route.inflate"
 
 let name_of_id =
   let a = Array.make n_kernels "" in

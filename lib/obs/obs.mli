@@ -61,6 +61,9 @@ type kernel =
   | Serve_parse  (** daemon: request line parsing *)
   | Serve_update  (** daemon: state mutation (move/commit/place) *)
   | Serve_query  (** daemon: read-only queries (slack/paths/stats) *)
+  | Route_rudy  (** RUDY routing-demand splat over the congestion grid *)
+  | Route_overflow  (** congestion summary (peak / RC top-percentile) *)
+  | Route_inflate  (** cell inflation pass over congested bins *)
 
 val kernel_name : kernel -> string
 (** Stable dotted name used in reports and traces, e.g.

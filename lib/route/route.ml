@@ -1,0 +1,260 @@
+type config = {
+  rt_check_overflow : float;
+  rt_check_period : int;
+  rt_target : float;
+  rt_capacity : float;
+  rt_pin_weight : float;
+  rt_inflation_coef : float;
+  rt_max_ratio : float;
+  rt_max_rounds : int;
+}
+
+let default_config =
+  { rt_check_overflow = 0.20;
+    rt_check_period = 5;
+    rt_target = 1.0;
+    rt_capacity = 1.0;
+    rt_pin_weight = 0.05;
+    rt_inflation_coef = 2.5;
+    rt_max_ratio = 2.5;
+    rt_max_rounds = 4 }
+
+module Rudy = struct
+  type t = {
+    design : Netlist.t;
+    n : int;
+    bin_w : float;
+    bin_h : float;
+    bin_area : float;
+    capacity : float;
+    pin_weight : float;
+    dem : float array;   (* routing demand per bin *)
+    util : float array;  (* dem / (capacity * bin_area) *)
+  }
+
+  let create ?bins ?capacity ?pin_weight design =
+    let n =
+      match bins with
+      | Some b -> max 4 (Density.round_pow2 b)
+      | None -> Density.default_bins design
+    in
+    let region = design.Netlist.region in
+    let bin_w = Geometry.Rect.width region /. float_of_int n in
+    let bin_h = Geometry.Rect.height region /. float_of_int n in
+    { design; n; bin_w; bin_h;
+      bin_area = bin_w *. bin_h;
+      capacity =
+        (match capacity with Some c -> c | None -> default_config.rt_capacity);
+      pin_weight =
+        (match pin_weight with
+         | Some w -> w
+         | None -> default_config.rt_pin_weight);
+      dem = Array.make (n * n) 0.0;
+      util = Array.make (n * n) 0.0 }
+
+  let bins t = t.n
+
+  (* Splat one net into [grid]: its wire demand smeared uniformly over
+     the bins its bbox overlaps, plus [pin_weight] into each pin's bin.
+     The bbox is clamped below at one bin per axis so flat (single-row
+     or single-column) nets still register demand. *)
+  let splat_net t grid net_id =
+    let d = t.design in
+    let pins = d.Netlist.nets.(net_id).Netlist.net_pins in
+    let npins = Array.length pins in
+    let region = d.Netlist.region in
+    let rlx = region.Geometry.Rect.lx and rly = region.Geometry.Rect.ly in
+    let n = t.n in
+    let clampb v = max 0 (min (n - 1) v) in
+    let bin_of x y =
+      let bx = clampb (int_of_float (Float.floor ((x -. rlx) /. t.bin_w))) in
+      let by = clampb (int_of_float (Float.floor ((y -. rly) /. t.bin_h))) in
+      (bx * n) + by
+    in
+    if t.pin_weight > 0.0 then
+      Array.iter
+        (fun p ->
+          let b = bin_of (Netlist.pin_x d p) (Netlist.pin_y d p) in
+          grid.(b) <- grid.(b) +. t.pin_weight)
+        pins;
+    if npins >= 2 then begin
+      let bb = ref Geometry.Bbox.empty in
+      Array.iter
+        (fun p ->
+          bb := Geometry.Bbox.add_xy !bb (Netlist.pin_x d p) (Netlist.pin_y d p))
+        pins;
+      match Geometry.Bbox.to_rect !bb with
+      | None -> ()
+      | Some r ->
+        let w = Geometry.Rect.width r and h = Geometry.Rect.height r in
+        let ew = Float.max w t.bin_w and eh = Float.max h t.bin_h in
+        let demand = ew *. eh /. (ew +. eh) in
+        (* expand symmetrically around the original bbox center *)
+        let cx = 0.5 *. (r.Geometry.Rect.lx +. r.Geometry.Rect.hx) in
+        let cy = 0.5 *. (r.Geometry.Rect.ly +. r.Geometry.Rect.hy) in
+        let elx = cx -. (0.5 *. ew) and ehx = cx +. (0.5 *. ew) in
+        let ely = cy -. (0.5 *. eh) and ehy = cy +. (0.5 *. eh) in
+        let per_area = demand /. (ew *. eh) in
+        let bx0 = clampb (int_of_float (Float.floor ((elx -. rlx) /. t.bin_w))) in
+        let bx1 = clampb (int_of_float (Float.floor ((ehx -. rlx) /. t.bin_w))) in
+        let by0 = clampb (int_of_float (Float.floor ((ely -. rly) /. t.bin_h))) in
+        let by1 = clampb (int_of_float (Float.floor ((ehy -. rly) /. t.bin_h))) in
+        for bx = bx0 to bx1 do
+          let blx = rlx +. (float_of_int bx *. t.bin_w) in
+          let ox =
+            Float.max 0.0
+              (Float.min ehx (blx +. t.bin_w) -. Float.max elx blx)
+          in
+          if ox > 0.0 then
+            for by = by0 to by1 do
+              let bly = rly +. (float_of_int by *. t.bin_h) in
+              let oy =
+                Float.max 0.0
+                  (Float.min ehy (bly +. t.bin_h) -. Float.max ely bly)
+              in
+              let b = (bx * n) + by in
+              grid.(b) <- grid.(b) +. (per_area *. ox *. oy)
+            done
+        done
+    end
+
+  let update ?pool ?(obs = Obs.disabled) t =
+    let n = t.n in
+    let nnets = Netlist.num_nets t.design in
+    Obs.start obs Obs.Route_rudy;
+    let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
+    (* per-chunk grids merged in chunk order: the split depends only on
+       the net count, so pooled maps reproduce sequential ones bit for
+       bit (same policy as Density.update) *)
+    let grid =
+      Parallel.parallel_for_reduce p ~obs ~cost:8.0 nnets
+        ~init:(fun () -> Array.make (n * n) 0.0)
+        ~body:(fun acc i -> splat_net t acc i)
+        ~merge:(fun a b ->
+          for k = 0 to (n * n) - 1 do
+            a.(k) <- a.(k) +. b.(k)
+          done;
+          a)
+    in
+    Array.blit grid 0 t.dem 0 (n * n);
+    let cap = t.capacity *. t.bin_area in
+    for b = 0 to (n * n) - 1 do
+      t.util.(b) <- t.dem.(b) /. cap
+    done;
+    Obs.stop obs Obs.Route_rudy
+
+  let demand t = t.dem
+  let utilization t = t.util
+end
+
+type summary = {
+  ov_peak : float;
+  ov_rc : float;
+  ov_congested : int;
+  ov_total : float;
+}
+
+let overflow ?(obs = Obs.disabled) ?(percentile = 0.02) rudy =
+  Obs.span obs Obs.Route_overflow (fun () ->
+    let util = Rudy.utilization rudy in
+    let nb = Array.length util in
+    let peak = ref 0.0 and congested = ref 0 and total = ref 0.0 in
+    for b = 0 to nb - 1 do
+      let u = util.(b) in
+      if u > !peak then peak := u;
+      if u > 1.0 then begin
+        incr congested;
+        total := !total +. (u -. 1.0)
+      end
+    done;
+    let sorted = Array.copy util in
+    Array.sort (fun a b -> compare (b : float) a) sorted;
+    let k = max 1 (int_of_float (Float.ceil (percentile *. float_of_int nb))) in
+    let k = min k nb in
+    let acc = ref 0.0 in
+    for i = 0 to k - 1 do
+      acc := !acc +. sorted.(i)
+    done;
+    { ov_peak = !peak;
+      ov_rc = !acc /. float_of_int k;
+      ov_congested = !congested;
+      ov_total = !total })
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[peak %.3f, rc %.3f, congested bins %d, total overflow %.3f@]"
+    s.ov_peak s.ov_rc s.ov_congested s.ov_total
+
+module Inflate = struct
+  type t = {
+    design : Netlist.t;
+    orig_w : float array;
+    orig_h : float array;
+    mutable n_rounds : int;
+  }
+
+  let create design =
+    { design;
+      orig_w = Array.map (fun c -> c.Netlist.width) design.Netlist.cells;
+      orig_h = Array.map (fun c -> c.Netlist.height) design.Netlist.cells;
+      n_rounds = 0 }
+
+  let rounds t = t.n_rounds
+
+  let step ?(obs = Obs.disabled) cfg t rudy =
+    if t.n_rounds >= cfg.rt_max_rounds then 0
+    else
+      Obs.span obs Obs.Route_inflate (fun () ->
+        t.n_rounds <- t.n_rounds + 1;
+        let d = t.design in
+        let util = Rudy.utilization rudy in
+        let n = Rudy.bins rudy in
+        let region = d.Netlist.region in
+        let rlx = region.Geometry.Rect.lx
+        and rly = region.Geometry.Rect.ly in
+        let bin_w = Geometry.Rect.width region /. float_of_int n in
+        let bin_h = Geometry.Rect.height region /. float_of_int n in
+        let clampb v = max 0 (min (n - 1) v) in
+        let count = ref 0 in
+        Array.iteri
+          (fun i (c : Netlist.cell) ->
+            if not c.Netlist.fixed then begin
+              let bx =
+                clampb (int_of_float (Float.floor ((c.Netlist.x -. rlx) /. bin_w)))
+              in
+              let by =
+                clampb (int_of_float (Float.floor ((c.Netlist.y -. rly) /. bin_h)))
+              in
+              let u = util.((bx * n) + by) in
+              if u > cfg.rt_target then begin
+                let orig_area = t.orig_w.(i) *. t.orig_h.(i) in
+                let cur_ratio =
+                  if orig_area > 0.0 then
+                    c.Netlist.width *. c.Netlist.height /. orig_area
+                  else cfg.rt_max_ratio
+                in
+                if cur_ratio < cfg.rt_max_ratio then begin
+                  let want =
+                    Float.pow (u /. cfg.rt_target) cfg.rt_inflation_coef
+                  in
+                  let m = Float.min want (cfg.rt_max_ratio /. cur_ratio) in
+                  if m > 1.0 then begin
+                    let s = Float.sqrt m in
+                    c.Netlist.width <- c.Netlist.width *. s;
+                    c.Netlist.height <- c.Netlist.height *. s;
+                    incr count
+                  end
+                end
+              end
+            end)
+          d.Netlist.cells;
+        Obs.add obs "route.inflated_cells" (float_of_int !count);
+        !count)
+
+  let restore t =
+    Array.iteri
+      (fun i (c : Netlist.cell) ->
+        c.Netlist.width <- t.orig_w.(i);
+        c.Netlist.height <- t.orig_h.(i))
+      t.design.Netlist.cells
+end

@@ -5,11 +5,12 @@ module Svg = struct
     max_net_degree : int;
     highlight_path : Sta.Timer.path_step list;
     highlight_paths : Sta.Timer.path_step list list;
+    congestion : (int * float array) option;
   }
 
   let default_options =
     { width_px = 800; draw_nets = false; max_net_degree = 8;
-      highlight_path = []; highlight_paths = [] }
+      highlight_path = []; highlight_paths = []; congestion = None }
 
   (* worst path red, runners-up fading towards yellow *)
   let path_colors =
@@ -76,6 +77,30 @@ module Svg = struct
                        (sy (Netlist.pin_y design s))))
                 (Netlist.net_sinks design net.Netlist.net_id))
         design.Netlist.nets;
+    (* congestion heatmap: translucent red squares over bins whose
+       utilization clears a floor, deeper red as utilization grows;
+       drawn above the cells but below the path overlays *)
+    (match options.congestion with
+     | Some (n, util) when n > 0 && Array.length util = n * n ->
+       let bw = w /. float_of_int n and bh = h /. float_of_int n in
+       for bx = 0 to n - 1 do
+         for by = 0 to n - 1 do
+           let u = util.((bx * n) + by) in
+           if u >= 0.5 then begin
+             let blx = region.Geometry.Rect.lx +. (float_of_int bx *. bw) in
+             let bly = region.Geometry.Rect.ly +. (float_of_int by *. bh) in
+             let opacity = 0.12 +. (0.48 *. Float.min 1.0 (u /. 2.0)) in
+             Buffer.add_string b
+               (Printf.sprintf
+                  "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" \
+                   height=\"%.2f\" fill=\"#d01818\" fill-opacity=\"%.3f\"/>\n"
+                  (sx blx)
+                  (sy (bly +. bh))
+                  (bw *. scale) (bh *. scale) opacity)
+           end
+         done
+       done
+     | _ -> ());
     (* critical path overlays: [highlight_paths] worst-first (so the
        worst path draws last, on top), then the legacy single-path
        field in red *)

@@ -16,6 +16,12 @@ module Svg : sig
         (** multi-path overlay, worst first (e.g. the top-K paths from
             the [Paths] engine); the worst path draws red and on top,
             runners-up fade towards yellow. *)
+    congestion : (int * float array) option;
+        (** congestion heatmap overlay: [(n, util)] with [util] a
+            row-major [(bx * n) + by] per-bin utilization grid (e.g.
+            [Route.Rudy.utilization]).  Bins at or above 0.5 draw as
+            translucent red squares, deeper red as utilization grows;
+            kept as raw arrays so [Viz] stays decoupled from [Route]. *)
   }
 
   val default_options : options

@@ -47,6 +47,8 @@ type spec = {
   sp_clock_period : float;
   sp_hub_ratio : float;
   sp_hub_prob : float;
+  sp_hotspot : float;
+  sp_hotspot_clusters : int;
 }
 
 let default_spec =
@@ -60,7 +62,9 @@ let default_spec =
     sp_utilization = 0.55;
     sp_clock_period = 900.0;
     sp_hub_ratio = 0.002;
-    sp_hub_prob = 0.04 }
+    sp_hub_prob = 0.04;
+    sp_hotspot = 0.0;
+    sp_hotspot_clusters = 3 }
 
 (* Relative weights of combinational cell types, loosely following the
    composition of a mapped industrial design. *)
@@ -216,6 +220,54 @@ let generate lib spec =
   let comb_level = Array.init n_comb (fun _ -> 1 + Rng.int rng depth) in
   let combs = Array.mapi (fun i k -> instantiate "u" i k) comb_kinds in
   let ffs = Array.mapi (fun i k -> instantiate "ff" i k) ff_kinds in
+  (* ---- congestion hotspots (opt-in) ----
+     A fraction of the combinational cells is partitioned into a few
+     tightly inter-wired clusters: cluster members preferentially drive
+     each other (with a bias towards a handful of designated
+     high-fanout cluster hubs), so the placer pulls each cluster into a
+     dense blob that many nets cross — a routing hotspot.  All hotspot
+     randomness comes from a dedicated RNG, and no draw happens when
+     [sp_hotspot = 0], so existing seeds keep their exact streams. *)
+  let hotspot_on = spec.sp_hotspot > 0.0 && spec.sp_hotspot_clusters > 0 in
+  let hrng = Rng.create (spec.sp_seed lxor 0x68f7) in
+  let cluster_of = Array.make n_comb (-1) in
+  let cluster_outputs =
+    Array.make (max 1 spec.sp_hotspot_clusters) ([] : (int * int) list)
+  in
+  if hotspot_on then begin
+    for i = 0 to n_comb - 1 do
+      if Rng.bool hrng spec.sp_hotspot then
+        cluster_of.(i) <- Rng.int hrng spec.sp_hotspot_clusters
+    done;
+    Array.iteri
+      (fun i (kind, pins) ->
+        let c = cluster_of.(i) in
+        if c >= 0 then begin
+          let lc = lib.Liberty.lib_cells.(kind) in
+          match Liberty.output_pins lc with
+          | [ y ] ->
+            cluster_outputs.(c) <-
+              (pins.(y), comb_level.(i)) :: cluster_outputs.(c)
+          | [] | _ :: _ -> ()
+        end)
+      combs
+  end;
+  let pick_cluster_driver c level =
+    let eligible =
+      List.filter (fun (_, l) -> l < level) cluster_outputs.(c)
+    in
+    match eligible with
+    | [] -> None
+    | _ :: _ ->
+      let len = List.length eligible in
+      (* half the picks concentrate on a few fixed members, creating
+         genuinely high-degree nets inside the cluster *)
+      let idx =
+        if Rng.bool hrng 0.5 then Rng.int hrng (min len 8)
+        else Rng.int hrng len
+      in
+      Some (fst (List.nth eligible idx))
+  in
   (* ---- wiring ---- *)
   (* output pools per level; level 0 holds PIs and flip-flop Q pins *)
   let q_pins =
@@ -287,6 +339,14 @@ let generate lib spec =
       let level = comb_level.(i) in
       List.iter
         (fun j ->
+          let cluster_driver =
+            if hotspot_on && cluster_of.(i) >= 0 && Rng.bool hrng 0.85 then
+              pick_cluster_driver cluster_of.(i) level
+            else None
+          in
+          match cluster_driver with
+          | Some driver when connect driver pins.(j) -> ()
+          | _ ->
           let hub_driver =
             if Rng.bool rng spec.sp_hub_prob then pick_hub_below level
             else None
@@ -388,7 +448,9 @@ let superblue_mini ?(scale = 0.01) () =
       sp_utilization = 0.55;
       sp_clock_period = period;
       sp_hub_ratio = 0.002;
-      sp_hub_prob = 0.04 }
+      sp_hub_prob = 0.04;
+      sp_hotspot = 0.0;
+      sp_hotspot_clusters = 3 }
   in
   [ mk "superblue1" 1001 1209716 22 1250.0;
     mk "superblue3" 1003 1213253 24 1340.0;

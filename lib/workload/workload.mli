@@ -42,6 +42,15 @@ type spec = {
   sp_hub_prob : float;
       (** probability that any given input connects to a hub instead of
           regular level-based wiring (default 0.04). *)
+  sp_hotspot : float;
+      (** fraction of combinational cells partitioned into tightly
+          inter-wired clusters that the placer pulls into dense blobs —
+          deliberate routing hotspots for routability mode to fix
+          (default 0.0: off; hotspot randomness uses a dedicated RNG,
+          so 0.0 leaves existing seeds' streams bit-identical). *)
+  sp_hotspot_clusters : int;
+      (** number of hotspot clusters when [sp_hotspot > 0]
+          (default 3). *)
 }
 
 val default_spec : spec

@@ -1,20 +1,32 @@
 #!/usr/bin/env python3
-"""Sanity checks on BENCH_placeriter.json.
+"""Sanity checks on BENCH_*.json files.
 
-Asserts that the Steiner maintenance is no longer the dominant kernel:
-at every domain count, the per-iteration Steiner cost (the dirty rebuild
-tick amortised over steiner_period, which is how iteration_us accounts
-for it) must be smaller than the largest other per-iteration kernel.
-The sub-kernel split (steiner.dirty / steiner.lut / steiner.full) must
-also sum to roughly the dirty-tick cost, so the observability stays
-honest.
+Dispatches on the "bench" field of each file:
 
-Usage: scripts/check_bench.py [BENCH_placeriter.json]
-Exits non-zero with a message on violation.
+- every file must carry the uniform machine metadata (cores, hostname,
+  git_rev) so results from different machines stay attributable;
+- placer-iter: the Steiner maintenance must no longer be the dominant
+  kernel -- at every domain count, the per-iteration Steiner cost (the
+  dirty rebuild tick amortised over steiner_period, which is how
+  iteration_us accounts for it) must be smaller than the largest other
+  per-iteration kernel, and the sub-kernel split (steiner.dirty /
+  steiner.lut / steiner.full) must be present so the observability
+  stays honest;
+- routability: at an equal iteration budget, the inflation loop must
+  reduce the peak bin overflow (utilization in excess of capacity) by
+  at least 30% while degrading HPWL by at most 10%.  Smoke-mode files
+  only need the comparison to be present and inflation to have fired.
+
+Usage: scripts/check_bench.py [BENCH_*.json ...]
+       (default: BENCH_placeriter.json)
+Exits non-zero with a message on the first violation.
 """
 
 import json
 import sys
+
+PEAK_OVERFLOW_REDUCTION_MIN = 30.0  # percent
+HPWL_DEGRADATION_MAX = 10.0  # percent
 
 
 def fail(msg):
@@ -22,18 +34,24 @@ def fail(msg):
     sys.exit(1)
 
 
-def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_placeriter.json"
-    with open(path) as f:
-        data = json.load(f)
+def check_metadata(path, data):
+    for key in ("cores", "hostname", "git_rev"):
+        if key not in data:
+            fail(f"{path}: missing metadata field {key!r}")
+    print(
+        f"check_bench: {path}: cores={data['cores']} "
+        f"host={data['hostname']} rev={data['git_rev']}"
+    )
 
+
+def check_placer_iter(path, data):
     period = data.get("steiner_period", 1)
     if period < 1:
-        fail(f"steiner_period {period} < 1")
+        fail(f"{path}: steiner_period {period} < 1")
 
     rows = data.get("domains")
     if not rows:
-        fail("no domain rows")
+        fail(f"{path}: no domain rows")
 
     for row in rows:
         d = row["domains"]
@@ -48,9 +66,10 @@ def main():
         biggest, biggest_us = max(others.items(), key=lambda kv: kv[1])
         if steiner_per_iter >= biggest_us:
             fail(
-                f"domains={d}: steiner per-iteration cost {steiner_per_iter:.1f}us "
-                f"(tick {steiner_tick:.1f}us / period {period}) is still the "
-                f"largest kernel (next: {biggest} at {biggest_us:.1f}us)"
+                f"{path}: domains={d}: steiner per-iteration cost "
+                f"{steiner_per_iter:.1f}us (tick {steiner_tick:.1f}us / "
+                f"period {period}) is still the largest kernel "
+                f"(next: {biggest} at {biggest_us:.1f}us)"
             )
         print(
             f"check_bench: domains={d}: steiner {steiner_per_iter:.1f}us/iter "
@@ -59,17 +78,69 @@ def main():
 
         sub = row.get("steiner_subkernels_us")
         if sub is None:
-            fail(f"domains={d}: missing steiner_subkernels_us")
+            fail(f"{path}: domains={d}: missing steiner_subkernels_us")
         for name in ("steiner.dirty", "steiner.lut", "steiner.full"):
             if name not in sub:
-                fail(f"domains={d}: missing sub-kernel {name}")
+                fail(f"{path}: domains={d}: missing sub-kernel {name}")
 
     full = [r for r in rows if "speedup_vs_seed" in r]
     if full:
         best = max(r["speedup_vs_seed"] for r in full)
         print(f"check_bench: best speedup vs seed: {best:.2f}x")
 
-    print(f"check_bench: OK ({path})")
+
+def check_routability(path, data):
+    for key in ("off", "on", "peak_overflow_reduction_pct",
+                "hpwl_degradation_pct", "rudy_update_us"):
+        if key not in data:
+            fail(f"{path}: missing field {key!r}")
+    off, on = data["off"], data["on"]
+    if off.get("inflation_rounds", -1) != 0:
+        fail(f"{path}: off run reports inflation rounds "
+             f"{off.get('inflation_rounds')}")
+    if on.get("inflation_rounds", 0) <= 0:
+        fail(f"{path}: on run never inflated")
+    peak_red = data["peak_overflow_reduction_pct"]
+    hpwl_deg = data["hpwl_degradation_pct"]
+    print(
+        f"check_bench: routability: peak overflow -{peak_red:.1f}% "
+        f"(utilization {off['peak_utilization']:.2f} -> "
+        f"{on['peak_utilization']:.2f}), HPWL {hpwl_deg:+.1f}%, "
+        f"RUDY update {data['rudy_update_us']:.0f}us"
+    )
+    if data.get("mode") == "smoke":
+        # smoke designs are too small for the thresholds to be
+        # meaningful; the full 5k bench point defines acceptance
+        print(f"check_bench: {path}: smoke mode, thresholds not gated")
+        return
+    if peak_red < PEAK_OVERFLOW_REDUCTION_MIN:
+        fail(
+            f"{path}: peak overflow reduction {peak_red:.1f}% < "
+            f"{PEAK_OVERFLOW_REDUCTION_MIN:.0f}% threshold"
+        )
+    if hpwl_deg > HPWL_DEGRADATION_MAX:
+        fail(
+            f"{path}: HPWL degradation {hpwl_deg:.1f}% > "
+            f"{HPWL_DEGRADATION_MAX:.0f}% threshold"
+        )
+
+
+CHECKS = {
+    "placer-iter": check_placer_iter,
+    "routability": check_routability,
+}
+
+
+def main():
+    paths = sys.argv[1:] if len(sys.argv) > 1 else ["BENCH_placeriter.json"]
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        check_metadata(path, data)
+        check = CHECKS.get(data.get("bench"))
+        if check is not None:
+            check(path, data)
+        print(f"check_bench: OK ({path})")
 
 
 if __name__ == "__main__":

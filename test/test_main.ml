@@ -24,6 +24,7 @@ let () =
       ("bookshelf", Test_bookshelf.suite);
       ("verilog", Test_verilog.suite);
       ("core", Test_core.suite);
+      ("route", Test_route.suite);
       ("viz", Test_viz.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("properties", Test_properties.suite);

@@ -203,6 +203,17 @@ let test_jsonl_trace () =
   Obs.span obs Obs.Serve_parse (fun () -> ());
   Obs.span obs Obs.Serve_update (fun () -> ());
   Obs.span obs Obs.Serve_query (fun () -> ());
+  (* routability kernels: a real demand map, summary and inflation pass *)
+  let rudy = Route.Rudy.create design in
+  Route.Rudy.update ~obs rudy;
+  let _ = Route.overflow ~obs rudy in
+  let infl = Route.Inflate.create design in
+  let _ =
+    Route.Inflate.step ~obs
+      { Route.default_config with Route.rt_target = 0.0 }
+      infl rudy
+  in
+  Route.Inflate.restore infl;
   (* a pooled dispatch so the executor's own kernels reach the trace *)
   let pool = Parallel.create ~domains:2 ~oversubscribe:true () in
   Fun.protect
