@@ -1,6 +1,6 @@
 .PHONY: all test bench bench-full bench-placer bench-placer-check \
-	bench-paths bench-parallel bench-incremental bench-routability \
-	bench-all clean
+	bench-paths bench-paths-check bench-parallel bench-incremental \
+	bench-routability bench-all clean
 
 all:
 	dune build
@@ -27,10 +27,16 @@ bench-placer:
 bench-placer-check: bench-placer
 	python3 scripts/check_bench.py BENCH_placeriter.json
 
-# Top-K path enumeration throughput vs K at 1/2/4 worker domains;
+# Top-K path enumeration throughput vs K at 1/2/4 worker domains, with
+# the lazy engine's candidate counters and the eager-reference speedup;
 # writes BENCH_paths.json at the repo root.
 bench-paths:
 	dune exec bench/main.exe -- paths
+
+# Assert the path-enumeration invariants CI relies on (candidate
+# counters + chunking present, lazy >= 5x the eager reference at K=128).
+bench-paths-check: bench-paths
+	python3 scripts/check_bench.py BENCH_paths.json
 
 # Fork-join executor: empty-body dispatch latency plus difftimer and
 # full-iteration scaling at 1/2/4/8 worker domains; writes

@@ -993,6 +993,20 @@ let placer_iter () =
 
 let paths_out = ref "BENCH_paths.json"
 
+(* Per-K measurement row: timing plus the lazy engine's candidate
+   counters and the endpoint-fan-out chunk count. *)
+type paths_pk = {
+  pk_k : int;
+  pk_enum_us : float;
+  pk_paths : int;
+  pk_rate : float;
+  pk_pushed : float;
+  pk_popped : float;
+  pk_pruned : float;
+  pk_skipped : float;
+  pk_chunks : int;
+}
+
 let bench_paths () =
   section "Top-K path enumeration (lib/paths): throughput vs K over domains";
   let cells = if !placer_smoke then 400 else 5000 in
@@ -1018,7 +1032,8 @@ let bench_paths () =
   in
   let t =
     Report.Table.create
-      [ "domains"; "analyze(us)"; "K"; "enumerate(us)"; "paths"; "paths/s" ]
+      [ "domains"; "analyze(us)"; "K"; "enumerate(us)"; "paths"; "paths/s";
+        "popped"; "pruned"; "chunks" ]
   in
   let measure pool =
     let analyze_us = time_us (fun () -> Paths.analyze ?pool timer) in
@@ -1032,7 +1047,20 @@ let bench_paths () =
             if enum_us > 0.0 then float_of_int npaths /. (enum_us *. 1e-6)
             else 0.0
           in
-          (k, enum_us, npaths, rate))
+          let obs = Obs.create () in
+          ignore (Paths.enumerate ?pool ~obs ~k view);
+          let counter name =
+            match List.assoc_opt name (Obs.counters obs) with
+            | Some v -> v
+            | None -> 0.0
+          in
+          let grain = Paths.enumerate_grain ~k nend in
+          { pk_k = k; pk_enum_us = enum_us; pk_paths = npaths;
+            pk_rate = rate; pk_pushed = counter "paths.pushed";
+            pk_popped = counter "paths.popped";
+            pk_pruned = counter "paths.pruned";
+            pk_skipped = counter "paths.endpoints_skipped";
+            pk_chunks = (nend + grain - 1) / grain })
         ks
     in
     (analyze_us, per_k)
@@ -1051,14 +1079,17 @@ let bench_paths () =
         in
         Printf.printf "  [done] domains=%d\n%!" domains;
         List.iteri
-          (fun i (k, enum_us, npaths, rate) ->
+          (fun i pk ->
             Report.Table.add_row t
               [ (if i = 0 then string_of_int domains else "");
                 (if i = 0 then Printf.sprintf "%.0f" analyze_us else "");
-                string_of_int k;
-                Printf.sprintf "%.0f" enum_us;
-                string_of_int npaths;
-                Printf.sprintf "%.0f" rate ])
+                string_of_int pk.pk_k;
+                Printf.sprintf "%.0f" pk.pk_enum_us;
+                string_of_int pk.pk_paths;
+                Printf.sprintf "%.0f" pk.pk_rate;
+                Printf.sprintf "%.0f" pk.pk_popped;
+                Printf.sprintf "%.0f" pk.pk_pruned;
+                string_of_int pk.pk_chunks ])
           per_k;
         (domains, analyze_us, per_k))
       domain_counts
@@ -1066,6 +1097,27 @@ let bench_paths () =
   print_newline ();
   print_string (Report.Table.render t);
   let view = Paths.analyze timer in
+  (* Eager-reference baseline at the largest K, sequential: the measured
+     speedup of the lazy engine over the pre-lazy implementation, gated
+     by scripts/check_bench.py in full mode. *)
+  let ref_k = List.fold_left Int.max 1 ks in
+  let ref_iters = 2 in
+  let ref_us =
+    ignore (Paths.Reference.enumerate ~k:ref_k view);
+    let t0 = Obs.Clock.now () in
+    for _ = 1 to ref_iters do
+      ignore (Paths.Reference.enumerate ~k:ref_k view)
+    done;
+    (Obs.Clock.now () -. t0) /. float_of_int ref_iters *. 1e6
+  in
+  let lazy_us =
+    let _, _, per_k = List.hd results in
+    (List.find (fun pk -> pk.pk_k = ref_k) per_k).pk_enum_us
+  in
+  let ref_speedup = if lazy_us > 0.0 then ref_us /. lazy_us else 0.0 in
+  Printf.printf
+    "\n  eager reference @ K=%d, 1 domain: %.0fus (lazy %.0fus, %.2fx)\n"
+    ref_k ref_us lazy_us ref_speedup;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -1087,19 +1139,28 @@ let bench_paths () =
            "    { \"domains\": %d, \"analyze_us\": %.1f,\n      \"ks\": [\n"
            domains analyze_us);
       List.iteri
-        (fun j (k, enum_us, npaths, rate) ->
+        (fun j pk ->
           Buffer.add_string buf
             (Printf.sprintf
                "        { \"k\": %d, \"enumerate_us\": %.1f, \"paths\": %d, \
-                \"paths_per_s\": %.0f }%s\n"
-               k enum_us npaths rate
+                \"paths_per_s\": %.0f,\n          \"pushed\": %.0f, \
+                \"popped\": %.0f, \"pruned\": %.0f, \
+                \"endpoints_skipped\": %.0f, \"chunks\": %d }%s\n"
+               pk.pk_k pk.pk_enum_us pk.pk_paths pk.pk_rate pk.pk_pushed
+               pk.pk_popped pk.pk_pruned pk.pk_skipped pk.pk_chunks
                (if j = List.length per_k - 1 then "" else ",")))
         per_k;
       Buffer.add_string buf
         (Printf.sprintf "      ] }%s\n"
            (if i = List.length results - 1 then "" else ",")))
     results;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"reference\": { \"k\": %d, \"iters\": %d, \"enumerate_us\": %.1f, \
+        \"lazy_enumerate_us\": %.1f, \"speedup\": %.3f }\n"
+       ref_k ref_iters ref_us lazy_us ref_speedup);
+  Buffer.add_string buf "}\n";
   let oc = open_out !paths_out in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -10,7 +10,19 @@
    path and lets the prefix follow back-pointers; its priority is the
    exact slack of the completed path (arrival times are exact max-prefix
    arrivals), so a min-heap pops paths in slack order and a slack limit
-   prunes exactly. *)
+   prunes exactly.
+
+   The production engine generates deviations *lazily*: a popped
+   candidate pushes at most two successors (its first child — the best
+   deviation off its own prefix spine — and its next sibling in the
+   parent's slack-sorted deviation list) instead of every deviation of
+   the whole backbone, and the global enumeration threads a tightening
+   k-th-best slack bound through a worst-endpoint-first scan so healthy
+   endpoints are pruned before their search starts.  Materialisation
+   (step lists, at/slew lookups, net/arc lists) is deferred until after
+   the global top-K cut.  [Reference] keeps the original eager
+   implementation verbatim as the bit-identity oracle and benchmark
+   baseline. *)
 
 let tr_of ti = if ti = 0 then Sta.Rise else Sta.Fall
 
@@ -150,47 +162,28 @@ let analyze_run ?pool ?obs timer =
       end);
   { timer; graph = g; tin_off; tin_src; tin_delay; tin_net; tin_arc; pred }
 
-(* A candidate path: the suffix [c_suffix] (list of (in-edge, node)
-   pairs, path order) is fixed; the prefix follows back-pointers from
-   [c_head].  [c_dsuf] is the accumulated delay from [c_head] to the
-   endpoint, [c_rat] the endpoint's required time, so
-   [c_slack = c_rat - (at(c_head) + c_dsuf)] is the exact slack of the
-   completed path.  [c_seq] is the insertion sequence number, used as a
-   deterministic tie-break (it also makes Rise win slack ties at the
-   endpoint, matching critical_path's start-transition choice). *)
-type cand = {
-  c_head : int;
-  c_dsuf : float;
-  c_rat : float;
-  c_slack : float;
-  c_seq : int;
-  c_suffix : (int * int) list;
-}
+(* binary min-heap, shared by the eager reference and the lazy engine *)
+module MakeHeap (E : sig
+  type elt
 
-(* binary min-heap on (slack, seq) *)
-module Pq = struct
-  type t = { mutable a : cand array; mutable n : int }
+  val dummy : elt
+  val less : elt -> elt -> bool
+end) =
+struct
+  type t = { mutable a : E.elt array; mutable n : int }
 
-  let dummy =
-    { c_head = -1; c_dsuf = 0.0; c_rat = 0.0; c_slack = 0.0; c_seq = -1;
-      c_suffix = [] }
-
-  let create () = { a = Array.make 64 dummy; n = 0 }
-
-  let less x y =
-    let c = Float.compare x.c_slack y.c_slack in
-    c < 0 || (c = 0 && x.c_seq < y.c_seq)
+  let create () = { a = Array.make 64 E.dummy; n = 0 }
 
   let push h c =
     if h.n = Array.length h.a then begin
-      let a' = Array.make (2 * h.n) dummy in
+      let a' = Array.make (2 * h.n) E.dummy in
       Array.blit h.a 0 a' 0 h.n;
       h.a <- a'
     end;
     let i = ref h.n in
     h.n <- h.n + 1;
     h.a.(!i) <- c;
-    while !i > 0 && less h.a.(!i) h.a.((!i - 1) / 2) do
+    while !i > 0 && E.less h.a.(!i) h.a.((!i - 1) / 2) do
       let p = (!i - 1) / 2 in
       let tmp = h.a.(p) in
       h.a.(p) <- h.a.(!i);
@@ -204,14 +197,14 @@ module Pq = struct
       let top = h.a.(0) in
       h.n <- h.n - 1;
       h.a.(0) <- h.a.(h.n);
-      h.a.(h.n) <- dummy;
+      h.a.(h.n) <- E.dummy;
       let i = ref 0 in
       let continue_ = ref true in
       while !continue_ do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let m = ref !i in
-        if l < h.n && less h.a.(l) h.a.(!m) then m := l;
-        if r < h.n && less h.a.(r) h.a.(!m) then m := r;
+        if l < h.n && E.less h.a.(l) h.a.(!m) then m := l;
+        if r < h.n && E.less h.a.(r) h.a.(!m) then m := r;
         if !m = !i then continue_ := false
         else begin
           let tmp = h.a.(!m) in
@@ -224,14 +217,14 @@ module Pq = struct
     end
 end
 
-let materialize t ep rank c =
+let materialize t ep rank ~head ~suffix ~slack =
   let tm = t.timer in
   let rec walk acc node =
     let e = t.pred.(node) in
     if e < 0 then (-1, node) :: acc
     else walk ((e, node) :: acc) t.tin_src.(e)
   in
-  let seq = walk c.c_suffix c.c_head in
+  let seq = walk suffix head in
   let steps =
     List.map
       (fun (_, node) ->
@@ -251,7 +244,7 @@ let materialize t ep rank c =
       (fun (e, _) -> if e >= 0 && t.tin_arc.(e) >= 0 then Some t.tin_arc.(e) else None)
       seq
   in
-  { pt_endpoint = ep; pt_rank = rank; pt_slack = c.c_slack; pt_steps = steps;
+  { pt_endpoint = ep; pt_rank = rank; pt_slack = slack; pt_steps = steps;
     pt_nets = nets; pt_arcs = arcs }
 
 let analyze ?pool ?(obs = Obs.disabled) timer =
@@ -260,96 +253,473 @@ let analyze ?pool ?(obs = Obs.disabled) timer =
   Obs.stop obs Obs.Paths_analyze;
   view
 
-let enumerate_endpoint ?(slack_limit = infinity) ~k t ep =
+(* ---- the frozen eager implementation (oracle + bench baseline) ---- *)
+
+module Reference = struct
+  (* A candidate path: the suffix [c_suffix] (list of (in-edge, node)
+     pairs, path order) is fixed; the prefix follows back-pointers from
+     [c_head].  [c_dsuf] is the accumulated delay from [c_head] to the
+     endpoint, [c_rat] the endpoint's required time, so
+     [c_slack = c_rat - (at(c_head) + c_dsuf)] is the exact slack of the
+     completed path.  [c_seq] is the insertion sequence number, used as
+     a deterministic tie-break (it also makes Rise win slack ties at the
+     endpoint, matching critical_path's start-transition choice). *)
+  type cand = {
+    c_head : int;
+    c_dsuf : float;
+    c_rat : float;
+    c_slack : float;
+    c_seq : int;
+    c_suffix : (int * int) list;
+  }
+
+  module Pq = MakeHeap (struct
+    type elt = cand
+
+    let dummy =
+      { c_head = -1; c_dsuf = 0.0; c_rat = 0.0; c_slack = 0.0; c_seq = -1;
+        c_suffix = [] }
+
+    let less x y =
+      let c = Float.compare x.c_slack y.c_slack in
+      c < 0 || (c = 0 && x.c_seq < y.c_seq)
+  end)
+
+  let enumerate_endpoint ?(slack_limit = infinity) ~k t ep =
+    if k <= 0 then []
+    else begin
+      let tm = t.timer in
+      let heap = Pq.create () in
+      let seq = ref 0 in
+      let push c =
+        Pq.push heap c;
+        incr seq
+      in
+      for ti = 0 to 1 do
+        let a = Sta.Timer.at_late tm ep (tr_of ti) in
+        let r = Sta.Timer.rat_late tm ep (tr_of ti) in
+        let slack = r -. a in
+        if a > neg_infinity && r < infinity && slack < slack_limit then
+          push
+            { c_head = (2 * ep) + ti; c_dsuf = 0.0; c_rat = r; c_slack = slack;
+              c_seq = !seq; c_suffix = [] }
+      done;
+      (* Expand a popped candidate: walk its backbone (head, then
+         back-pointers) and branch on every non-back-pointer in-edge.  A
+         child's true slack is >= its parent's in exact arithmetic (the
+         forward max guarantees at(u) >= at(src) + d edge-wise); the
+         Float.max clamp removes the ulp-level noise the re-associated
+         delay sums can introduce, so popped slacks are monotone. *)
+      let expand c =
+        let rec go node seg dseg =
+          let p = t.pred.(node) in
+          for e = t.tin_off.(node) to t.tin_off.(node + 1) - 1 do
+            if e <> p then begin
+              let w = t.tin_src.(e) in
+              let dsuf = t.tin_delay.(e) +. dseg +. c.c_dsuf in
+              let aw = Sta.Timer.at_late tm (w / 2) (tr_of (w land 1)) in
+              let slack = Float.max c.c_slack (c.c_rat -. (aw +. dsuf)) in
+              if slack < slack_limit then
+                push
+                  { c_head = w; c_dsuf = dsuf; c_rat = c.c_rat; c_slack = slack;
+                    c_seq = !seq; c_suffix = (e, node) :: seg }
+            end
+          done;
+          if p >= 0 then go t.tin_src.(p) ((p, node) :: seg) (dseg +. t.tin_delay.(p))
+        in
+        go c.c_head c.c_suffix 0.0
+      in
+      let results = ref [] in
+      let rank = ref 0 in
+      let running = ref true in
+      while !running && !rank < k do
+        match Pq.pop heap with
+        | None -> running := false
+        | Some c ->
+          results :=
+            materialize t ep !rank ~head:c.c_head ~suffix:c.c_suffix
+              ~slack:c.c_slack
+            :: !results;
+          incr rank;
+          if !rank < k then expand c
+      done;
+      List.rev !results
+    end
+
+  let enumerate ?pool ?slack_limit ~k t =
+    if k <= 0 then []
+    else begin
+      let eps = t.graph.Sta.Graph.endpoints in
+      let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
+      let acc =
+        Parallel.parallel_for_reduce p ~cost:2000.0 (Array.length eps)
+          ~init:(fun () -> ref [])
+          ~body:(fun acc i ->
+            (* tag each path with its endpoint's position so ranking ties
+               resolve exactly like critical_path's endpoint scan *)
+            List.iter
+              (fun pt -> acc := (i, pt) :: !acc)
+              (enumerate_endpoint ?slack_limit ~k t eps.(i)))
+          ~merge:(fun a b ->
+            a := List.rev_append !b !a;
+            a)
+      in
+      let compare_tagged (ia, a) (ib, b) =
+        let c = Float.compare a.pt_slack b.pt_slack in
+        if c <> 0 then c
+        else
+          let c = Int.compare ia ib in
+          if c <> 0 then c else Int.compare a.pt_rank b.pt_rank
+      in
+      let sorted = List.sort compare_tagged !acc in
+      let rec take acc n = function
+        | [] -> List.rev acc
+        | _ when n = 0 -> List.rev acc
+        | (_, x) :: rest -> take (x :: acc) (n - 1) rest
+      in
+      take [] k sorted
+    end
+end
+
+(* ---- lazy deviation search ---- *)
+
+(* One deviation off a candidate's prefix spine: taking in-edge
+   [dv_edge] at spine node [dv_node] yields a child whose suffix is
+   [(dv_edge, dv_node) :: dv_seg] and whose exact completed-path slack
+   is [dv_slack].  Roots (the two endpoint transitions) are encoded with
+   [dv_edge = -1] and the endpoint node in [dv_node].  [dv_rat] is the
+   required time inherited down the deviation chain. *)
+type dev = {
+  dv_slack : float;
+  dv_dsuf : float;
+  dv_rat : float;
+  dv_edge : int;
+  dv_node : int;
+  dv_seg : (int * int) list;
+}
+
+(* A live candidate.  [l_sibs] is its parent's slack-sorted deviation
+   array and [l_sib_pos] its own position there: popping the candidate
+   releases its next sibling (one O(1) push) and its own first child,
+   instead of every deviation of the whole backbone.  [l_parent_pop] is
+   the pop index of the parent (-1 for roots); (slack, parent pop,
+   sibling position) is a total order that reproduces the eager
+   implementation's (slack, insertion seq) pop order bit for bit: among
+   equal slacks, children of earlier-popped parents were pushed first,
+   and within one parent the slack-stable sort preserves the canonical
+   (spine, edge) push order. *)
+type lcand = {
+  l_head : int;
+  l_dsuf : float;
+  l_rat : float;
+  l_slack : float;
+  l_suffix : (int * int) list;
+  l_parent_pop : int;
+  l_sibs : dev array;
+  l_sib_pos : int;
+}
+
+module Lq = MakeHeap (struct
+  type elt = lcand
+
+  let dummy =
+    { l_head = -1; l_dsuf = 0.0; l_rat = 0.0; l_slack = 0.0; l_suffix = [];
+      l_parent_pop = -1; l_sibs = [||]; l_sib_pos = 0 }
+
+  let less x y =
+    let c = Float.compare x.l_slack y.l_slack in
+    if c <> 0 then c < 0
+    else
+      let c = Int.compare x.l_parent_pop y.l_parent_pop in
+      if c <> 0 then c < 0 else Int.compare x.l_sib_pos y.l_sib_pos < 0
+end)
+
+(* candidate generation / pruning tallies, accumulated per reduce chunk
+   and published as paths.* Obs counters after the merge *)
+type counts = {
+  mutable ct_pushed : int;
+  mutable ct_popped : int;
+  mutable ct_pruned : int;
+  mutable ct_skipped : int;  (* endpoints skipped by the global bound *)
+}
+
+let fresh_counts () =
+  { ct_pushed = 0; ct_popped = 0; ct_pruned = 0; ct_skipped = 0 }
+
+let dev_compare a b = Float.compare a.dv_slack b.dv_slack
+
+let cand_of_dev t ~parent_pop sibs pos =
+  let d = sibs.(pos) in
+  if d.dv_edge < 0 then
+    { l_head = d.dv_node; l_dsuf = 0.0; l_rat = d.dv_rat; l_slack = d.dv_slack;
+      l_suffix = []; l_parent_pop = parent_pop; l_sibs = sibs;
+      l_sib_pos = pos }
+  else
+    { l_head = t.tin_src.(d.dv_edge); l_dsuf = d.dv_dsuf; l_rat = d.dv_rat;
+      l_slack = d.dv_slack; l_suffix = (d.dv_edge, d.dv_node) :: d.dv_seg;
+      l_parent_pop = parent_pop; l_sibs = sibs; l_sib_pos = pos }
+
+(* All deviations off [c]'s prefix spine, slacks computed exactly as the
+   eager expand does (same walk, same association of the delay sums),
+   filtered against the limit and stable-sorted by slack so the sibling
+   chain is monotone in heap priority while slack ties keep the
+   canonical (spine, edge) order. *)
+let deviations t ~limit ~counts c =
+  let tm = t.timer in
+  let out = ref [] in
+  let rec go node seg dseg =
+    let p = t.pred.(node) in
+    for e = t.tin_off.(node) to t.tin_off.(node + 1) - 1 do
+      if e <> p then begin
+        let w = t.tin_src.(e) in
+        let dsuf = t.tin_delay.(e) +. dseg +. c.l_dsuf in
+        let aw = Sta.Timer.at_late tm (w / 2) (tr_of (w land 1)) in
+        let slack = Float.max c.l_slack (c.l_rat -. (aw +. dsuf)) in
+        if slack < limit then
+          out :=
+            { dv_slack = slack; dv_dsuf = dsuf; dv_rat = c.l_rat; dv_edge = e;
+              dv_node = node; dv_seg = seg }
+            :: !out
+        else counts.ct_pruned <- counts.ct_pruned + 1
+      end
+    done;
+    if p >= 0 then go t.tin_src.(p) ((p, node) :: seg) (dseg +. t.tin_delay.(p))
+  in
+  go c.l_head c.l_suffix 0.0;
+  let arr = Array.of_list (List.rev !out) in
+  Array.stable_sort dev_compare arr;
+  arr
+
+(* The k worst candidates at one endpoint, as (rank, candidate) pairs
+   in pop order — materialisation is the caller's business. *)
+let enumerate_cands ?(slack_limit = infinity) ~counts ~k t ep =
   if k <= 0 then []
   else begin
     let tm = t.timer in
-    let heap = Pq.create () in
-    let seq = ref 0 in
-    let push c =
-      Pq.push heap c;
-      incr seq
-    in
+    let roots = ref [] in
     for ti = 0 to 1 do
       let a = Sta.Timer.at_late tm ep (tr_of ti) in
       let r = Sta.Timer.rat_late tm ep (tr_of ti) in
       let slack = r -. a in
-      if a > neg_infinity && r < infinity && slack < slack_limit then
-        push
-          { c_head = (2 * ep) + ti; c_dsuf = 0.0; c_rat = r; c_slack = slack;
-            c_seq = !seq; c_suffix = [] }
+      if a > neg_infinity && r < infinity then begin
+        if slack < slack_limit then
+          roots :=
+            { dv_slack = slack; dv_dsuf = 0.0; dv_rat = r; dv_edge = -1;
+              dv_node = (2 * ep) + ti; dv_seg = [] }
+            :: !roots
+        else counts.ct_pruned <- counts.ct_pruned + 1
+      end
     done;
-    (* Expand a popped candidate: walk its backbone (head, then
-       back-pointers) and branch on every non-back-pointer in-edge.  A
-       child's true slack is >= its parent's in exact arithmetic (the
-       forward max guarantees at(u) >= at(src) + d edge-wise); the
-       Float.max clamp removes the ulp-level noise the re-associated
-       delay sums can introduce, so popped slacks are monotone. *)
-    let expand c =
-      let rec go node seg dseg =
-        let p = t.pred.(node) in
-        for e = t.tin_off.(node) to t.tin_off.(node + 1) - 1 do
-          if e <> p then begin
-            let w = t.tin_src.(e) in
-            let dsuf = t.tin_delay.(e) +. dseg +. c.c_dsuf in
-            let aw = Sta.Timer.at_late tm (w / 2) (tr_of (w land 1)) in
-            let slack = Float.max c.c_slack (c.c_rat -. (aw +. dsuf)) in
-            if slack < slack_limit then
-              push
-                { c_head = w; c_dsuf = dsuf; c_rat = c.c_rat; c_slack = slack;
-                  c_seq = !seq; c_suffix = (e, node) :: seg }
-          end
-        done;
-        if p >= 0 then go t.tin_src.(p) ((p, node) :: seg) (dseg +. t.tin_delay.(p))
+    let roots = Array.of_list (List.rev !roots) in
+    Array.stable_sort dev_compare roots;
+    if Array.length roots = 0 then []
+    else begin
+      let heap = Lq.create () in
+      let push c =
+        Lq.push heap c;
+        counts.ct_pushed <- counts.ct_pushed + 1
       in
-      go c.c_head c.c_suffix 0.0
-    in
-    let results = ref [] in
-    let rank = ref 0 in
-    let running = ref true in
-    while !running && !rank < k do
-      match Pq.pop heap with
-      | None -> running := false
-      | Some c ->
-        results := materialize t ep !rank c :: !results;
-        incr rank;
-        if !rank < k then expand c
-    done;
-    List.rev !results
+      push (cand_of_dev t ~parent_pop:(-1) roots 0);
+      let results = ref [] in
+      let rank = ref 0 in
+      let running = ref true in
+      while !running && !rank < k do
+        match Lq.pop heap with
+        | None -> running := false
+        | Some c ->
+          counts.ct_popped <- counts.ct_popped + 1;
+          let pop_ix = !rank in
+          results := (pop_ix, c) :: !results;
+          incr rank;
+          if !rank < k then begin
+            (* next sibling: already slack-filtered and sorted, O(1) *)
+            if c.l_sib_pos + 1 < Array.length c.l_sibs then
+              push
+                (cand_of_dev t ~parent_pop:c.l_parent_pop c.l_sibs
+                   (c.l_sib_pos + 1));
+            (* first child: best deviation off this candidate's spine *)
+            let devs = deviations t ~limit:slack_limit ~counts c in
+            if Array.length devs > 0 then
+              push (cand_of_dev t ~parent_pop:pop_ix devs 0)
+          end
+      done;
+      List.rev !results
+    end
   end
 
-let enumerate_run ?pool ?obs ?slack_limit ~k t =
+let enumerate_endpoint ?slack_limit ~k t ep =
+  let counts = fresh_counts () in
+  List.map
+    (fun (rank, c) ->
+      materialize t ep rank ~head:c.l_head ~suffix:c.l_suffix ~slack:c.l_slack)
+    (enumerate_cands ?slack_limit ~counts ~k t ep)
+
+(* The per-endpoint B&B cost scales with K, so the endpoint fan-out
+   must split finer as K grows; [Parallel.reduce_grain]'s fixed 16-way
+   target (its ~cost floor can only make chunks coarser) cannot express
+   that, so the grain is computed here — still a pure function of
+   (k, n), never of the pool, and the result's total-order sort makes
+   the output independent of the split anyway. *)
+let enumerate_grain ~k n =
+  let ways = 16 * Int.max 1 (Int.min 8 (k / 8)) in
+  Int.max 1 ((n + ways - 1) / ways)
+
+(* per-run shared bound: a size-k max-heap of the best slacks seen so
+   far across all endpoints; once full, its top is the running k-th-best
+   and becomes (via Float.succ, to keep global ties alive for the
+   endpoint-order tie-break) every later endpoint's effective slack
+   limit.  The bound only ever tightens and any stale read is a valid
+   looser bound, so the pruning — and therefore the post-sort output —
+   is identical at every domain count even though the pruned work is
+   not. *)
+type gbound = {
+  gb_mutex : Mutex.t;
+  gb_heap : float array;
+  mutable gb_n : int;
+  gb_bound : float Atomic.t;
+}
+
+let gbound_create k =
+  { gb_mutex = Mutex.create (); gb_heap = Array.make k neg_infinity;
+    gb_n = 0; gb_bound = Atomic.make infinity }
+
+let gbound_offer gb slacks =
+  Mutex.lock gb.gb_mutex;
+  let h = gb.gb_heap in
+  let k = Array.length h in
+  List.iter
+    (fun s ->
+      if gb.gb_n < k then begin
+        (* max-heap sift-up *)
+        let i = ref gb.gb_n in
+        gb.gb_n <- gb.gb_n + 1;
+        h.(!i) <- s;
+        while !i > 0 && h.(!i) > h.((!i - 1) / 2) do
+          let p = (!i - 1) / 2 in
+          let tmp = h.(p) in
+          h.(p) <- h.(!i);
+          h.(!i) <- tmp;
+          i := p
+        done
+      end
+      else if s < h.(0) then begin
+        (* replace the root, sift down *)
+        h.(0) <- s;
+        let i = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let m = ref !i in
+          if l < gb.gb_n && h.(l) > h.(!m) then m := l;
+          if r < gb.gb_n && h.(r) > h.(!m) then m := r;
+          if !m = !i then continue_ := false
+          else begin
+            let tmp = h.(!m) in
+            h.(!m) <- h.(!i);
+            h.(!i) <- tmp;
+            i := !m
+          end
+        done
+      end)
+    slacks;
+  if gb.gb_n = k then Atomic.set gb.gb_bound h.(0);
+  Mutex.unlock gb.gb_mutex
+
+type gacc = { mutable ga_entries : (int * int * lcand) list; ga_counts : counts }
+
+let enumerate_run ?pool ?obs ?(slack_limit = infinity) ~k t =
   if k <= 0 then []
   else begin
     let eps = t.graph.Sta.Graph.endpoints in
+    let n = Array.length eps in
+    let tm = t.timer in
     let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
+    (* cheap prescan: each endpoint's worst (rank-0) slack.  Processing
+       endpoints worst-first makes the k-th-best bound tighten after the
+       first few endpoints, so the healthy majority is skipped before
+       its B&B starts. *)
+    let ep_slack = Array.make n infinity in
+    for i = 0 to n - 1 do
+      let ep = eps.(i) in
+      let s = ref infinity in
+      for ti = 0 to 1 do
+        let a = Sta.Timer.at_late tm ep (tr_of ti) in
+        let r = Sta.Timer.rat_late tm ep (tr_of ti) in
+        if a > neg_infinity && r < infinity then s := Float.min !s (r -. a)
+      done;
+      ep_slack.(i) <- !s
+    done;
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun a b ->
+        let c = Float.compare ep_slack.(a) ep_slack.(b) in
+        if c <> 0 then c else Int.compare a b)
+      order;
+    let gb = gbound_create k in
     let acc =
-      Parallel.parallel_for_reduce p ?obs ~cost:2000.0 (Array.length eps)
-        ~init:(fun () -> ref [])
-        ~body:(fun acc i ->
-          (* tag each path with its endpoint's position so ranking ties
-             resolve exactly like critical_path's endpoint scan *)
-          List.iter
-            (fun pt -> acc := (i, pt) :: !acc)
-            (enumerate_endpoint ?slack_limit ~k t eps.(i)))
+      Parallel.parallel_for_reduce p ?obs ~grain:(enumerate_grain ~k n) n
+        ~init:(fun () -> { ga_entries = []; ga_counts = fresh_counts () })
+        ~body:(fun acc j ->
+          (* tag each candidate with its endpoint's position in the
+             endpoint array so ranking ties resolve exactly like
+             critical_path's endpoint scan, whatever the scan order *)
+          let i = order.(j) in
+          let b = Atomic.get gb.gb_bound in
+          let lim =
+            if b < infinity then Float.min slack_limit (Float.succ b)
+            else slack_limit
+          in
+          if ep_slack.(i) >= lim then
+            acc.ga_counts.ct_skipped <- acc.ga_counts.ct_skipped + 1
+          else begin
+            let cands =
+              enumerate_cands ~slack_limit:lim ~counts:acc.ga_counts ~k t
+                eps.(i)
+            in
+            (match cands with
+            | [] -> ()
+            | _ -> gbound_offer gb (List.map (fun (_, c) -> c.l_slack) cands));
+            List.iter
+              (fun (rank, c) -> acc.ga_entries <- (i, rank, c) :: acc.ga_entries)
+              cands
+          end)
         ~merge:(fun a b ->
-          a := List.rev_append !b !a;
+          a.ga_entries <- List.rev_append b.ga_entries a.ga_entries;
+          a.ga_counts.ct_pushed <- a.ga_counts.ct_pushed + b.ga_counts.ct_pushed;
+          a.ga_counts.ct_popped <- a.ga_counts.ct_popped + b.ga_counts.ct_popped;
+          a.ga_counts.ct_pruned <- a.ga_counts.ct_pruned + b.ga_counts.ct_pruned;
+          a.ga_counts.ct_skipped <-
+            a.ga_counts.ct_skipped + b.ga_counts.ct_skipped;
           a)
     in
-    let compare_tagged (ia, a) (ib, b) =
-      let c = Float.compare a.pt_slack b.pt_slack in
+    Option.iter
+      (fun o ->
+        let c = acc.ga_counts in
+        Obs.add o "paths.pushed" (float_of_int c.ct_pushed);
+        Obs.add o "paths.popped" (float_of_int c.ct_popped);
+        Obs.add o "paths.pruned" (float_of_int c.ct_pruned);
+        Obs.add o "paths.endpoints_skipped" (float_of_int c.ct_skipped))
+      obs;
+    let compare_entry (ia, ra, a) (ib, rb, b) =
+      let c = Float.compare a.l_slack b.l_slack in
       if c <> 0 then c
       else
-        let c = compare ia ib in
-        if c <> 0 then c else compare a.pt_rank b.pt_rank
+        let c = Int.compare ia ib in
+        if c <> 0 then c else Int.compare ra rb
     in
-    let sorted = List.sort compare_tagged !acc in
-    let rec take n = function
-      | [] -> []
-      | _ when n = 0 -> []
-      | (_, x) :: rest -> x :: take (n - 1) rest
+    let sorted = List.sort compare_entry acc.ga_entries in
+    (* materialise only the global top-k survivors, tail-recursively *)
+    let rec take acc n = function
+      | [] -> List.rev acc
+      | _ when n = 0 -> List.rev acc
+      | (i, rank, c) :: rest ->
+        take
+          (materialize t eps.(i) rank ~head:c.l_head ~suffix:c.l_suffix
+             ~slack:c.l_slack
+          :: acc)
+          (n - 1) rest
     in
-    take k sorted
+    take [] k sorted
   end
 
 let enumerate ?pool ?obs:(obs = Obs.disabled) ?slack_limit ~k t =
@@ -392,13 +762,14 @@ module Weight = struct
     alpha : float;
     beta : float;
     max_weight : float;
+    decay : float;
     period : int;
     rebuild_trees : bool;
   }
 
   let default_config =
-    { k = 32; alpha = 0.15; beta = 0.5; max_weight = 16.0; period = 3;
-      rebuild_trees = true }
+    { k = 32; alpha = 0.15; beta = 0.5; max_weight = 16.0; decay = 0.85;
+      period = 3; rebuild_trees = true }
 
   type engine = {
     cfg : config;
@@ -435,10 +806,17 @@ module Weight = struct
         let c = if maxc > 0.0 then crit.(n) /. maxc else 0.0 in
         t.momentum.(n) <-
           (t.cfg.beta *. t.momentum.(n)) +. ((1.0 -. t.cfg.beta) *. c);
-        if t.momentum.(n) > 0.0 then
-          net.Netlist.weight <-
-            Float.min t.cfg.max_weight
-              (net.Netlist.weight *. (1.0 +. (t.cfg.alpha *. t.momentum.(n)))))
+        let m = t.momentum.(n) in
+        (* relax toward 1 in proportion to how little momentum remains
+           (no ratchet: a net that leaves every violating path sheds its
+           inflated weight geometrically), then escalate by the current
+           momentum as before *)
+        let keep =
+          t.cfg.decay +. ((1.0 -. t.cfg.decay) *. Float.min 1.0 m)
+        in
+        let w = 1.0 +. ((net.Netlist.weight -. 1.0) *. keep) in
+        let w = if m > 0.0 then w *. (1.0 +. (t.cfg.alpha *. m)) else w in
+        net.Netlist.weight <- Float.min t.cfg.max_weight w)
       t.design.Netlist.nets;
     Obs.stop obs Obs.Pathweight_update;
     report

@@ -14,11 +14,25 @@
     pruning against a slack limit is exact — no candidate is ever
     expanded and later discarded.
 
+    Deviations are generated {e lazily} (REA/Eppstein-style): a popped
+    candidate pushes at most two successors — its next sibling in the
+    parent's slack-sorted deviation list and its own first child —
+    instead of every deviation of the whole backbone, so the heap stays
+    O(pops) instead of O(pops × path length × fan-in).  The global
+    enumeration orders endpoints worst-slack-first and threads a
+    tightening k-th-best slack bound through the scan, so endpoints that
+    cannot contribute to the global top-K are pruned before their
+    branch-and-bound starts, and paths are materialised (step lists,
+    at/slew lookups, net/arc lists) only after the global top-K cut.
+    The output — paths, ranks, slacks, bit patterns — is identical to
+    the eager {!Reference} implementation; only the work is smaller.
+
     Determinism: per-endpoint enumeration never looks outside its own
     endpoint, the endpoint fan-out goes through
-    {!Parallel.parallel_for_reduce} (chunk-order merge), and the global
-    ranking is a total order, so pooled runs are bit-identical to
-    sequential ones. *)
+    {!Parallel.parallel_for_reduce} (chunk-order merge), the global
+    ranking is a total order, and the shared bound only ever prunes
+    candidates that cannot survive that total-order cut, so pooled runs
+    are bit-identical to sequential ones at any domain count. *)
 
 type t
 (** A path-search view of one timer.  Valid for the placement at which
@@ -57,10 +71,33 @@ val enumerate :
   ?pool:Parallel.pool -> ?obs:Obs.t -> ?slack_limit:float -> k:int -> t ->
   path list
 (** The [k] globally worst paths across all endpoints, worst first.
-    Endpoints enumerate in parallel under [pool]; results are merged
+    Endpoints enumerate in parallel under [pool] (worst-endpoint-first,
+    pruned by the running k-th-best slack bound); results are merged
     under the total order (slack, endpoint position, rank), so the
     output is bit-identical across domain counts and the first path
-    matches [Sta.Timer.critical_path]'s default endpoint choice. *)
+    matches [Sta.Timer.critical_path]'s default endpoint choice.  With
+    [obs], records the [paths.pushed] / [paths.popped] / [paths.pruned]
+    / [paths.endpoints_skipped] candidate counters (work tallies, not
+    outputs: their values may vary with scheduling). *)
+
+val enumerate_grain : k:int -> int -> int
+(** The chunk grain [enumerate] uses for its endpoint fan-out over [n]
+    endpoints: a pure function of [(k, n)] that splits finer as [k]
+    grows, because per-endpoint branch-and-bound cost scales with [k].
+    Exposed so benchmarks can report the chunking. *)
+
+(** The original eager deviation branch-and-bound, kept verbatim as the
+    bit-identity oracle for the lazy engine and as the benchmark
+    baseline.  [enumerate] here pushes every deviation of a popped
+    candidate's backbone and materialises every popped path; its output
+    is bitwise identical to the top-level {!enumerate}. *)
+module Reference : sig
+  val enumerate_endpoint :
+    ?slack_limit:float -> k:int -> t -> int -> path list
+
+  val enumerate :
+    ?pool:Parallel.pool -> ?slack_limit:float -> k:int -> t -> path list
+end
 
 val net_criticality : t -> path list -> float array
 (** Per-net criticality accumulated over a path list: each path adds
@@ -84,6 +121,12 @@ module Weight : sig
     alpha : float;       (** weight escalation rate. *)
     beta : float;        (** momentum on per-net criticality. *)
     max_weight : float;  (** weight ceiling. *)
+    decay : float;
+    (** weight relaxation toward 1 as momentum fades: with momentum [m],
+        the excess [weight - 1] is kept at factor
+        [decay + (1 - decay) * min 1 m] before escalation, so a net that
+        leaves every violating path sheds its inflated weight
+        geometrically instead of ratcheting forever. *)
     period : int;        (** iterations between updates. *)
     rebuild_trees : bool;
     (** rebuild Steiner topologies at each update (vs refresh). *)
@@ -103,7 +146,8 @@ module Weight : sig
 
   val update : ?pool:Parallel.pool -> ?obs:Obs.t -> t -> Sta.Timer.report
   (** Run the timer, enumerate the K worst violating paths, update net
-      weights in place, and return the timing report. *)
+      weights in place (escalation by momentum, relaxation toward 1 as
+      momentum fades), and return the timing report. *)
 
   val reset : t -> unit
   (** Restore unit weights and clear momentum. *)

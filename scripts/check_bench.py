@@ -16,6 +16,11 @@ Dispatches on the "bench" field of each file:
   reduce the peak bin overflow (utilization in excess of capacity) by
   at least 30% while degrading HPWL by at most 10%.  Smoke-mode files
   only need the comparison to be present and inflation to have fired.
+- paths: every (domains, K) row must carry the lazy engine's candidate
+  counters (pushed/popped/pruned/endpoints_skipped) and its chunk
+  count, and the eager-reference baseline must be present; in full
+  mode the K=128 lazy enumerate must be at least 5x faster than the
+  eager reference at the 5k bench point.
 
 Usage: scripts/check_bench.py [BENCH_*.json ...]
        (default: BENCH_placeriter.json)
@@ -27,6 +32,8 @@ import sys
 
 PEAK_OVERFLOW_REDUCTION_MIN = 30.0  # percent
 HPWL_DEGRADATION_MAX = 10.0  # percent
+PATHS_SPEEDUP_MIN = 5.0  # lazy vs eager reference at the largest K
+PATHS_FULL_K = 128  # the gated K at the full 5k bench point
 
 
 def fail(msg):
@@ -125,9 +132,58 @@ def check_routability(path, data):
         )
 
 
+def check_paths(path, data):
+    rows = data.get("domains")
+    if not rows:
+        fail(f"{path}: no domain rows")
+    for row in rows:
+        d = row.get("domains")
+        ks = row.get("ks")
+        if not ks:
+            fail(f"{path}: domains={d}: no ks rows")
+        for kr in ks:
+            for key in ("pushed", "popped", "pruned", "endpoints_skipped",
+                        "chunks"):
+                if key not in kr:
+                    fail(
+                        f"{path}: domains={d} k={kr.get('k')}: "
+                        f"missing counter {key!r}"
+                    )
+            if kr["chunks"] < 1:
+                fail(f"{path}: domains={d} k={kr.get('k')}: chunks < 1")
+
+    ref = data.get("reference")
+    if ref is None:
+        fail(f"{path}: missing eager-reference baseline")
+    for key in ("k", "enumerate_us", "lazy_enumerate_us", "speedup"):
+        if key not in ref:
+            fail(f"{path}: reference: missing field {key!r}")
+    print(
+        f"check_bench: paths: K={ref['k']} eager {ref['enumerate_us']:.0f}us "
+        f"-> lazy {ref['lazy_enumerate_us']:.0f}us "
+        f"({ref['speedup']:.2f}x)"
+    )
+    if data.get("mode") == "smoke":
+        # smoke designs are too small for the speedup to be meaningful;
+        # the full 5k bench point defines acceptance
+        print(f"check_bench: {path}: smoke mode, speedup not gated")
+        return
+    if ref["k"] != PATHS_FULL_K:
+        fail(
+            f"{path}: reference measured at K={ref['k']}, "
+            f"expected K={PATHS_FULL_K} in full mode"
+        )
+    if ref["speedup"] < PATHS_SPEEDUP_MIN:
+        fail(
+            f"{path}: lazy enumerate speedup {ref['speedup']:.2f}x < "
+            f"{PATHS_SPEEDUP_MIN:.0f}x threshold at K={PATHS_FULL_K}"
+        )
+
+
 CHECKS = {
     "placer-iter": check_placer_iter,
     "routability": check_routability,
+    "paths": check_paths,
 }
 
 

@@ -248,6 +248,138 @@ let test_matches_brute_force () =
           graph.Sta.Graph.endpoints))
     [ 5; 9 ]
 
+let check_paths_equal label (a : Paths.path list) (b : Paths.path list) =
+  Alcotest.(check int) (label ^ ": count") (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Paths.path) (y : Paths.path) ->
+      if
+        x.Paths.pt_endpoint <> y.Paths.pt_endpoint
+        || x.Paths.pt_rank <> y.Paths.pt_rank
+        || bits x.Paths.pt_slack <> bits y.Paths.pt_slack
+        || x.Paths.pt_nets <> y.Paths.pt_nets
+        || x.Paths.pt_arcs <> y.Paths.pt_arcs
+      then Alcotest.failf "%s: path record differs" label;
+      check_steps_equal label x.Paths.pt_steps y.Paths.pt_steps)
+    a b
+
+(* tentpole anchor: the lazy engine is bitwise identical to the frozen
+   eager Reference implementation — globally across k and slack limits,
+   and per endpoint *)
+let test_matches_reference () =
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun seed ->
+          with_timer spec seed (fun _ graph timer ->
+            let view = Paths.analyze timer in
+            List.iter
+              (fun limit ->
+                let lim_label =
+                  match limit with None -> "inf" | Some l -> string_of_float l
+                in
+                List.iter
+                  (fun k ->
+                    let label =
+                      Printf.sprintf "seed %d k %d lim %s" seed k lim_label
+                    in
+                    check_paths_equal (label ^ " global")
+                      (Paths.Reference.enumerate ?slack_limit:limit ~k view)
+                      (Paths.enumerate ?slack_limit:limit ~k view))
+                  [ 1; 4; 16; 64 ];
+                Array.iter
+                  (fun ep ->
+                    let label =
+                      Printf.sprintf "seed %d ep %d lim %s" seed ep lim_label
+                    in
+                    check_paths_equal label
+                      (Paths.Reference.enumerate_endpoint ?slack_limit:limit
+                         ~k:16 view ep)
+                      (Paths.enumerate_endpoint ?slack_limit:limit ~k:16 view
+                         ep))
+                  graph.Sta.Graph.endpoints)
+              [ None; Some 0.0 ]))
+        seeds)
+    specs_under_test
+
+(* property: enumeration at slack_limit L equals the unrestricted
+   enumeration filtered to slack < L — globally and per endpoint, with
+   L spanning the slack range including exact path slacks (strictness) *)
+let test_slack_limit_property () =
+  List.iter
+    (fun (spec, seed) ->
+      with_timer spec seed (fun _ graph timer ->
+        let view = Paths.analyze timer in
+        let all = Paths.enumerate ~k:40 view in
+        let nth_slack n =
+          match List.nth_opt all n with
+          | Some p -> [ p.Paths.pt_slack ]
+          | None -> []
+        in
+        let limits =
+          (0.0 :: nth_slack 5) @ nth_slack 20
+          @
+          match all with
+          | p :: _ -> [ p.Paths.pt_slack +. 25.0 ]
+          | [] -> []
+        in
+        List.iter
+          (fun l ->
+            let label = Printf.sprintf "seed %d limit %g" seed l in
+            let limited = Paths.enumerate ~slack_limit:l ~k:40 view in
+            let expected =
+              List.filter (fun (p : Paths.path) -> p.Paths.pt_slack < l) all
+            in
+            check_paths_equal (label ^ " global") expected limited;
+            Array.iter
+              (fun ep ->
+                let full = Paths.enumerate_endpoint ~k:64 view ep in
+                (* truncation at k can make [full] shorter than the true
+                   set; with equal k the below-limit prefix coincides *)
+                if List.length full < 64 then
+                  check_paths_equal
+                    (Printf.sprintf "%s ep %d" label ep)
+                    (List.filter
+                       (fun (p : Paths.path) -> p.Paths.pt_slack < l)
+                       full)
+                    (Paths.enumerate_endpoint ~slack_limit:l ~k:64 view ep))
+              graph.Sta.Graph.endpoints)
+          limits))
+    [ (List.hd specs_under_test, 3); (List.nth specs_under_test 1, 11) ]
+
+(* property: the returned paths are pairwise-distinct pin-transition
+   sequences — the deviation decomposition must generate every complete
+   path exactly once, globally and per endpoint *)
+let test_paths_pairwise_distinct () =
+  let key (p : Paths.path) =
+    List.map
+      (fun (s : Sta.Timer.path_step) ->
+        (s.Sta.Timer.ps_pin, s.Sta.Timer.ps_transition))
+      p.Paths.pt_steps
+  in
+  let check_distinct label paths =
+    let keys = List.map key paths in
+    let uniq = List.sort_uniq compare keys in
+    Alcotest.(check int) (label ^ ": distinct") (List.length keys)
+      (List.length uniq)
+  in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun seed ->
+          with_timer spec seed (fun _ graph timer ->
+            let view = Paths.analyze timer in
+            check_distinct
+              (Printf.sprintf "seed %d global" seed)
+              (Paths.enumerate ~k:64 view);
+            Array.iter
+              (fun ep ->
+                check_distinct
+                  (Printf.sprintf "seed %d ep %d" seed ep)
+                  (Paths.enumerate_endpoint ~k:32 view ep))
+              graph.Sta.Graph.endpoints))
+        seeds)
+    specs_under_test
+
 (* the slack-limit prune is exact: it returns precisely the unlimited
    enumeration truncated at the limit *)
 let test_slack_limit_exact () =
@@ -359,7 +491,10 @@ let test_pathweight_engine_updates_weights () =
       0 design.Netlist.nets
   in
   Alcotest.(check bool) "some nets weighted" true (raised > 0);
-  (* weights never shrink and stay capped over repeated updates *)
+  (* on a static placement criticality is stationary, so weights
+     converge monotonically upward (and stay capped) even though the
+     update rule can relax weights when criticality drops — the decay
+     path is covered by test_pathweight_weight_decays *)
   let previous =
     Array.map (fun (n : Netlist.net) -> n.Netlist.weight) design.Netlist.nets
   in
@@ -380,6 +515,59 @@ let test_pathweight_engine_updates_weights () =
     (fun (n : Netlist.net) ->
       Alcotest.(check (float 1e-12)) "reset to 1" 1.0 n.Netlist.weight)
     design.Netlist.nets
+
+(* satellite regression: the weight ratchet is gone — a transiently
+   critical net's weight comes back down once it leaves every violating
+   path, because the excess over 1 decays as momentum fades *)
+let test_pathweight_weight_decays () =
+  (* the period sits between the collapsed design's pure-cell-delay
+     critical path (~930ps) and the spread initial placement's
+     wire-dominated one, so the same design flips from violating to
+     clean when the cells collapse *)
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = 300; sp_seed = 2; sp_clock_period = 1000.0 }
+  in
+  let design, cons = Workload.generate lib spec in
+  let graph = Sta.Graph.build design lib cons in
+  let pw = Paths.Weight.create graph in
+  for _ = 1 to 4 do
+    ignore (Paths.Weight.update pw)
+  done;
+  let heavy = ref (-1) and wmax = ref 1.0 in
+  Array.iter
+    (fun (n : Netlist.net) ->
+      if n.Netlist.weight > !wmax then begin
+        wmax := n.Netlist.weight;
+        heavy := n.Netlist.net_id
+      end)
+    design.Netlist.nets;
+  Alcotest.(check bool) "some net escalated" true
+    (!heavy >= 0 && !wmax > 1.0 +. 1e-9);
+  (* collapse every movable cell to the region center: wire delays
+     vanish, the design meets timing, and every net leaves the
+     violating-path set *)
+  let r = design.Netlist.region in
+  let cx = 0.5 *. (r.Geometry.Rect.lx +. r.Geometry.Rect.hx) in
+  let cy = 0.5 *. (r.Geometry.Rect.ly +. r.Geometry.Rect.hy) in
+  Array.iter
+    (fun (c : Netlist.cell) ->
+      if not c.Netlist.fixed then begin
+        c.Netlist.x <- cx;
+        c.Netlist.y <- cy
+      end)
+    design.Netlist.cells;
+  let report = ref (Paths.Weight.update pw) in
+  for _ = 1 to 11 do
+    report := Paths.Weight.update pw
+  done;
+  if !report.Sta.Timer.setup_wns < 0.0 then
+    Alcotest.failf "timing not clean after collapse: wns %g"
+      !report.Sta.Timer.setup_wns;
+  let w_end = design.Netlist.nets.(!heavy).Netlist.weight in
+  Alcotest.(check bool) "weight came back down" true
+    (w_end -. 1.0 < 0.35 *. (!wmax -. 1.0));
+  Alcotest.(check bool) "weight stays >= 1" true (w_end >= 1.0 -. 1e-9)
 
 let test_pathweight_placement_runs () =
   let spec =
@@ -413,13 +601,21 @@ let suite =
       test_ranked_slacks_monotone;
     Alcotest.test_case "matches brute-force enumeration" `Quick
       test_matches_brute_force;
+    Alcotest.test_case "bitwise identical to eager reference" `Slow
+      test_matches_reference;
     Alcotest.test_case "slack limit prunes exactly" `Quick
       test_slack_limit_exact;
+    Alcotest.test_case "slack limit == unrestricted filtered (property)"
+      `Quick test_slack_limit_property;
+    Alcotest.test_case "paths pairwise distinct (property)" `Slow
+      test_paths_pairwise_distinct;
     Alcotest.test_case "pooled enumeration bit-identical" `Slow
       test_pool_determinism;
     Alcotest.test_case "criticality arrays well-formed" `Quick
       test_criticality_counts;
     Alcotest.test_case "pathweight engine updates weights" `Slow
       test_pathweight_engine_updates_weights;
+    Alcotest.test_case "transient net weight decays" `Slow
+      test_pathweight_weight_decays;
     Alcotest.test_case "pathweight placement runs" `Slow
       test_pathweight_placement_runs ]
