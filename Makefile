@@ -1,6 +1,7 @@
 .PHONY: all test bench bench-full bench-placer bench-placer-check \
 	bench-paths bench-paths-check bench-parallel bench-incremental \
-	bench-routability bench-all clean
+	bench-routability bench-multilevel bench-multilevel-check bench-all \
+	clean
 
 all:
 	dune build
@@ -57,9 +58,20 @@ bench-routability:
 	dune exec bench/main.exe -- routability
 	python3 scripts/check_bench.py BENCH_routability.json
 
+# Multilevel: flat engine vs coarsen/uncoarsen V-cycle at the 50k-cell
+# bench point, plus a 200k-cell V-cycle end-to-end run; writes
+# BENCH_multilevel.json at the repo root.
+bench-multilevel:
+	dune exec bench/main.exe -- multilevel
+
+# Assert the multilevel invariants CI relies on (V-cycle >= 3x faster
+# than flat at equal-or-better HPWL within 2%, 200k run completed).
+bench-multilevel-check: bench-multilevel
+	python3 scripts/check_bench.py BENCH_multilevel.json
+
 # Every JSON-emitting benchmark in one go.
 bench-all: bench bench-placer bench-paths bench-parallel bench-incremental \
-	bench-routability
+	bench-routability bench-multilevel
 
 clean:
 	dune clean

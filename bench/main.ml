@@ -6,7 +6,7 @@
    Targets: table1 table2 table3 figure8 kernels ablation-gamma
             ablation-reuse ablation-extensions gradcheck difftimer
             placer-iter paths parallel incremental routability
-            all (default: all)
+            multilevel all (default: all)
    Options: --scale <f>       benchmark scale factor (default 0.01)
             --quick           fewer iterations for difftimer
             --out <f>         difftimer JSON path (default BENCH_difftimer.json)
@@ -20,6 +20,8 @@
                               (default BENCH_incremental.json)
             --routability-out <f> routability JSON path
                               (default BENCH_routability.json)
+            --multilevel-out <f> multilevel JSON path
+                              (default BENCH_multilevel.json)
             --domains <n>     worker domains for every placement run
                               (default 1; results are bit-identical
                               across domain counts) *)
@@ -51,10 +53,13 @@ let git_rev =
      with _ -> "unknown")
 
 let json_meta () =
-  Printf.sprintf "  \"cores\": %d,\n  \"hostname\": %S,\n  \"git_rev\": %S,\n"
+  Printf.sprintf
+    "  \"cores\": %d,\n  \"hostname\": %S,\n  \"git_rev\": %S,\n\
+    \  \"peak_rss_mb\": %.1f,\n"
     (Domain.recommended_domain_count ())
     (try Unix.gethostname () with _ -> "unknown")
     (Lazy.force git_rev)
+    (Obs.peak_rss_bytes () /. 1048576.0)
 
 let build_bench spec =
   let design, cons = Workload.generate lib spec in
@@ -1656,6 +1661,124 @@ let bench_routability () =
   close_out oc;
   Printf.printf "\nWrote %s\n" !routability_out
 
+(* ---- multilevel: flat engine vs coarsen/uncoarsen V-cycle ---- *)
+
+let multilevel_out = ref "BENCH_multilevel.json"
+
+let bench_multilevel () =
+  section "Multilevel: flat engine vs coarsen/uncoarsen V-cycle";
+  let cells = if !placer_smoke then 4000 else 50_000 in
+  let levels = if !placer_smoke then 2 else 3 in
+  let iters = 600 in
+  let spec = { Workload.default_spec with Workload.sp_cells = cells } in
+  (* the flat engine's own configuration; the V-cycle takes exactly the
+     same config, so the comparison is at a matched quality target
+     (same stop_overflow, same iteration ceiling) *)
+  let cfg =
+    { Core.default_config with
+      Core.mode = Core.Wirelength_only; max_iterations = iters }
+  in
+  let place name f spec levels =
+    let design, graph = build_bench spec in
+    let ml = { Core.default_multilevel with Core.ml_levels = levels } in
+    let r =
+      match f with
+      | `Flat -> Core.run ?pool:!pool cfg graph
+      | `Vcycle -> Core.run_multilevel ?pool:!pool ~ml cfg graph
+    in
+    let hpwl = Netlist.total_hpwl design in
+    Printf.printf
+      "  [done] %s: %d iters, %.2f s, HPWL %.4e (overflow %.3f)\n%!" name
+      r.Core.res_iterations r.Core.res_runtime hpwl r.Core.res_overflow;
+    (r, hpwl)
+  in
+  let flat_r, flat_hpwl = place "flat" `Flat spec levels in
+  let v_r, v_hpwl =
+    place (Printf.sprintf "V-cycle (%d levels)" levels) `Vcycle spec levels
+  in
+  let speedup =
+    flat_r.Core.res_runtime /. Float.max 1e-9 v_r.Core.res_runtime
+  in
+  let hpwl_ratio = v_hpwl /. Float.max 1e-9 flat_hpwl in
+  (* scalability point: a 200k-cell V-cycle end-to-end (the flat engine
+     need not complete here, so only the V-cycle runs) *)
+  let big =
+    if !placer_smoke then None
+    else begin
+      let cells200 = 200_000 and levels200 = 4 in
+      let spec200 =
+        { Workload.default_spec with Workload.sp_cells = cells200 }
+      in
+      let r, hpwl =
+        place
+          (Printf.sprintf "V-cycle %dk (%d levels)" (cells200 / 1000)
+             levels200)
+          `Vcycle spec200 levels200
+      in
+      Some (cells200, levels200, r, hpwl)
+    end
+  in
+  let t =
+    Report.Table.create
+      [ "engine"; "cells"; "iters"; "runtime(s)"; "HPWL"; "overflow" ]
+  in
+  let row name cells (r : Core.result) hpwl =
+    Report.Table.add_row t
+      [ name; string_of_int cells; string_of_int r.Core.res_iterations;
+        Printf.sprintf "%.2f" r.Core.res_runtime;
+        Printf.sprintf "%.4e" hpwl;
+        Printf.sprintf "%.3f" r.Core.res_overflow ]
+  in
+  row "flat" cells flat_r flat_hpwl;
+  row (Printf.sprintf "V-cycle/%d" levels) cells v_r v_hpwl;
+  (match big with
+   | Some (c, l, r, hpwl) -> row (Printf.sprintf "V-cycle/%d" l) c r hpwl
+   | None -> ());
+  print_newline ();
+  print_string (Report.Table.render t);
+  Printf.printf "\n  speedup %.2fx, HPWL ratio %.4f (peak RSS %.0f MB)\n"
+    speedup hpwl_ratio
+    (Obs.peak_rss_bytes () /. 1048576.0);
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"bench\": \"multilevel\",\n  \"mode\": \"%s\",\n"
+       (if !placer_smoke then "smoke" else "full"));
+  Buffer.add_string buf (json_meta ());
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"workload\": { \"cells\": %d, \"seed\": %d },\n\
+       \  \"iterations_budget\": %d,\n  \"levels\": %d,\n"
+       cells Workload.default_spec.Workload.sp_seed iters levels);
+  let emit_run name (r : Core.result) hpwl =
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"%s\": { \"iterations\": %d, \"runtime_s\": %.3f, \
+          \"hpwl\": %.6e, \"overflow\": %.4f },\n"
+         name r.Core.res_iterations r.Core.res_runtime hpwl
+         r.Core.res_overflow)
+  in
+  emit_run "flat" flat_r flat_hpwl;
+  emit_run "vcycle" v_r v_hpwl;
+  (match big with
+   | Some (c, l, r, hpwl) ->
+     Buffer.add_string buf
+       (Printf.sprintf
+          "  \"vcycle_200k\": { \"cells\": %d, \"levels\": %d, \
+           \"iterations\": %d, \"runtime_s\": %.3f, \"hpwl\": %.6e, \
+           \"overflow\": %.4f },\n"
+          c l r.Core.res_iterations r.Core.res_runtime hpwl
+          r.Core.res_overflow)
+   | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"speedup\": %.4f,\n  \"hpwl_ratio\": %.6f\n}\n" speedup
+       hpwl_ratio);
+  let oc = open_out !multilevel_out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nWrote %s\n" !multilevel_out
+
 (* ---- driver ---- *)
 
 let all_targets =
@@ -1665,7 +1788,8 @@ let all_targets =
     ("ablation-extensions", ablation_extensions); ("gradcheck", gradcheck);
     ("difftimer", bench_difftimer); ("placer-iter", placer_iter);
     ("paths", bench_paths); ("parallel", bench_parallel);
-    ("incremental", bench_incremental); ("routability", bench_routability) ]
+    ("incremental", bench_incremental); ("routability", bench_routability);
+    ("multilevel", bench_multilevel) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -1701,6 +1825,9 @@ let () =
       parse acc rest
     | "--routability-out" :: v :: rest ->
       routability_out := v;
+      parse acc rest
+    | "--multilevel-out" :: v :: rest ->
+      multilevel_out := v;
       parse acc rest
     | x :: rest -> parse (x :: acc) rest
   in

@@ -8,7 +8,7 @@ let load_library = function
    (by extension; constraints fall back to defaults with the requested
    clock), or the named / sized synthetic generator. *)
 let load_design lib ~design_file ~bench ~cells ~seed ~clock_period
-    ?(hotspot = 0.0) ?(hotspot_clusters = 3) () =
+    ?(hotspot = 0.0) ?(hotspot_clusters = 3) ?scale () =
   match design_file, bench with
   | Some path, _ when Filename.check_suffix path ".v" ->
     let design = Verilog.load lib path in
@@ -17,7 +17,7 @@ let load_design lib ~design_file ~bench ~cells ~seed ~clock_period
        Sta.Constraints.clock_period })
   | Some path, _ -> Bookshelf.load lib path
   | None, Some name ->
-    (match Workload.find_spec name with
+    (match Workload.find_spec ?scale name with
      | Some spec ->
        Workload.generate lib
          { spec with
@@ -76,3 +76,10 @@ let hotspot =
 let hotspot_clusters =
   let doc = "Number of hotspot clusters when $(b,--hotspot) is set." in
   Arg.(value & opt int 3 & info [ "hotspot-clusters" ] ~docv:"N" ~doc)
+
+let bench_scale =
+  let doc = "Cell-count scale for named superblue-mini benchmarks: 0.01 \
+             (default) gives ~10k-cell minis, 0.1 reaches ~100k and \
+             0.5-1.0 the paper's million-cell range (pair with \
+             $(b,--multilevel))." in
+  Arg.(value & opt float 0.01 & info [ "scale" ] ~docv:"S" ~doc)

@@ -12,7 +12,10 @@ let all_minis =
   Arg.(value & flag & info [ "suite" ] ~doc)
 
 let scale =
-  let doc = "Scale factor for the superblue-mini suite." in
+  let doc = "Cell-count scale factor for superblue-mini designs (suite \
+             or $(b,--bench)): 0.01 (default) gives ~10k-cell minis, \
+             0.1 reaches ~100k cells and 0.5-1.0 the paper's \
+             million-cell range." in
   Arg.(value & opt float 0.01 & info [ "scale" ] ~docv:"F" ~doc)
 
 let write_design dir lib spec =
@@ -43,7 +46,7 @@ let run lib_file bench cells seed clock hotspot hotspot_clusters out_dir
     let spec =
       match bench with
       | Some name ->
-        (match Workload.find_spec name with
+        (match Workload.find_spec ~scale name with
          | Some s -> s
          | None ->
            Printf.eprintf "unknown benchmark %S\n" name;

@@ -142,15 +142,45 @@ let domains =
              counts." in
   Arg.(value & opt int 1 & info [ "domains"; "j" ] ~docv:"N" ~doc)
 
+let stop_overflow =
+  let doc = "Density overflow at which the placement stops (the shared \
+             quality target of every mode and of the multilevel \
+             V-cycle)." in
+  Arg.(value & opt float Core.default_config.Core.stop_overflow
+       & info [ "stop-overflow" ] ~docv:"F" ~doc)
+
+let multilevel =
+  let doc = "Place through the multilevel V-cycle: coarsen the netlist \
+             bottom-up, place the coarsest level, then interpolate and \
+             refine level by level.  The configured mode and \
+             routability apply at the finest level; intermediate \
+             levels run wirelength-only.  Strongly recommended above \
+             ~50k cells." in
+  Arg.(value & flag & info [ "multilevel" ] ~doc)
+
+let levels =
+  let doc = "Total placement levels for $(b,--multilevel) (1 = flat, \
+             bit-identical to running without $(b,--multilevel); each \
+             extra level adds one coarsening step)." in
+  Arg.(value & opt int Core.default_multilevel.Core.ml_levels
+       & info [ "levels" ] ~docv:"N" ~doc)
+
+let cluster_ratio =
+  let doc = "Target fine-to-coarse movable-cell ratio per coarsening \
+             step (also sets the cluster area cap)." in
+  Arg.(value & opt float Core.default_multilevel.Core.ml_cluster_ratio
+       & info [ "cluster-ratio" ] ~docv:"R" ~doc)
+
 let run lib_file design_file bench cells seed clock hotspot hotspot_clusters
-    mode iterations t1 t2 gamma steiner_period steiner_dirty no_legalize
+    scale mode iterations t1 t2 gamma steiner_period steiner_dirty no_legalize
     out_file svg_file svg_paths svg_congestion trace_file verbose domains
+    stop_overflow multilevel levels cluster_ratio
     profile trace_out routability routability_capacity routability_target
     routability_max_ratio routability_max_rounds =
   let lib = Dgp_common.load_library lib_file in
   let design, constraints =
     Dgp_common.load_design lib ~design_file ~bench ~cells ~seed
-      ~clock_period:clock ~hotspot ~hotspot_clusters ()
+      ~clock_period:clock ~hotspot ~hotspot_clusters ~scale ()
   in
   let stats = Netlist.Stats.compute design in
   Format.printf "design %s:@.%a@.@." design.Netlist.design_name
@@ -176,7 +206,7 @@ let run lib_file design_file bench cells seed clock hotspot hotspot_clusters
   in
   let config =
     { Core.default_config with
-      Core.mode; max_iterations = iterations; verbose;
+      Core.mode; max_iterations = iterations; stop_overflow; verbose;
       routability = (if routability then Some route_cfg else None) }
   in
   let pool =
@@ -186,7 +216,15 @@ let run lib_file design_file bench cells seed clock hotspot hotspot_clusters
     if profile || trace_out <> None then Obs.create ~gc:true ()
     else Obs.disabled
   in
-  let result = Core.run ?pool ~obs config graph in
+  let result =
+    if multilevel then
+      Core.run_multilevel ?pool ~obs
+        ~ml:
+          { Core.default_multilevel with
+            Core.ml_levels = levels; ml_cluster_ratio = cluster_ratio }
+        config graph
+    else Core.run ?pool ~obs config graph
+  in
   (match pool with Some p -> Parallel.shutdown p | None -> ());
   Printf.printf "placement: %d iterations in %.2f s (overflow %.3f)\n"
     result.Core.res_iterations result.Core.res_runtime result.Core.res_overflow;
@@ -258,6 +296,7 @@ let run lib_file design_file bench cells seed clock hotspot hotspot_clusters
      Bookshelf.save path design constraints;
      Printf.printf "placed design written to %s\n" path
    | None -> ());
+  Obs.gauge obs "peak_rss_mb" (Obs.peak_rss_bytes () /. 1048576.0);
   (match trace_out with
    | Some path ->
      Obs.write_trace obs path;
@@ -273,9 +312,11 @@ let cmd =
       const run $ Dgp_common.lib_file $ Dgp_common.design_file
       $ Dgp_common.bench_name $ Dgp_common.cells $ Dgp_common.seed
       $ Dgp_common.clock_period $ Dgp_common.hotspot
-      $ Dgp_common.hotspot_clusters $ mode $ iterations $ t1 $ t2 $ gamma
+      $ Dgp_common.hotspot_clusters $ Dgp_common.bench_scale $ mode
+      $ iterations $ t1 $ t2 $ gamma
       $ steiner_period $ steiner_dirty $ no_legalize $ out_file $ svg_file
-      $ svg_paths $ svg_congestion $ trace_file $ verbose $ domains $ profile
+      $ svg_paths $ svg_congestion $ trace_file $ verbose $ domains
+      $ stop_overflow $ multilevel $ levels $ cluster_ratio $ profile
       $ trace_out $ routability $ routability_capacity $ routability_target
       $ routability_max_ratio $ routability_max_rounds)
 

@@ -18,13 +18,20 @@
    --steiner-dirty control the timing stage's Steiner rebuild cadence
    and dirty-net threshold (gamma units; negative = rebuild all).
    --routability enables the RUDY + cell-inflation loop in every
-   placement stage and reports the final congestion summary. *)
+   placement stage and reports the final congestion summary.
+   --multilevel runs every placement stage through the coarsen/uncoarsen
+   V-cycle instead of the flat engine (--levels and --cluster-ratio
+   control the cluster hierarchy); on this 3k-cell design it is mostly a
+   demonstration — the V-cycle pays off from ~50k cells up. *)
 
 let parse_args () =
   let domains = ref 1 and profile = ref false and trace_out = ref None in
   let steiner_period = ref Core.default_timing.Core.steiner_period in
   let steiner_dirty = ref Core.default_timing.Core.steiner_dirty in
   let routability = ref false in
+  let multilevel = ref false in
+  let levels = ref Core.default_multilevel.Core.ml_levels in
+  let cluster_ratio = ref Core.default_multilevel.Core.ml_cluster_ratio in
   let rec scan = function
     | "--domains" :: v :: rest ->
       domains := int_of_string v;
@@ -45,18 +52,31 @@ let parse_args () =
     | "--routability" :: rest ->
       routability := true;
       scan rest
+    | "--multilevel" :: rest ->
+      multilevel := true;
+      scan rest
+    | "--levels" :: v :: rest ->
+      levels := int_of_string v;
+      scan rest
+    | "--cluster-ratio" :: v :: rest ->
+      cluster_ratio := float_of_string v;
+      scan rest
     | _ :: rest -> scan rest
     | [] -> ()
   in
   scan (List.tl (Array.to_list Sys.argv));
   (!domains, !profile, !trace_out, !steiner_period, !steiner_dirty,
-   !routability)
+   !routability, !multilevel, !levels, !cluster_ratio)
 
 let () =
   let lib = Liberty.Synthetic.default () in
-  let domains, profile, trace_out, steiner_period, steiner_dirty, routability
-      =
+  let ( domains, profile, trace_out, steiner_period, steiner_dirty,
+        routability, multilevel, levels, cluster_ratio ) =
     parse_args ()
+  in
+  let ml =
+    { Core.default_multilevel with
+      Core.ml_levels = levels; ml_cluster_ratio = cluster_ratio }
   in
   let route_cfg = if routability then Some Route.default_config else None in
   let report_congestion (r : Core.result) =
@@ -72,6 +92,10 @@ let () =
   let obs =
     if profile || trace_out <> None then Obs.create ~gc:true ()
     else Obs.disabled
+  in
+  let place cfg graph =
+    if multilevel then Core.run_multilevel ?pool ~obs ~ml cfg graph
+    else Core.run ?pool ~obs cfg graph
   in
   (* pick a scaled superblue benchmark and round-trip it through the
      on-disk format, as an external user would *)
@@ -100,7 +124,7 @@ let () =
     { Core.default_config with
       Core.mode = Core.Wirelength_only; routability = route_cfg }
   in
-  let r1 = Core.run ?pool ~obs wl_cfg graph in
+  let r1 = place wl_cfg graph in
   let timer = Sta.Timer.create graph in
   let before = Sta.Timer.run ~obs timer in
   Printf.printf
@@ -116,7 +140,7 @@ let () =
       Core.mode = Core.Path_weighting Paths.Weight.default_config;
       routability = route_cfg }
   in
-  let rpw = Core.run ?pool ~obs pw_cfg graph in
+  let rpw = place pw_cfg graph in
   let pw_report = Sta.Timer.run ~obs timer in
   Printf.printf
     "path-weighted GP: %d iters, HPWL %.3e, WNS %.1f ps, TNS %.1f ps\n%!"
@@ -132,7 +156,7 @@ let () =
           { Core.default_timing with Core.steiner_period; steiner_dirty };
       routability = route_cfg }
   in
-  let r2 = Core.run ?pool ~obs t_cfg graph in
+  let r2 = place t_cfg graph in
   report_congestion r2;
   ignore (Legalize.legalize ~obs design);
   let dp = Detailed.refine design in

@@ -38,12 +38,14 @@ type config = {
   optimizer : Optim.algorithm;
   wirelength_gamma : float option;
   density_bins : int option;
+  density_relax : float option;
   target_density : float;
   lambda_relative : float;
   lambda_growth : float;
   init : [ `Center | `Keep ];
   trace_timing_period : int;
   routability : Route.config option;
+  collect_trace : bool;
   verbose : bool;
 }
 
@@ -57,12 +59,14 @@ let default_config =
     optimizer = Optim.adam;
     wirelength_gamma = None;
     density_bins = None;
+    density_relax = None;
     target_density = 1.0;
     lambda_relative = 0.05;
     lambda_growth = 1.035;
     init = `Center;
     trace_timing_period = 0;
     routability = None;
+    collect_trace = true;
     verbose = false }
 
 type trace_point = {
@@ -142,6 +146,27 @@ let init_positions design =
       end)
     design.Netlist.cells
 
+type multilevel = {
+  ml_levels : int;
+  ml_cluster_ratio : float;
+  ml_max_net_degree : int;
+  ml_min_cells : int;
+  ml_refine_fraction : float;
+  ml_refine_min_iterations : int;
+  ml_refine_lambda_boost : float;
+  ml_refine_lr_scale : float;
+}
+
+let default_multilevel =
+  { ml_levels = 2;
+    ml_cluster_ratio = 4.0;
+    ml_max_net_degree = 16;
+    ml_min_cells = 1000;
+    ml_refine_fraction = 0.4;
+    ml_refine_min_iterations = 20;
+    ml_refine_lambda_boost = 20.0;
+    ml_refine_lr_scale = 2.5 }
+
 let score ?(obs = Obs.disabled) graph =
   let timer = Sta.Timer.create graph in
   let report = Sta.Timer.run ~obs timer in
@@ -168,9 +193,24 @@ let run ?pool ?(obs = Obs.disabled) config graph =
   (* a ref: routability inflation changes cell footprints, which
      invalidates the area totals cached at Density.create time, so the
      model is rebuilt after every inflation round *)
+  let full_bins =
+    match config.density_bins with
+    | Some b -> b
+    | None -> Density.default_bins design
+  in
+  (* Grid relaxation ([density_relax]): iterate on a half-resolution
+     density grid until the overflow is within the configured factor of
+     the stop target, then rebuild at full resolution with the lambda
+     schedule, step size and optimizer state carrying straight over.
+     The expensive full-resolution DCT is paid only for the final
+     approach. *)
+  let relaxed = ref (config.density_relax <> None) in
+  let current_bins () =
+    if !relaxed then max 16 (full_bins / 2) else full_bins
+  in
   let dens =
     ref
-      (Density.create ?bins:config.density_bins
+      (Density.create ~bins:(current_bins ())
          ~target_density:config.target_density design)
   in
   let rudy, inflate =
@@ -291,6 +331,32 @@ let run ?pool ?(obs = Obs.disabled) config graph =
     Array.fill dgx 0 ncells 0.0;
     Array.fill dgy 0 ncells 0.0;
     Density.gradient ?pool ~obs !dens ~scale:1.0 ~grad_x:dgx ~grad_y:dgy;
+    (* Half-resolution grids under-report overflow, so the relaxed
+       phase can never satisfy the stop criterion itself: the switch
+       fires at [relax *. stop] (clamped >= stop) and the recomputed
+       full-grid overflow takes over from this iteration on.  Lambda is
+       rescaled by the gradient-norm ratio so the density force is
+       continuous across the change of grid (coarser grids produce
+       systematically smaller gradients). *)
+    let overflow =
+      match config.density_relax with
+      | Some f
+        when !relaxed && overflow <= Float.max 1.0 f *. config.stop_overflow
+        ->
+        relaxed := false;
+        let d_old = l1_norm mask dgx +. l1_norm mask dgy in
+        dens :=
+          Density.create ~bins:(current_bins ())
+            ~target_density:config.target_density design;
+        Density.update ?pool ~obs !dens;
+        Array.fill dgx 0 ncells 0.0;
+        Array.fill dgy 0 ncells 0.0;
+        Density.gradient ?pool ~obs !dens ~scale:1.0 ~grad_x:dgx ~grad_y:dgy;
+        let d_new = Float.max 1e-12 (l1_norm mask dgx +. l1_norm mask dgy) in
+        if i > 0 then lambda := !lambda *. d_old /. d_new;
+        Density.overflow !dens
+      | _ -> overflow
+    in
     if i = 0 then begin
       let wl_norm = l1_norm mask gx +. l1_norm mask gy in
       let d_norm = Float.max 1e-12 (l1_norm mask dgx +. l1_norm mask dgy) in
@@ -397,13 +463,24 @@ let run ?pool ?(obs = Obs.disabled) config graph =
     Obs.stop obs Obs.Optim_step;
     Obs.start obs Obs.Core_trace;
     sync_to_design ();
-    lambda := !lambda *. config.lambda_growth;
+    (* The density weight anneals only while the placement is still too
+       dense.  Flat runs never notice (meeting the target is the exit
+       condition), but a warm-started refine held past the target by
+       [min_iterations] polishes wirelength at frozen pressure instead
+       of over-spreading. *)
+    if overflow > config.stop_overflow then
+      lambda := !lambda *. config.lambda_growth;
     lr := !lr *. config.lr_decay;
-    let hpwl = Netlist.total_hpwl design in
-    trace :=
-      { tp_iteration = i; tp_hpwl = hpwl; tp_overflow = overflow;
-        tp_wns = !last_wns; tp_tns = !last_tns; tp_lambda = !lambda }
-      :: !trace;
+    (* The per-iteration HPWL exists only to feed the trace; skipping
+       it when the caller will discard the trace (coarse V-cycle
+       levels) removes a full sequential pass over every pin. *)
+    if config.collect_trace then begin
+      let hpwl = Netlist.total_hpwl design in
+      trace :=
+        { tp_iteration = i; tp_hpwl = hpwl; tp_overflow = overflow;
+          tp_wns = !last_wns; tp_tns = !last_tns; tp_lambda = !lambda }
+        :: !trace
+    end;
     Obs.stop obs Obs.Core_trace;
     (* routability hook: once cells have spread enough for bin demand to
        be meaningful, periodically measure congestion and bloat cells in
@@ -415,22 +492,31 @@ let run ?pool ?(obs = Obs.disabled) config graph =
        when overflow < rcfg.Route.rt_check_overflow
             && rcfg.Route.rt_check_period > 0
             && i mod rcfg.Route.rt_check_period = 0
-            && Route.Inflate.rounds infl < rcfg.Route.rt_max_rounds ->
+            && (Route.Inflate.rounds infl < rcfg.Route.rt_max_rounds
+                || Route.Inflate.rounds infl > 0) ->
        Route.Rudy.update ?pool ~obs rd;
        let s = Route.overflow ~obs rd in
-       if s.Route.ov_peak > rcfg.Route.rt_target then begin
-         let inflated = Route.Inflate.step ~obs rcfg infl rd in
-         if inflated > 0 then begin
-           dens :=
-             Density.create ?bins:config.density_bins
-               ~target_density:config.target_density design;
-           if config.verbose then
-             Format.eprintf
-               "[core] it %4d  routability: peak %.2f rc %.2f, inflated \
-                %d cells (round %d)@."
-               i s.Route.ov_peak s.Route.ov_rc inflated
-               (Route.Inflate.rounds infl)
-         end
+       (* deflate first: cells whose bins fell back below target shed
+          half their inflation excess, freeing area before any new
+          inflation is decided on this (fresher) map.  A no-op until
+          the first inflation round, so uncongested runs stay
+          bit-identical to routability-off ones. *)
+       let deflated = Route.Inflate.deflate ~obs rcfg infl rd in
+       let inflated =
+         if s.Route.ov_peak > rcfg.Route.rt_target then
+           Route.Inflate.step ~obs rcfg infl rd
+         else 0
+       in
+       if inflated > 0 || deflated > 0 then begin
+         dens :=
+           Density.create ~bins:(current_bins ())
+             ~target_density:config.target_density design;
+         if config.verbose then
+           Format.eprintf
+             "[core] it %4d  routability: peak %.2f rc %.2f, inflated \
+              %d / deflated %d cells (round %d)@."
+             i s.Route.ov_peak s.Route.ov_rc inflated deflated
+             (Route.Inflate.rounds infl)
        end
      | _ -> ());
     if config.verbose && i mod 50 = 0 then begin
@@ -439,7 +525,7 @@ let run ?pool ?(obs = Obs.disabled) config graph =
         | None -> "-"
       in
       Format.eprintf "[core] it %4d  hpwl %.3e  ovf %.3f  wns %s  tns %s@."
-        i hpwl overflow (fmt !last_wns) (fmt !last_tns)
+        i (Netlist.total_hpwl design) overflow (fmt !last_wns) (fmt !last_tns)
     end;
     final_iter := i + 1;
     if overflow <= config.stop_overflow && i >= config.min_iterations then
@@ -455,7 +541,7 @@ let run ?pool ?(obs = Obs.disabled) config graph =
    | Some f when Route.Inflate.rounds f > 0 ->
      Route.Inflate.restore f;
      dens :=
-       Density.create ?bins:config.density_bins
+       Density.create ~bins:(current_bins ())
          ~target_density:config.target_density design
    | _ -> ());
   Density.update ~obs !dens;
@@ -475,3 +561,157 @@ let run ?pool ?(obs = Obs.disabled) config graph =
     res_trace = List.rev !trace;
     res_route = route_summary;
     res_inflation_rounds = inflation_rounds }
+
+(* The coarsen/uncoarsen V-cycle.  Coarse levels are placed as plain
+   wirelength+density problems (cluster cells are [lib_cell = -1], so
+   their timing graphs carry no arcs); the configured mode, routability
+   loop and trace cadence apply only to the finest level.  The finest
+   run starts from the interpolated positions ([`Keep]) with a decayed
+   iteration cap and a small floor, so a warm-started level stops as
+   soon as it meets the same overflow target the flat engine uses —
+   that early exit is where the wall-clock win comes from. *)
+let run_multilevel ?pool ?(obs = Obs.disabled) ?(ml = default_multilevel)
+    config graph =
+  if ml.ml_levels <= 1 then run ?pool ~obs config graph
+  else begin
+    let t_start = Obs.Clock.now () in
+    let design = graph.Sta.Graph.design in
+    let lvls =
+      Cluster.build ~levels:(ml.ml_levels - 1)
+        ~cluster_ratio:ml.ml_cluster_ratio
+        ~max_net_degree:ml.ml_max_net_degree ~min_cells:ml.ml_min_cells ~obs
+        design
+    in
+    match lvls with
+    | [] -> run ?pool ~obs config graph
+    | _ ->
+      let nlevels = List.length lvls in
+      let coarse_graph nl =
+        Sta.Graph.build nl graph.Sta.Graph.lib graph.Sta.Graph.constraints
+      in
+      (* iteration cap for the refine at [depth] coarsening steps below
+         the coarsest run (1 = first refine, nlevels = finest) *)
+      let budget depth =
+        let f = Float.max 0.05 (Float.min 1.0 ml.ml_refine_fraction) in
+        max ml.ml_refine_min_iterations
+          (int_of_float
+             (Float.round
+                (float_of_int config.max_iterations
+                 *. (f ** float_of_int depth))))
+      in
+      (* Coarse levels spread fat cluster cells: half the flat grid
+         resolution halves the DCT cost per iteration while still
+         resolving multi-cell bins. *)
+      let coarse_bins d =
+        match config.density_bins with
+        | Some b -> Some (max 16 (b / 2))
+        | None -> Some (max 16 (Density.default_bins d / 2))
+      in
+      (* The coarsest level is a cold start, but a cheap one: cluster
+         cells are few and fat, so the anneal tolerates double-speed
+         lambda growth and double-size steps that would wreck the flat
+         engine's quality at full resolution.  Any sloppiness is
+         recovered by the (also fast-stepping) refines above it. *)
+      let coarse_cfg d =
+        { config with mode = Wirelength_only; init = `Center;
+          trace_timing_period = 0; routability = None;
+          collect_trace = false; density_bins = coarse_bins d;
+          lambda_growth = config.lambda_growth ** 2.0;
+          learning_rate =
+            (let side =
+               Float.max
+                 (Geometry.Rect.width d.Netlist.region)
+                 (Geometry.Rect.height d.Netlist.region)
+             in
+             Some
+               (2.0
+                *. (match config.learning_rate with
+                   | Some l -> l
+                   | None -> side /. 350.0))) }
+      in
+      let coarsest = (List.nth lvls (nlevels - 1)).Cluster.coarse in
+      let r0 =
+        Obs.span obs Obs.Cluster_refine (fun () ->
+          run ?pool ~obs (coarse_cfg coarsest) (coarse_graph coarsest))
+      in
+      Obs.add obs "multilevel.coarse_iters"
+        (float_of_int r0.res_iterations);
+      let iters = ref r0.res_iterations in
+      let last = ref r0 in
+      List.iteri
+        (fun k lvl ->
+          let depth = k + 1 in
+          let finest = depth = nlevels in
+          Cluster.interpolate ~obs lvl;
+          (* Warm-started refines resume an almost-spread placement,
+             but [run] recalibrates lambda from scratch; boosting the
+             initial density weight skips the dozens of iterations the
+             flat schedule spends growing it back to where the coarser
+             level left off. *)
+          let lambda_relative =
+            config.lambda_relative *. Float.max 1.0 ml.ml_refine_lambda_boost
+          in
+          (* Warm starts are step-limited, not schedule-limited: the
+             remaining work is short-range untangling against a strong
+             boosted density force, and the flat engine's conservative
+             cold-start step (side / 350) makes cells crawl through it.
+             Larger steps traverse the tail in far fewer of the
+             expensive finest-level iterations, and measurably improve
+             HPWL as well (each lambda value is annealed closer to its
+             equilibrium before the weight grows again). *)
+          let learning_rate =
+            let region = lvl.Cluster.fine.Netlist.region in
+            let side =
+              Float.max
+                (Geometry.Rect.width region)
+                (Geometry.Rect.height region)
+            in
+            Some
+              ((match config.learning_rate with
+               | Some l -> l
+               | None -> side /. 350.0)
+               *. ml.ml_refine_lr_scale)
+          in
+          let cfg =
+            if finest then
+              (* The V-cycle extends into grid space at the finest
+                 level: a warm start does not need the full-resolution
+                 density grid (whose DCT dominates the iteration cost)
+                 until the overflow is within striking distance of the
+                 target, so the descent runs relaxed.  The flat engine
+                 keeps full resolution throughout — its cold start has
+                 to resolve the center-init blob from iteration one. *)
+              { config with init = `Keep;
+                density_relax = Some 1.0;
+                max_iterations = budget depth;
+                lambda_relative; learning_rate;
+                min_iterations =
+                  min config.min_iterations ml.ml_refine_min_iterations }
+            else
+              (* Intermediate refines stop slightly tighter than the
+                 flat target: one of their cheap iterations saves
+                 several at the next (4x more expensive) level. *)
+              { config with mode = Wirelength_only; init = `Keep;
+                trace_timing_period = 0; routability = None;
+                collect_trace = false;
+                stop_overflow = 0.85 *. config.stop_overflow;
+                density_bins = coarse_bins lvl.Cluster.fine;
+                max_iterations = budget depth;
+                lambda_relative; learning_rate;
+                min_iterations = ml.ml_refine_min_iterations }
+          in
+          let g = if finest then graph else coarse_graph lvl.Cluster.fine in
+          let r =
+            Obs.span obs Obs.Cluster_refine (fun () -> run ?pool ~obs cfg g)
+          in
+          Obs.add obs
+            (Printf.sprintf "multilevel.refine%d_iters" depth)
+            (float_of_int r.res_iterations);
+          iters := !iters + r.res_iterations;
+          last := r)
+        (List.rev lvls);
+      Obs.gauge obs "multilevel.levels" (float_of_int (nlevels + 1));
+      { !last with
+        res_iterations = !iters;
+        res_runtime = Obs.Clock.now () -. t_start }
+  end

@@ -71,6 +71,15 @@ type config = {
   optimizer : Optim.algorithm;
   wirelength_gamma : float option; (** None: 1% of region side. *)
   density_bins : int option;
+  density_relax : float option;
+      (** grid relaxation: when [Some f], iterate on a half-resolution
+          density grid until the overflow drops to
+          [max 1.0 f *. stop_overflow], then rebuild the density model
+          at the configured resolution mid-run — the lambda schedule,
+          step size and optimizer state carry straight over, so only
+          the final approach pays the full-resolution DCT.  Meant for
+          warm starts (the multilevel finest refine); [None] (the
+          default) keeps one grid throughout. *)
   target_density : float;
   lambda_relative : float;
       (** initial density weight as a fraction of the wirelength
@@ -105,6 +114,11 @@ type config = {
           only reads, leaving positions bit-identical to
           [routability = None].  [None] (the default) disables the
           loop entirely. *)
+  collect_trace : bool;
+      (** when [false], skip the per-iteration HPWL measurement and
+          return an empty [res_trace] (the stop criterion and
+          [res_hpwl] are unaffected).  The V-cycle disables it on
+          coarse levels, whose traces are discarded. *)
   verbose : bool;
 }
 
@@ -151,6 +165,65 @@ val run : ?pool:Parallel.pool -> ?obs:Obs.t -> config -> Sta.Graph.t -> result
     bookkeeping, all under one [core.run] root span with iteration
     tags; with it disabled the run is bit-identical to an
     un-instrumented one. *)
+
+(** Multilevel (coarsen/uncoarsen V-cycle) placement.  [ml_levels] is
+    the total number of placement levels: 1 means flat ({!run_multilevel}
+    is then exactly {!run}, bit for bit), [k > 1] requests up to [k - 1]
+    {!Cluster} coarsening steps (fewer when the design stops reducing
+    or drops below [ml_min_cells] movable cells).  [ml_cluster_ratio]
+    and [ml_max_net_degree] are passed to {!Cluster.build}.  The refine
+    run at [d] coarsening steps below the coarsest placement is capped
+    at [max_iterations *. ml_refine_fraction ** d] iterations with the
+    {!config}'s stop criterion and a [ml_refine_min_iterations]
+    minimum, so warm-started levels exit as soon as they meet the same
+    overflow target the flat engine uses. *)
+type multilevel = {
+  ml_levels : int;
+  ml_cluster_ratio : float;
+  ml_max_net_degree : int;
+  ml_min_cells : int;
+  ml_refine_fraction : float;
+  ml_refine_min_iterations : int;
+  ml_refine_lambda_boost : float;
+      (** multiplier on [lambda_relative] for refine runs: a
+          warm-started level resumes an almost-spread placement, so its
+          initial density weight calibration should not restart from
+          the flat schedule's cold start — most of the multiplicative
+          lambda ramp has already happened on coarser (cheaper)
+          levels. *)
+  ml_refine_lr_scale : float;
+      (** multiplier on the step size for refine runs: warm starts are
+          step-limited rather than schedule-limited (short-range
+          untangling against a strong boosted density force), so
+          larger steps cut the expensive finest-level iteration count
+          and improve wirelength at the same time. *)
+}
+
+val default_multilevel : multilevel
+(** 2 levels, ratio 4.0, net-degree cap 16, 1000-cell floor, refine
+    fraction 0.4, refine minimum 20, lambda boost 20, step scale 2.5. *)
+
+val run_multilevel :
+  ?pool:Parallel.pool ->
+  ?obs:Obs.t ->
+  ?ml:multilevel ->
+  config ->
+  Sta.Graph.t ->
+  result
+(** V-cycle driver: coarsen ({!Cluster.build}, [cluster.coarsen] span),
+    place the coarsest level with {!run} (wirelength mode, center
+    init, half-resolution grid, double-speed anneal), then alternately
+    prolongate positions ([cluster.interp]) and refine
+    ([cluster.refine] spans wrapping {!run} with [`Keep] init, boosted
+    lambda, enlarged steps and a decaying iteration cap) until the
+    finest level — where the configured [mode], [routability] loop and
+    trace cadence apply, and the density grid starts relaxed
+    ([density_relax]).
+    Coarse levels reuse the same [pool] and [obs].  The returned
+    [result] is the finest run's, with [res_iterations] summed over all
+    levels and [res_runtime] covering the whole V-cycle (coarsening
+    included).  Deterministic: coarsening is sequential and {!run} is
+    bit-identical at any domain count, so the full V-cycle is too. *)
 
 val score : ?obs:Obs.t -> Sta.Graph.t -> Sta.Timer.report * float
 (** Convenience: exact STA report and HPWL of the current placement

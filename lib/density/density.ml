@@ -16,6 +16,14 @@ type t = {
   field_y : float array;
   coeff : float array;         (* scratch: spectral coefficients *)
   scratch : float array;
+  (* Reusable per-chunk splat accumulators.  [parallel_for_reduce]'s
+     default chunking is pool-independent, so the chunk count is known
+     at create time; handing zero-filled grids out of this pool instead
+     of allocating fresh ones kills the dominant per-iteration
+     major-heap churn at 10^5+ cells (one n*n float array per chunk per
+     update).  [splat_next] is the hand-out cursor, reset per update. *)
+  splat_grids : float array array;
+  splat_next : int Atomic.t;
 }
 
 let round_pow2 v =
@@ -90,7 +98,13 @@ let create ?bins ?(target_density = 1.0) design =
     field_x = Array.make (n * n) 0.0;
     field_y = Array.make (n * n) 0.0;
     coeff = Array.make (n * n) 0.0;
-    scratch = Array.make (n * n) 0.0 }
+    scratch = Array.make (n * n) 0.0;
+    splat_grids =
+      (let ncells = Netlist.num_cells design in
+       let grain = Parallel.reduce_grain ~cost:8.0 (max 1 ncells) in
+       let chunks = max 1 ((max 1 ncells + grain - 1) / grain) in
+       Array.init chunks (fun _ -> Array.make (n * n) 0.0));
+    splat_next = Atomic.make 0 }
 
 let bins t = t.n
 
@@ -103,9 +117,19 @@ let update ?pool ?(obs = Obs.disabled) t =
      split depends only on the cell count, so pooled splats reproduce the
      sequential ones bit for bit *)
   let p = match pool with Some p -> p | None -> Parallel.sequential_pool in
+  Atomic.set t.splat_next 0;
   let grid =
     Parallel.parallel_for_reduce p ~obs ~cost:8.0 ncells
-      ~init:(fun () -> Array.make (n * n) 0.0)
+      ~init:(fun () ->
+        (* zeroed scratch from the preallocated pool; falls back to a
+           fresh grid if a custom grain ever makes more chunks *)
+        let k = Atomic.fetch_and_add t.splat_next 1 in
+        if k < Array.length t.splat_grids then begin
+          let g = t.splat_grids.(k) in
+          Array.fill g 0 (n * n) 0.0;
+          g
+        end
+        else Array.make (n * n) 0.0)
       ~body:(fun acc i ->
         let c = cells.(i) in
         if not c.Netlist.fixed then

@@ -68,13 +68,28 @@ let net_sinks d n =
   Array.to_list d.nets.(n).net_pins
   |> List.filter (fun p -> d.pins.(p).direction = Input)
 
+(* Alloc-free bbox fold: this runs once per net per placement iteration
+   (the trace HPWL), so boxing a rect per pin would dominate the minor
+   heap on large designs.  Same fold order as [Geometry.Bbox.add_xy]. *)
 let net_hpwl d n =
   let pins = d.nets.(n).net_pins in
-  if Array.length pins < 2 then 0.0
+  let k = Array.length pins in
+  if k < 2 then 0.0
   else begin
-    let bbox = ref Geometry.Bbox.empty in
-    Array.iter (fun p -> bbox := Geometry.Bbox.add_xy !bbox (pin_x d p) (pin_y d p)) pins;
-    Geometry.Bbox.half_perimeter !bbox
+    let p0 = d.pins.(pins.(0)) in
+    let c0 = d.cells.(p0.cell) in
+    let lx = ref (c0.x +. p0.offset_x) and ly = ref (c0.y +. p0.offset_y) in
+    let hx = ref !lx and hy = ref !ly in
+    for j = 1 to k - 1 do
+      let p = d.pins.(pins.(j)) in
+      let c = d.cells.(p.cell) in
+      let x = c.x +. p.offset_x and y = c.y +. p.offset_y in
+      lx := Float.min !lx x;
+      ly := Float.min !ly y;
+      hx := Float.max !hx x;
+      hy := Float.max !hy y
+    done;
+    !hx -. !lx +. (!hy -. !ly)
   end
 
 let total_hpwl ?(weighted = false) d =

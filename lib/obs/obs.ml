@@ -18,6 +18,32 @@ end
 
 let tick () = Int64.to_int (Clock.now_ns ())
 
+external peak_rss_raw : unit -> (float[@unboxed])
+  = "dgp_obs_peak_rss_byte" "dgp_obs_peak_rss"
+[@@noalloc]
+
+(* Fallback for kernels whose getrusage does not fill ru_maxrss: the
+   VmHWM line of /proc/self/status, reported in kB. *)
+let proc_vmhwm_bytes () =
+  match open_in "/proc/self/status" with
+  | exception _ -> 0.0
+  | ic ->
+    let v = ref 0.0 in
+    (try
+       while !v = 0.0 do
+         let line = input_line ic in
+         if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+           Scanf.sscanf (String.sub line 6 (String.length line - 6))
+             " %f" (fun kb -> v := kb *. 1024.0)
+       done
+     with End_of_file | Scanf.Scan_failure _ | Failure _ -> ());
+    close_in_noerr ic;
+    !v
+
+let peak_rss_bytes () =
+  let v = peak_rss_raw () in
+  if v > 0.0 then v else proc_vmhwm_bytes ()
+
 type kernel =
   | Core_run
   | Core_trace
@@ -48,6 +74,9 @@ type kernel =
   | Route_rudy
   | Route_overflow
   | Route_inflate
+  | Cluster_coarsen
+  | Cluster_interp
+  | Cluster_refine
 
 let kernel_id = function
   | Core_run -> 0
@@ -79,8 +108,13 @@ let kernel_id = function
   | Route_rudy -> 26
   | Route_overflow -> 27
   | Route_inflate -> 28
+  | Cluster_coarsen -> 29
+  | Cluster_interp -> 30
+  | Cluster_refine -> 31
 
-let n_kernels = 29
+(* NOTE: pack_tag reserves 5 bits for the kernel id, so this enum is
+   full at 32 entries; widen the tag before adding kernel 33. *)
+let n_kernels = 32
 let core_run_id = 0
 
 let all_kernels =
@@ -89,7 +123,8 @@ let all_kernels =
     Steiner_full; Steiner_refresh; Sta_exact; Sta_incremental;
     Diff_forward; Diff_backward; Netweight_update; Pathweight_update;
     Optim_step; Paths_analyze; Paths_enumerate; Legalize; Route_rudy;
-    Route_overflow; Route_inflate; Par_dispatch;
+    Route_overflow; Route_inflate; Cluster_coarsen; Cluster_interp;
+    Cluster_refine; Par_dispatch;
     Par_wait; Serve_parse; Serve_update; Serve_query ]
 
 let kernel_name = function
@@ -122,6 +157,9 @@ let kernel_name = function
   | Route_rudy -> "route.rudy"
   | Route_overflow -> "route.overflow"
   | Route_inflate -> "route.inflate"
+  | Cluster_coarsen -> "cluster.coarsen"
+  | Cluster_interp -> "cluster.interp"
+  | Cluster_refine -> "cluster.refine"
 
 let name_of_id =
   let a = Array.make n_kernels "" in

@@ -32,6 +32,13 @@ module Clock : sig
       [Unix.gettimeofday] deltas. *)
 end
 
+val peak_rss_bytes : unit -> float
+(** Peak resident set size of this process in bytes, from
+    [getrusage(RUSAGE_SELF)] (with a [/proc/self/status] [VmHWM]
+    fallback); [0.0] when neither source is available.  Recorded as the
+    [peak_rss_mb] gauge in [--profile] output and every [BENCH_*.json]
+    emitter. *)
+
 (** The fixed set of instrumented kernels.  A closed enum keeps the hot
     recording path integer-indexed and allocation-free. *)
 type kernel =
@@ -64,6 +71,9 @@ type kernel =
   | Route_rudy  (** RUDY routing-demand splat over the congestion grid *)
   | Route_overflow  (** congestion summary (peak / RC top-percentile) *)
   | Route_inflate  (** cell inflation pass over congested bins *)
+  | Cluster_coarsen  (** multilevel V-cycle: netlist coarsening, all levels *)
+  | Cluster_interp  (** V-cycle: position prolongation to one finer level *)
+  | Cluster_refine  (** V-cycle: placement run at one level (wraps core.run) *)
 
 val kernel_name : kernel -> string
 (** Stable dotted name used in reports and traces, e.g.

@@ -8,6 +8,8 @@
 #include <stdint.h>
 #include <time.h>
 
+#include <sys/resource.h>
+
 #include <caml/alloc.h>
 #include <caml/mlvalues.h>
 
@@ -22,4 +24,24 @@ CAMLprim value dgp_obs_clock_ns_byte(value unit)
 {
   (void) unit;
   return caml_copy_int64(dgp_obs_clock_ns());
+}
+
+/* Peak resident set size of this process, in bytes (0.0 if the kernel
+ * does not report it).  getrusage's ru_maxrss is kilobytes on Linux and
+ * bytes on Darwin. */
+double dgp_obs_peak_rss(void)
+{
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#ifdef __APPLE__
+  return (double) ru.ru_maxrss;
+#else
+  return (double) ru.ru_maxrss * 1024.0;
+#endif
+}
+
+CAMLprim value dgp_obs_peak_rss_byte(value unit)
+{
+  (void) unit;
+  return caml_copy_double(dgp_obs_peak_rss());
 }

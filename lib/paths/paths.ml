@@ -38,6 +38,13 @@ type t = {
   tin_net : int array;
   tin_arc : int array;
   pred : int array;  (* per node: in-edge realising its arrival, or -1 *)
+  (* Memoized worst-first endpoint prescan (per-endpoint rank-0 slack +
+     the worst-first visit order).  A view is a frozen snapshot of one
+     placement's timing, so the prescan is computed once per view and
+     reused by every subsequent [enumerate] on it — which is what lets
+     a serving daemon answer consecutive what-if [paths] queries on an
+     unchanged topology without re-scanning every endpoint. *)
+  mutable prescan : (float array * int array) option;
 }
 
 type path = {
@@ -160,7 +167,8 @@ let analyze_run ?pool ?obs timer =
         done;
         pred.(node) <- !best
       end);
-  { timer; graph = g; tin_off; tin_src; tin_delay; tin_net; tin_arc; pred }
+  { timer; graph = g; tin_off; tin_src; tin_delay; tin_net; tin_arc; pred;
+    prescan = None }
 
 (* binary min-heap, shared by the eager reference and the lazy engine *)
 module MakeHeap (E : sig
@@ -637,24 +645,37 @@ let enumerate_run ?pool ?obs ?(slack_limit = infinity) ~k t =
     (* cheap prescan: each endpoint's worst (rank-0) slack.  Processing
        endpoints worst-first makes the k-th-best bound tighten after the
        first few endpoints, so the healthy majority is skipped before
-       its B&B starts. *)
-    let ep_slack = Array.make n infinity in
-    for i = 0 to n - 1 do
-      let ep = eps.(i) in
-      let s = ref infinity in
-      for ti = 0 to 1 do
-        let a = Sta.Timer.at_late tm ep (tr_of ti) in
-        let r = Sta.Timer.rat_late tm ep (tr_of ti) in
-        if a > neg_infinity && r < infinity then s := Float.min !s (r -. a)
-      done;
-      ep_slack.(i) <- !s
-    done;
-    let order = Array.init n Fun.id in
-    Array.sort
-      (fun a b ->
-        let c = Float.compare ep_slack.(a) ep_slack.(b) in
-        if c <> 0 then c else Int.compare a b)
-      order;
+       its B&B starts.  Memoized on the view: a view freezes one
+       placement's timing, so repeated enumerations (e.g. consecutive
+       what-if queries against a serving daemon) reuse it verbatim. *)
+    let ep_slack, order =
+      match t.prescan with
+      | Some (ep_slack, order) ->
+        Option.iter
+          (fun o -> Obs.add o "paths.prescan_reused" 1.0)
+          obs;
+        (ep_slack, order)
+      | None ->
+        let ep_slack = Array.make n infinity in
+        for i = 0 to n - 1 do
+          let ep = eps.(i) in
+          let s = ref infinity in
+          for ti = 0 to 1 do
+            let a = Sta.Timer.at_late tm ep (tr_of ti) in
+            let r = Sta.Timer.rat_late tm ep (tr_of ti) in
+            if a > neg_infinity && r < infinity then s := Float.min !s (r -. a)
+          done;
+          ep_slack.(i) <- !s
+        done;
+        let order = Array.init n Fun.id in
+        Array.sort
+          (fun a b ->
+            let c = Float.compare ep_slack.(a) ep_slack.(b) in
+            if c <> 0 then c else Int.compare a b)
+          order;
+        t.prescan <- Some (ep_slack, order);
+        (ep_slack, order)
+    in
     let gb = gbound_create k in
     let acc =
       Parallel.parallel_for_reduce p ?obs ~grain:(enumerate_grain ~k n) n

@@ -251,6 +251,69 @@ module Inflate = struct
         Obs.add obs "route.inflated_cells" (float_of_int !count);
         !count)
 
+  (* Deflation hysteresis: a bin must fall below this fraction of the
+     target before its cells start shrinking back, so a bin hovering at
+     the threshold does not ping-pong between inflate and deflate. *)
+  let deflate_hysteresis = 0.95
+
+  let deflate ?(obs = Obs.disabled) cfg t rudy =
+    if t.n_rounds = 0 then 0
+    else
+      Obs.span obs Obs.Route_inflate (fun () ->
+        let d = t.design in
+        let util = Rudy.utilization rudy in
+        let n = Rudy.bins rudy in
+        let region = d.Netlist.region in
+        let rlx = region.Geometry.Rect.lx
+        and rly = region.Geometry.Rect.ly in
+        let bin_w = Geometry.Rect.width region /. float_of_int n in
+        let bin_h = Geometry.Rect.height region /. float_of_int n in
+        let clampb v = max 0 (min (n - 1) v) in
+        let count = ref 0 in
+        Array.iteri
+          (fun i (c : Netlist.cell) ->
+            if not c.Netlist.fixed then begin
+              let orig_area = t.orig_w.(i) *. t.orig_h.(i) in
+              let cur_ratio =
+                if orig_area > 0.0 then
+                  c.Netlist.width *. c.Netlist.height /. orig_area
+                else 1.0
+              in
+              if cur_ratio > 1.0 then begin
+                let bx =
+                  clampb
+                    (int_of_float (Float.floor ((c.Netlist.x -. rlx) /. bin_w)))
+                in
+                let by =
+                  clampb
+                    (int_of_float (Float.floor ((c.Netlist.y -. rly) /. bin_h)))
+                in
+                let u = util.((bx * n) + by) in
+                if u < deflate_hysteresis *. cfg.rt_target then begin
+                  (* geometric relaxation toward the original footprint:
+                     halve the log-excess each pass rather than snapping
+                     back, damping inflate/deflate oscillation; the last
+                     4% snaps exactly so the pass terminates instead of
+                     asymptoting *)
+                  if cur_ratio <= 1.04 then begin
+                    c.Netlist.width <- t.orig_w.(i);
+                    c.Netlist.height <- t.orig_h.(i);
+                    incr count
+                  end
+                  else begin
+                    let new_ratio = Float.sqrt cur_ratio in
+                    let s = Float.sqrt (new_ratio /. cur_ratio) in
+                    c.Netlist.width <- c.Netlist.width *. s;
+                    c.Netlist.height <- c.Netlist.height *. s;
+                    incr count
+                  end
+                end
+              end
+            end)
+          d.Netlist.cells;
+        Obs.add obs "route.deflated_cells" (float_of_int !count);
+        !count)
+
   let restore t =
     Array.iteri
       (fun i (c : Netlist.cell) ->

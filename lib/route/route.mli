@@ -119,6 +119,21 @@ module Inflate : sig
       Returns the number of cells inflated; returns [0] without
       touching anything once [rt_max_rounds] rounds have run. *)
 
+  val deflate : ?obs:Obs.t -> config -> t -> Rudy.t -> int
+  (** The inverse pass: every movable cell still carrying inflation
+      (cumulative area ratio above 1) whose center bin has fallen back
+      below [0.95 *. rt_target] (hysteresis, so threshold-hovering bins
+      do not ping-pong) has its log-excess halved — the area ratio
+      relaxes to [sqrt ratio], snapping exactly back to the original
+      footprint once the remaining excess is under 4% (so repeated
+      passes terminate).
+      Cells are visited in id order (deterministic); shares the
+      [route.inflate] span and counts into [route.deflated_cells].
+      Returns the number of cells shrunk; [0] (touching nothing) when
+      no inflation round has run — so zero-congestion runs stay
+      bit-identical to routability-off ones.  Does not count against
+      [rt_max_rounds]. *)
+
   val restore : t -> unit
   (** Put every cell's original width/height back.  Idempotent. *)
 end

@@ -17,10 +17,21 @@ type t = {
   mutable slices : slice array;
 }
 
-(* The net range is cut into slices as a pure function of the net count —
-   never of the pool — so the slice partials and their in-order merge are
-   identical at every domain count (bit-identical pooled runs). *)
-let net_slices nnets = if nnets <= 0 then 1 else min 16 ((nnets + 511) / 512)
+(* The net range is cut into slices as a pure function of the net and
+   cell counts — never of the pool — so the slice partials and their
+   in-order merge are identical at every domain count (bit-identical
+   pooled runs).  The cell-count cap keeps the per-slice gradient
+   accumulators within a ~2M-float budget: at 10^5+ cells a full 16-way
+   split would pin 2 * 16 * ncells floats of scratch and spend more
+   time zero-filling than evaluating (the cap only bites above ~131k
+   cells, so smaller designs keep their historical slice split). *)
+let net_slices ~ncells nnets =
+  if nnets <= 0 then 1
+  else begin
+    let by_nets = min 16 ((nnets + 511) / 512) in
+    let by_mem = max 1 (2_097_152 / max 1 ncells) in
+    min by_nets by_mem
+  end
 
 let make_slice ncells cap =
   { sc_coords = Array.make cap 0.0;
@@ -45,7 +56,7 @@ let create ?(gamma = 4.0) design =
       1 design.Netlist.nets
   in
   let ncells = Netlist.num_cells design in
-  let nslices = net_slices (Netlist.num_nets design) in
+  let nslices = net_slices ~ncells (Netlist.num_nets design) in
   { design; gamma_ = gamma;
     slices = Array.init nslices (fun _ -> make_slice ncells max_degree) }
 
@@ -115,7 +126,7 @@ let evaluate t ?pool ?(obs = Obs.disabled) ?(weighted = true) ~grad_x
   Obs.start obs Obs.Wirelength;
   let nets = t.design.Netlist.nets in
   let nnets = Array.length nets in
-  let nslices = net_slices nnets in
+  let nslices = net_slices ~ncells nnets in
   if Array.length t.slices < nslices then
     t.slices <-
       Array.init nslices (fun s ->

@@ -461,5 +461,6 @@ let superblue_mini ?(scale = 0.01) () =
     mk "superblue16" 1016 981559 20 1140.0;
     mk "superblue18" 1018 768068 18 1040.0 ]
 
-let find_spec name =
-  List.find_opt (fun s -> String.equal s.sp_name name) (superblue_mini ())
+let find_spec ?scale name =
+  List.find_opt (fun s -> String.equal s.sp_name name)
+    (superblue_mini ?scale ())

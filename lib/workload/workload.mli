@@ -65,6 +65,8 @@ val superblue_mini : ?scale:float -> unit -> spec list
     hundredth of the original cell counts), with per-design seeds, depth
     and clock targets that reproduce the paper's relative difficulty. *)
 
-val find_spec : string -> spec option
-(** Look up a [superblue_mini ()] spec by name, e.g.
-    ["superblue4-mini"]. *)
+val find_spec : ?scale:float -> string -> spec option
+(** Look up a [superblue_mini ?scale ()] spec by name, e.g.
+    ["superblue4-mini"].  [scale] as in {!superblue_mini}: the default
+    0.01 gives ~10⁴-cell designs; 0.1 reaches ~10⁵ and 0.5–1.0 the
+    paper's 10⁶-cell range (multilevel territory). *)

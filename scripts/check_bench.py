@@ -21,6 +21,11 @@ Dispatches on the "bench" field of each file:
   count, and the eager-reference baseline must be present; in full
   mode the K=128 lazy enumerate must be at least 5x faster than the
   eager reference at the 5k bench point.
+- multilevel: at the 50k-cell bench point the V-cycle must reach
+  equal-or-better HPWL (within 2%) in at least 3x less wall-clock than
+  the flat engine at the same quality target, and a 200k-cell V-cycle
+  run must have completed end-to-end.  Smoke-mode files only need both
+  engines to have run.
 
 Usage: scripts/check_bench.py [BENCH_*.json ...]
        (default: BENCH_placeriter.json)
@@ -34,6 +39,8 @@ PEAK_OVERFLOW_REDUCTION_MIN = 30.0  # percent
 HPWL_DEGRADATION_MAX = 10.0  # percent
 PATHS_SPEEDUP_MIN = 5.0  # lazy vs eager reference at the largest K
 PATHS_FULL_K = 128  # the gated K at the full 5k bench point
+MULTILEVEL_SPEEDUP_MIN = 3.0  # V-cycle vs flat wall-clock at 50k cells
+MULTILEVEL_HPWL_RATIO_MAX = 1.02  # V-cycle HPWL within 2% of flat
 
 
 def fail(msg):
@@ -42,7 +49,7 @@ def fail(msg):
 
 
 def check_metadata(path, data):
-    for key in ("cores", "hostname", "git_rev"):
+    for key in ("cores", "hostname", "git_rev", "peak_rss_mb"):
         if key not in data:
             fail(f"{path}: missing metadata field {key!r}")
     print(
@@ -180,10 +187,61 @@ def check_paths(path, data):
         )
 
 
+def check_multilevel(path, data):
+    for key in ("flat", "vcycle", "speedup", "hpwl_ratio"):
+        if key not in data:
+            fail(f"{path}: missing field {key!r}")
+    flat, vcycle = data["flat"], data["vcycle"]
+    for name, run in (("flat", flat), ("vcycle", vcycle)):
+        for key in ("iterations", "runtime_s", "hpwl", "overflow"):
+            if key not in run:
+                fail(f"{path}: {name}: missing field {key!r}")
+        if run["iterations"] <= 0 or run["runtime_s"] <= 0.0:
+            fail(f"{path}: {name}: run did not execute")
+    speedup = data["speedup"]
+    ratio = data["hpwl_ratio"]
+    print(
+        f"check_bench: multilevel: flat {flat['runtime_s']:.2f}s -> "
+        f"V-cycle {vcycle['runtime_s']:.2f}s ({speedup:.2f}x), "
+        f"HPWL ratio {ratio:.4f}"
+    )
+    if data.get("mode") == "smoke":
+        # smoke designs are far below the crossover size where
+        # clustering pays off; the full 50k bench point defines
+        # acceptance
+        print(f"check_bench: {path}: smoke mode, thresholds not gated")
+        return
+    if speedup < MULTILEVEL_SPEEDUP_MIN:
+        fail(
+            f"{path}: V-cycle speedup {speedup:.2f}x < "
+            f"{MULTILEVEL_SPEEDUP_MIN:.0f}x threshold"
+        )
+    if ratio > MULTILEVEL_HPWL_RATIO_MAX:
+        fail(
+            f"{path}: V-cycle HPWL ratio {ratio:.4f} > "
+            f"{MULTILEVEL_HPWL_RATIO_MAX:.2f} threshold"
+        )
+    big = data.get("vcycle_200k")
+    if big is None:
+        fail(f"{path}: missing vcycle_200k end-to-end run")
+    for key in ("cells", "levels", "iterations", "runtime_s", "hpwl",
+                "overflow"):
+        if key not in big:
+            fail(f"{path}: vcycle_200k: missing field {key!r}")
+    if big["cells"] < 200_000 or big["iterations"] <= 0:
+        fail(f"{path}: vcycle_200k did not complete end-to-end")
+    print(
+        f"check_bench: multilevel: {big['cells']} cells end-to-end in "
+        f"{big['runtime_s']:.1f}s ({big['iterations']} iters, "
+        f"overflow {big['overflow']:.3f})"
+    )
+
+
 CHECKS = {
     "placer-iter": check_placer_iter,
     "routability": check_routability,
     "paths": check_paths,
+    "multilevel": check_multilevel,
 }
 
 

@@ -1,0 +1,306 @@
+(* Tests for the multilevel clustering subsystem: coarsening
+   invariants (area conservation, prolongation partition, net
+   contraction), determinism across domain counts, interpolation
+   geometry, and the V-cycle driver's flat-equivalence contract. *)
+
+let lib = Liberty.Synthetic.default ()
+
+let setup ?(cells = 400) ?(seed = 3) () =
+  let spec =
+    { Workload.default_spec with
+      Workload.sp_cells = cells; sp_seed = seed; sp_clock_period = 800.0 }
+  in
+  let design, cons = Workload.generate lib spec in
+  (design, Sta.Graph.build design lib cons)
+
+let movable_area d =
+  Array.fold_left
+    (fun acc (c : Netlist.cell) ->
+      if c.Netlist.fixed then acc
+      else acc +. (c.Netlist.width *. c.Netlist.height))
+    0.0 d.Netlist.cells
+
+let count_movable d =
+  Array.fold_left
+    (fun acc (c : Netlist.cell) -> if c.Netlist.fixed then acc else acc + 1)
+    0 d.Netlist.cells
+
+let test_area_conserved () =
+  let design, _ = setup () in
+  let lvls = Cluster.build ~levels:3 ~min_cells:8 design in
+  Alcotest.(check bool) "at least one level" true (List.length lvls >= 1);
+  List.iter
+    (fun (lvl : Cluster.level) ->
+      let fa = movable_area lvl.Cluster.fine
+      and ca = movable_area lvl.Cluster.coarse in
+      Alcotest.(check bool)
+        (Printf.sprintf "movable area conserved (%g vs %g)" fa ca)
+        true
+        (Float.abs (fa -. ca) <= 1e-6 *. Float.max 1.0 fa))
+    lvls
+
+let test_prolongation_partition () =
+  let design, _ = setup () in
+  let lvls = Cluster.build ~levels:2 ~min_cells:8 design in
+  List.iter
+    (fun (lvl : Cluster.level) ->
+      let fine = lvl.Cluster.fine and coarse = lvl.Cluster.coarse in
+      let nc = Array.length coarse.Netlist.cells in
+      Alcotest.(check int) "parent per fine cell"
+        (Array.length fine.Netlist.cells)
+        (Array.length lvl.Cluster.parent);
+      (* every fine cell maps to exactly one valid coarse cell *)
+      Array.iteri
+        (fun i p ->
+          if p < 0 || p >= nc then
+            Alcotest.failf "fine cell %d has invalid parent %d" i p)
+        lvl.Cluster.parent;
+      (* fixed cells pass through 1:1 onto fixed coarse cells, movable
+         cells land on movable clusters *)
+      Array.iteri
+        (fun i (c : Netlist.cell) ->
+          let pc = coarse.Netlist.cells.(lvl.Cluster.parent.(i)) in
+          Alcotest.(check bool) "fixedness preserved" c.Netlist.fixed
+            pc.Netlist.fixed)
+        fine.Netlist.cells;
+      (* the map is a partition: the union of member counts covers the
+         fine design and every coarse cell has at least one member *)
+      let members = Array.make nc 0 in
+      Array.iter
+        (fun p -> members.(p) <- members.(p) + 1)
+        lvl.Cluster.parent;
+      Array.iteri
+        (fun p m ->
+          if m = 0 then Alcotest.failf "coarse cell %d has no members" p)
+        members;
+      Alcotest.(check int) "movable counts reduce" (count_movable coarse)
+        (Array.to_list fine.Netlist.cells
+        |> List.mapi (fun i (c : Netlist.cell) -> (i, c))
+        |> List.filter (fun (_, (c : Netlist.cell)) -> not c.Netlist.fixed)
+        |> List.map (fun (i, _) -> lvl.Cluster.parent.(i))
+        |> List.sort_uniq compare |> List.length))
+    lvls
+
+let test_net_contraction () =
+  let design, _ = setup () in
+  match Cluster.coarsen design with
+  | None -> Alcotest.fail "coarsening failed on a 400-cell design"
+  | Some lvl ->
+    let coarse = lvl.Cluster.coarse in
+    Array.iter
+      (fun (net : Netlist.net) ->
+        let pins = net.Netlist.net_pins in
+        Alcotest.(check bool) "no degenerate coarse nets" true
+          (Array.length pins >= 2);
+        (* one coarse pin per (net, cluster): no duplicate cells *)
+        let cells =
+          Array.to_list pins
+          |> List.map (fun p -> coarse.Netlist.pins.(p).Netlist.cell)
+        in
+        Alcotest.(check int) "one pin per cluster per net"
+          (List.length cells)
+          (List.length (List.sort_uniq compare cells)))
+      coarse.Netlist.nets
+
+let positions d = Array.map (fun (c : Netlist.cell) -> c.Netlist.x) d.Netlist.cells,
+                  Array.map (fun (c : Netlist.cell) -> c.Netlist.y) d.Netlist.cells
+
+let check_identical name (xs1, ys1) (xs2, ys2) =
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float xs2.(i)
+         || Int64.bits_of_float ys1.(i) <> Int64.bits_of_float ys2.(i)
+      then Alcotest.failf "%s: cell %d differs" name i)
+    xs1
+
+let test_coarsen_deterministic_across_domains () =
+  (* the coarsening pass itself takes no pool, but the contract is that
+     the whole clustering stage is invariant to how the rest of the
+     session is parallelised: build twice (once while a 4-domain pool
+     is alive and busy) and compare the coarse netlists exactly *)
+  let design1, _ = setup () in
+  let design2, _ = setup () in
+  let lvls1 = Cluster.build ~levels:2 ~min_cells:8 design1 in
+  let pool = Parallel.create ~domains:4 ~oversubscribe:true () in
+  let lvls2 =
+    Fun.protect
+      ~finally:(fun () -> Parallel.shutdown pool)
+      (fun () ->
+        Parallel.parallel_for pool ~grain:16 256 (fun _ -> ());
+        Cluster.build ~levels:2 ~min_cells:8 design2)
+  in
+  Alcotest.(check int) "same level count" (List.length lvls1)
+    (List.length lvls2);
+  List.iter2
+    (fun (a : Cluster.level) (b : Cluster.level) ->
+      Alcotest.(check int) "same coarse size"
+        (Array.length a.Cluster.coarse.Netlist.cells)
+        (Array.length b.Cluster.coarse.Netlist.cells);
+      Alcotest.(check bool) "same parents" true
+        (a.Cluster.parent = b.Cluster.parent);
+      check_identical "coarse seed positions"
+        (positions a.Cluster.coarse)
+        (positions b.Cluster.coarse))
+    lvls1 lvls2
+
+let test_interpolate_geometry () =
+  let design, _ = setup () in
+  match Cluster.coarsen design with
+  | None -> Alcotest.fail "coarsening failed"
+  | Some lvl ->
+    (* scatter the coarse placement deterministically, then prolongate *)
+    let region = design.Netlist.region in
+    Array.iteri
+      (fun i (c : Netlist.cell) ->
+        if not c.Netlist.fixed then begin
+          c.Netlist.x <-
+            region.Geometry.Rect.lx
+            +. (float_of_int ((i * 37) mod 101) /. 101.0)
+               *. Geometry.Rect.width region;
+          c.Netlist.y <-
+            region.Geometry.Rect.ly
+            +. (float_of_int ((i * 61) mod 89) /. 89.0)
+               *. Geometry.Rect.height region
+        end)
+      lvl.Cluster.coarse.Netlist.cells;
+    Cluster.interpolate lvl;
+    (* every movable fine cell lies inside the region *)
+    Array.iter
+      (fun (c : Netlist.cell) ->
+        if not c.Netlist.fixed then begin
+          Alcotest.(check bool) "x in region" true
+            (c.Netlist.x >= region.Geometry.Rect.lx
+             && c.Netlist.x <= region.Geometry.Rect.hx);
+          Alcotest.(check bool) "y in region" true
+            (c.Netlist.y >= region.Geometry.Rect.ly
+             && c.Netlist.y <= region.Geometry.Rect.hy)
+        end)
+      lvl.Cluster.fine.Netlist.cells;
+    (* unclamped clusters: area-weighted centroid of the members sits
+       on the cluster center (the interpolation's mean correction) *)
+    let coarse = lvl.Cluster.coarse in
+    let nc = Array.length coarse.Netlist.cells in
+    let sx = Array.make nc 0.0
+    and sy = Array.make nc 0.0
+    and sa = Array.make nc 0.0 in
+    Array.iteri
+      (fun i (c : Netlist.cell) ->
+        if not c.Netlist.fixed then begin
+          let a = c.Netlist.width *. c.Netlist.height in
+          let p = lvl.Cluster.parent.(i) in
+          sx.(p) <- sx.(p) +. (a *. c.Netlist.x);
+          sy.(p) <- sy.(p) +. (a *. c.Netlist.y);
+          sa.(p) <- sa.(p) +. a
+        end)
+      lvl.Cluster.fine.Netlist.cells;
+    let checked = ref 0 in
+    Array.iteri
+      (fun p (pc : Netlist.cell) ->
+        if (not pc.Netlist.fixed) && sa.(p) > 0.0 then begin
+          let cx = sx.(p) /. sa.(p) and cy = sy.(p) /. sa.(p) in
+          (* the mean correction is exact unless the region clamp moved
+             a member; accept clusters away from the border only *)
+          let hw = pc.Netlist.width and hh = pc.Netlist.height in
+          let interior =
+            pc.Netlist.x -. hw > region.Geometry.Rect.lx
+            && pc.Netlist.x +. hw < region.Geometry.Rect.hx
+            && pc.Netlist.y -. hh > region.Geometry.Rect.ly
+            && pc.Netlist.y +. hh < region.Geometry.Rect.hy
+          in
+          if interior then begin
+            incr checked;
+            Alcotest.(check bool)
+              (Printf.sprintf "centroid on cluster %d center" p)
+              true
+              (Float.abs (cx -. pc.Netlist.x) <= 1e-6 *. hw
+               && Float.abs (cy -. pc.Netlist.y) <= 1e-6 *. hh)
+          end
+        end)
+      coarse.Netlist.cells;
+    Alcotest.(check bool) "some interior clusters checked" true (!checked > 0)
+
+let test_single_level_is_flat () =
+  (* ml_levels = 1 must be Core.run, bit for bit *)
+  let design1, graph1 = setup () in
+  let design2, graph2 = setup () in
+  let cfg =
+    { Core.default_config with
+      Core.mode = Core.Wirelength_only; max_iterations = 30;
+      min_iterations = 5 }
+  in
+  let r1 = Core.run cfg graph1 in
+  let r2 =
+    Core.run_multilevel
+      ~ml:{ Core.default_multilevel with Core.ml_levels = 1 }
+      cfg graph2
+  in
+  Alcotest.(check int) "same iterations" r1.Core.res_iterations
+    r2.Core.res_iterations;
+  Alcotest.(check bool) "same hpwl" true
+    (Int64.bits_of_float r1.Core.res_hpwl
+     = Int64.bits_of_float r2.Core.res_hpwl);
+  check_identical "flat vs 1-level positions" (positions design1)
+    (positions design2)
+
+let test_vcycle_deterministic_across_domains () =
+  (* the full V-cycle — coarsen, coarse anneal, interpolate, refines —
+     must be bit-identical sequential vs pooled *)
+  let design1, graph1 = setup () in
+  let design2, graph2 = setup () in
+  let cfg =
+    { Core.default_config with
+      Core.mode = Core.Wirelength_only; max_iterations = 40;
+      min_iterations = 5 }
+  in
+  let ml =
+    { Core.default_multilevel with Core.ml_levels = 2; ml_min_cells = 16 }
+  in
+  let r1 = Core.run_multilevel ~ml cfg graph1 in
+  let pool = Parallel.create ~domains:4 ~oversubscribe:true () in
+  let r2 =
+    Fun.protect
+      ~finally:(fun () -> Parallel.shutdown pool)
+      (fun () -> Core.run_multilevel ~pool ~ml cfg graph2)
+  in
+  Alcotest.(check int) "same iterations" r1.Core.res_iterations
+    r2.Core.res_iterations;
+  Alcotest.(check bool) "same hpwl" true
+    (Int64.bits_of_float r1.Core.res_hpwl
+     = Int64.bits_of_float r2.Core.res_hpwl);
+  check_identical "sequential vs pooled positions" (positions design1)
+    (positions design2)
+
+let test_vcycle_reaches_target () =
+  (* sanity: the V-cycle actually places — overflow at or near the flat
+     engine's stop target, HPWL finite and positive *)
+  let _, graph = setup ~cells:600 () in
+  let cfg =
+    { Core.default_config with
+      Core.mode = Core.Wirelength_only; max_iterations = 200;
+      min_iterations = 5 }
+  in
+  let r =
+    Core.run_multilevel
+      ~ml:{ Core.default_multilevel with Core.ml_levels = 2; ml_min_cells = 16 }
+      cfg graph
+  in
+  Alcotest.(check bool) "positive hpwl" true (r.Core.res_hpwl > 0.0);
+  Alcotest.(check bool) "overflow reached or budget spent" true
+    (r.Core.res_overflow <= 1.5 *. cfg.Core.stop_overflow
+     || r.Core.res_iterations >= 200)
+
+let suite =
+  [ Alcotest.test_case "area conserved per level" `Quick test_area_conserved;
+    Alcotest.test_case "prolongation is a partition" `Quick
+      test_prolongation_partition;
+    Alcotest.test_case "net contraction" `Quick test_net_contraction;
+    Alcotest.test_case "coarsening deterministic across domains" `Quick
+      test_coarsen_deterministic_across_domains;
+    Alcotest.test_case "interpolation geometry" `Quick
+      test_interpolate_geometry;
+    Alcotest.test_case "1-level V-cycle is the flat engine" `Slow
+      test_single_level_is_flat;
+    Alcotest.test_case "V-cycle deterministic across domains" `Slow
+      test_vcycle_deterministic_across_domains;
+    Alcotest.test_case "V-cycle reaches the stop target" `Slow
+      test_vcycle_reaches_target ]

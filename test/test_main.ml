@@ -25,6 +25,7 @@ let () =
       ("verilog", Test_verilog.suite);
       ("core", Test_core.suite);
       ("route", Test_route.suite);
+      ("cluster", Test_cluster.suite);
       ("viz", Test_viz.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("properties", Test_properties.suite);

@@ -214,6 +214,18 @@ let test_jsonl_trace () =
       infl rudy
   in
   Route.Inflate.restore infl;
+  (* the multilevel V-cycle, so the cluster coarsen/interp/refine spans
+     reach the trace (min_cells low enough that 200 cells coarsen) *)
+  let ml_design, ml_graph = setup ~seed:11 () in
+  ignore ml_design;
+  let _ =
+    Core.run_multilevel ~obs
+      ~ml:
+        { Core.default_multilevel with
+          Core.ml_levels = 2; ml_min_cells = 16 }
+      { cfg with Core.max_iterations = 10; min_iterations = 2 }
+      ml_graph
+  in
   (* a pooled dispatch so the executor's own kernels reach the trace *)
   let pool = Parallel.create ~domains:2 ~oversubscribe:true () in
   Fun.protect

@@ -158,6 +158,54 @@ let test_inflate_deterministic_and_bounded () =
   Alcotest.(check (list int)) "counts reproduce" counts counts2;
   Alcotest.(check bool) "inflated widths reproduce" true (widths = widths2)
 
+let test_deflate_deterministic () =
+  (* inflate a piled design, spread it so every bin falls back below
+     target, then deflate: congestion relief must shed inflation excess
+     and two identical runs must produce bit-identical widths *)
+  let run () =
+    let design, _ = hotspot_design ~cells:400 () in
+    Array.iter
+      (fun (c : Netlist.cell) ->
+        if not c.Netlist.fixed then begin
+          c.Netlist.x <- 4.0;
+          c.Netlist.y <- 4.0
+        end)
+      design.Netlist.cells;
+    let rudy = Route.Rudy.create design in
+    Route.Rudy.update rudy;
+    let cfg = { Route.default_config with Route.rt_max_rounds = 3 } in
+    let infl = Route.Inflate.create design in
+    let inflated = Route.Inflate.step cfg infl rudy in
+    (* spread the design: demand per bin collapses below target *)
+    let region = design.Netlist.region in
+    Array.iteri
+      (fun i (c : Netlist.cell) ->
+        if not c.Netlist.fixed then begin
+          c.Netlist.x <-
+            region.Geometry.Rect.lx
+            +. (float_of_int ((i * 37) mod 331) /. 331.0)
+               *. Geometry.Rect.width region;
+          c.Netlist.y <-
+            region.Geometry.Rect.ly
+            +. (float_of_int ((i * 61) mod 293) /. 293.0)
+               *. Geometry.Rect.height region
+        end)
+      design.Netlist.cells;
+    Route.Rudy.update rudy;
+    let deflated = Route.Inflate.deflate cfg infl rudy in
+    ( inflated, deflated,
+      bits (Array.map (fun (c : Netlist.cell) -> c.Netlist.width)
+              design.Netlist.cells) )
+  in
+  let inflated, deflated, widths = run () in
+  Alcotest.(check bool) "inflation happened" true (inflated > 0);
+  Alcotest.(check bool) "deflation sheds some excess" true (deflated > 0);
+  let inflated2, deflated2, widths2 = run () in
+  Alcotest.(check int) "inflation count reproduces" inflated inflated2;
+  Alcotest.(check int) "deflation count reproduces" deflated deflated2;
+  Alcotest.(check bool) "deflated widths bit-identical" true
+    (widths = widths2)
+
 let test_inflate_respects_area_cap () =
   let design, _ = hotspot_design ~cells:400 () in
   Array.iter
@@ -295,6 +343,8 @@ let suite =
       test_inflate_deterministic_and_bounded;
     Alcotest.test_case "inflation respects area cap" `Quick
       test_inflate_respects_area_cap;
+    Alcotest.test_case "deflation deterministic" `Quick
+      test_deflate_deterministic;
     Alcotest.test_case "core restores areas" `Slow test_core_restores_areas;
     Alcotest.test_case "core zero-overflow bit-identity" `Slow
       test_core_zero_overflow_bit_identical;
